@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table/figure of the paper (see DESIGN.md §4)
+and writes the reproduced rows under ``benchmarks/results/`` so the
+artifacts survive the run; pytest-benchmark reports the generation time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a reproduced table under benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,86 @@
+"""Ablation benches (experiments A-EL4, A-WIN, A-SPLIT, A-ARITY, A-FIT).
+
+Each bench isolates one design choice of the controlled protocol and
+regenerates the comparison DESIGN.md §5 calls for.
+"""
+
+from repro.experiments import (
+    ablation_table,
+    arity_ablation,
+    element4_ablation,
+    split_rule_ablation,
+    twopoint_fit_errors,
+    window_length_ablation,
+)
+
+from .conftest import save_result
+
+
+def test_ablation_element4(benchmark):
+    """§4.2 attributes most of the controlled win to the sender discard."""
+    arms = benchmark.pedantic(
+        element4_ablation,
+        kwargs=dict(rho_prime=0.75, message_length=25, deadline=50.0,
+                    horizon=100_000.0, warmup=12_000.0),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("ablation_element4", ablation_table(arms, "Element 4 (sender discard)"))
+    by_name = {arm.label: arm.loss for arm in arms}
+    assert by_name["controlled"] < by_name["no_discard"]
+
+
+def test_ablation_window_length(benchmark):
+    """The §4.1 occupancy heuristic μ* minimises the analytic loss."""
+    occupancies = (0.25, 0.5, 1.0886, 2.0, 4.0)
+    arms = benchmark.pedantic(
+        window_length_ablation,
+        kwargs=dict(occupancies=occupancies, simulate=False),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "ablation_window_length",
+        ablation_table(arms, "Element 2 (window length via occupancy)"),
+    )
+    losses = [arm.loss for arm in arms]
+    best = losses.index(min(losses))
+    assert occupancies[best] == 1.0886  # the heuristic optimum wins
+
+
+def test_ablation_split_rule(benchmark):
+    """Element 3: older-half-first should not lose to the alternatives."""
+    arms = benchmark.pedantic(
+        split_rule_ablation,
+        kwargs=dict(horizon=100_000.0, warmup=12_000.0),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("ablation_split_rule", ablation_table(arms, "Element 3 (split order)"))
+    by_name = {arm.label: (arm.loss, arm.stderr) for arm in arms}
+    older_loss, older_se = by_name["older"]
+    newer_loss, newer_se = by_name["newer"]
+    # Allow simulation noise, but older must not be significantly worse.
+    assert older_loss <= newer_loss + 3 * ((older_se or 0) + (newer_se or 0))
+
+
+def test_ablation_arity(benchmark):
+    """§5 extension: k-ary splitting is a viable variant (binary is the
+    paper's choice; ternary is typically comparable)."""
+    arms = benchmark.pedantic(
+        arity_ablation,
+        kwargs=dict(arities=(2, 3, 4), horizon=80_000.0, warmup=10_000.0),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("ablation_arity", ablation_table(arms, "Split arity"))
+    assert len(arms) == 3
+    for arm in arms:
+        assert 0.0 <= arm.loss <= 1.0
+
+
+def test_ablation_twopoint_fit(benchmark):
+    """[Kurose 83]'s endpoint fit versus the exact recursion."""
+    table = benchmark.pedantic(twopoint_fit_errors, rounds=1, iterations=1)
+    save_result("ablation_twopoint_fit", table)
+    assert "rel. error" in table

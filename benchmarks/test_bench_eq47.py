@@ -1,0 +1,88 @@
+"""Eq. 4.7 bench (experiment E-47): the paper's analytic checks.
+
+§4.1 offers two sanity limits for the loss formula — p(loss) → 0 as
+K → ∞ and p(loss) → 1 − P(0) as K → 0 — and this repo adds the modern
+validation the 1983 authors could not run: agreement between the series
+solver, an exact discrete workload chain, and Monte Carlo, across loads
+including ρ > 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ascii_table
+from repro.queueing import (
+    ImpatientMG1,
+    deterministic_pmf,
+    simulate_impatient_mg1,
+    solve_workload_chain,
+)
+
+from .conftest import save_result
+
+CASES = [
+    # (lambda, M, K) — rho = lambda * M
+    (0.02, 25, 50.0),
+    (0.03, 25, 60.0),
+    (0.05, 25, 60.0),  # rho = 1.25: only balking keeps it stable
+]
+
+
+def _solve_all():
+    rows = []
+    rng = np.random.default_rng(2024)
+    for lam, m, deadline in CASES:
+        service = deterministic_pmf(m)
+        series = ImpatientMG1(lam, service.refine(4), deadline).solve()
+        chain = solve_workload_chain(lam, service.refine(4), deadline)
+        mc = simulate_impatient_mg1(lam, service, deadline, 300_000, rng)
+        rows.append(
+            (lam, m, deadline, series.loss_probability, chain.loss_probability,
+             mc.loss_probability, mc.loss_stderr())
+        )
+    return rows
+
+
+def test_eq47_three_way_agreement(benchmark):
+    rows = benchmark.pedantic(_solve_all, rounds=1, iterations=1)
+    table_rows = [
+        [f"{lam:g}", f"{m}", f"{K:g}", f"{lam * m:.2f}",
+         f"{s:.5f}", f"{c:.5f}", f"{mc:.5f}±{2 * se:.5f}"]
+        for lam, m, K, s, c, mc, se in rows
+    ]
+    save_result(
+        "eq47_agreement",
+        ascii_table(
+            ["lambda", "M", "K", "rho", "series (4.7)", "workload chain", "monte carlo"],
+            table_rows,
+            title="Eq. 4.7 vs exact chain vs simulation",
+        ),
+    )
+    for _lam, _m, _K, series, chain, mc, se in rows:
+        assert series == pytest.approx(chain, rel=0.05, abs=5e-4)
+        assert series == pytest.approx(mc, rel=0.12, abs=max(4 * se, 1e-3))
+
+
+def test_eq47_limits(benchmark):
+    """The paper's two limit checks on eq. 4.7."""
+
+    def limits():
+        import math
+
+        lam, m = 0.03, 25
+        service = deterministic_pmf(m)
+        at_zero = ImpatientMG1(lam, service, 0.0).solve()
+        at_large = ImpatientMG1(lam, service, 2_000.0).solve()
+        at_inf = ImpatientMG1(lam, service, math.inf).solve()
+        return at_zero, at_large, at_inf
+
+    at_zero, at_large, at_inf = benchmark.pedantic(limits, rounds=1, iterations=1)
+    rho = 0.75
+    # K -> 0: loss -> 1 − P(0) (customer enters only an empty system).
+    assert at_zero.loss_probability == pytest.approx(1.0 - at_zero.idle_probability)
+    assert at_zero.loss_probability == pytest.approx(rho / (1 + rho), rel=1e-9)
+    # K large: loss already negligible.
+    assert at_large.loss_probability < 1e-8
+    # K = inf: loss exactly 0 and P(0) = 1 − ρ.
+    assert at_inf.loss_probability == 0.0
+    assert at_inf.idle_probability == pytest.approx(1 - rho, rel=1e-9)

@@ -1,0 +1,107 @@
+"""Figure 7 benches (experiments F7a–F7f).
+
+Each bench regenerates one panel of the paper's Figure 7: loss versus
+the time constraint K for the controlled protocol (eq. 4.7 analytic +
+slot-level simulation) against the uncontrolled FCFS and LCFS protocols
+of [Kurose 83].  Absolute values need not match the 1983 plots (whose
+axes are unreadable in the scan); the *shape* assertions encode what the
+paper claims:
+
+* every curve falls as K grows;
+* the controlled protocol never loses more than FCFS;
+* LCFS beats FCFS at tight K and loses at loose K;
+* losses grow with ρ′ at fixed K/M;
+* analytic and simulated controlled curves agree to paper-level accuracy.
+
+Simulation arms run at a reduced horizon to keep the bench finite; the
+analytic arms use the full grid.
+"""
+
+import pytest
+
+from repro.experiments import PanelConfig, generate_panel
+from repro.stats import monotone_fraction
+
+from .conftest import save_result
+
+SIM_HORIZON = 80_000.0
+SIM_WARMUP = 10_000.0
+
+
+def _panel(rho_prime: float, message_length: int, simulate: bool):
+    config = PanelConfig(rho_prime=rho_prime, message_length=message_length)
+    m = message_length
+    deadlines = [m * mult for mult in (0.5, 1, 1.5, 2, 3, 4, 6, 8, 12)]
+    sim_deadlines = [m * mult for mult in (1, 3, 6)]
+    return generate_panel(
+        config,
+        deadlines=deadlines,
+        include_simulation=simulate,
+        sim_horizon=SIM_HORIZON,
+        sim_warmup=SIM_WARMUP,
+        sim_deadlines=sim_deadlines,
+    )
+
+
+def _assert_panel_shape(panel):
+    controlled = panel.series["controlled_analytic"]
+    fcfs = panel.series["fcfs_analytic"]
+    lcfs = panel.series["lcfs_analytic"]
+
+    # Monotone decreasing loss in K for the analytic curves.
+    for series in (controlled, fcfs, lcfs):
+        assert monotone_fraction(series.losses(), decreasing=True) == 1.0
+
+    # Controlled never worse than FCFS (Theorem 1 + element 4).
+    for c, f in zip(controlled.losses(), fcfs.losses()):
+        assert c <= f + 1e-9
+
+    # LCFS/FCFS crossover: better at the tightest K, worse at the loosest
+    # (when the queue is stable; a saturated panel pins all baselines at 1).
+    if fcfs.losses()[0] < 1.0:
+        assert lcfs.losses()[0] <= fcfs.losses()[0] + 1e-9
+        assert lcfs.losses()[-1] >= fcfs.losses()[-1] - 1e-9
+
+    # Simulation corroboration for the controlled protocol.
+    if "controlled_sim" in panel.series:
+        sim = panel.series["controlled_sim"]
+        for point in sim.points:
+            analytic = controlled.loss_at(point.deadline)
+            tolerance = max(0.03, 6 * (point.stderr or 0.0), 0.5 * analytic)
+            assert abs(point.loss - analytic) <= tolerance
+
+
+@pytest.mark.parametrize(
+    "name,rho,m",
+    [
+        ("f7_rho25_m25", 0.25, 25),
+        ("f7_rho25_m100", 0.25, 100),
+        ("f7_rho50_m25", 0.50, 25),
+        ("f7_rho50_m100", 0.50, 100),
+        ("f7_rho75_m25", 0.75, 25),
+        ("f7_rho75_m100", 0.75, 100),
+    ],
+)
+def test_figure7_panel(benchmark, name, rho, m):
+    panel = benchmark.pedantic(
+        _panel, args=(rho, m, True), rounds=1, iterations=1
+    )
+    save_result(name, panel.to_table())
+    _assert_panel_shape(panel)
+
+
+def test_f7_load_ordering(benchmark):
+    """Across panels: higher ρ′ means higher loss at the same K/M."""
+
+    def build():
+        return {
+            rho: _panel(rho, 25, simulate=False) for rho in (0.25, 0.50, 0.75)
+        }
+
+    panels = benchmark.pedantic(build, rounds=1, iterations=1)
+    for multiplier in (25.0, 75.0, 300.0):
+        losses = [
+            panels[rho].series["controlled_analytic"].loss_at(multiplier)
+            for rho in (0.25, 0.50, 0.75)
+        ]
+        assert losses[0] <= losses[1] <= losses[2] + 1e-12

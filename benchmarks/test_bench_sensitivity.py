@@ -1,0 +1,58 @@
+"""Sensitivity benches: robustness sweeps beyond the paper's evaluation.
+
+Not reproductions of paper figures; these probe the assumptions the
+paper's analysis makes (infinite population, Poisson arrivals, geometric
+scheduling-time shape) using the simulator as ground truth.
+"""
+
+from repro.experiments import (
+    ablation_table,
+    ascii_table,
+    burstiness_sensitivity,
+    scheduling_model_sensitivity,
+    station_count_sensitivity,
+)
+
+from .conftest import save_result
+
+
+def test_station_count(benchmark):
+    """Performance should be nearly population-independent: the protocol
+    keys on arrival instants, not station identities."""
+    arms = benchmark.pedantic(
+        station_count_sensitivity,
+        kwargs=dict(horizon=80_000.0, warmup=10_000.0),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("sensitivity_stations", ablation_table(arms, "Loss vs population"))
+    losses = [arm.loss for arm in arms]
+    spread = max(losses) - min(losses)
+    noise = 4 * max(arm.stderr or 0.0 for arm in arms)
+    assert spread <= max(0.02, 2 * noise)
+
+
+def test_burstiness(benchmark):
+    """Burstier traffic (same mean rate) loses more messages."""
+    arms = benchmark.pedantic(
+        burstiness_sensitivity,
+        kwargs=dict(horizon=120_000.0, warmup=15_000.0),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("sensitivity_burstiness", ablation_table(arms, "Loss vs burstiness"))
+    losses = [arm.loss for arm in arms]
+    assert losses[-1] > losses[0]  # heaviest burst loses most
+
+
+def test_scheduling_model_shape(benchmark):
+    """The paper's geometric scheduling-time approximation is benign: the
+    eq. 4.7 loss changes by well under 5% across deadlines."""
+    rows = benchmark.pedantic(scheduling_model_sensitivity, rounds=1, iterations=1)
+    save_result(
+        "sensitivity_scheduling_shape",
+        ascii_table(["K", "exact", "geometric", "gap"], rows,
+                    title="Eq. 4.7: exact vs geometric scheduling law"),
+    )
+    for _deadline, _exact, _geo, gap in rows:
+        assert float(gap.rstrip("%")) < 5.0

@@ -1,0 +1,36 @@
+"""Theorem 1 bench (experiment E-T1).
+
+Regenerates the decision-model results of §3 / Appendix A: the
+exhaustive {Pʷ} sweep, the policy-iteration fixed point, and the
+Monte-Carlo pseudo-time cross-check — everything the paper proves,
+verified numerically.
+"""
+
+from repro.experiments import Theorem1Config, run_theorem1_experiment
+
+from .conftest import save_result
+
+CONFIG = Theorem1Config(
+    arrival_rate=0.15, deadline=10, transmission=4, window_length=4, depth=8
+)
+
+
+def test_theorem1(benchmark):
+    report = benchmark.pedantic(
+        run_theorem1_experiment,
+        args=(CONFIG,),
+        kwargs={"simulate": True, "sim_horizon": 200_000.0},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("theorem1", report.to_table())
+
+    # The paper's Theorem 1, three ways:
+    assert report.minimum_slack_is_best()
+    assert report.iteration_uses_theorem_elements()
+    sim = {(r.placement, r.split): r.loss for r in report.simulated}
+    assert sim["oldest", "older"] == min(sim.values())
+
+    # Element 1 dominates element 3 at these parameters.
+    family = {(r.placement, r.split): r.loss for r in report.family}
+    assert family["oldest", "newer"] < family["newest", "older"]

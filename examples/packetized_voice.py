@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Packetized voice over the controlled window protocol ([Cohen 77]).
+
+The paper's headline application: voice packets are useless after the
+playout deadline, but a few percent of loss is inaudible.  This example
+carries 24 simultaneous calls (on/off talkspurt sources) over one
+broadcast channel and sweeps the playout deadline, comparing the
+controlled protocol against the uncontrolled FCFS variant that wastes
+channel time on already-late packets.
+
+Scenario numbers (in units of the propagation delay τ ≈ 50 µs on a
+10 km / 10 Mb/s cable):
+
+* vocoder frame: one packet per 400 τ (≈ 20 ms) during talkspurts;
+* talkspurts ≈ 1 s, silences ≈ 1.35 s (Brady model): activity ≈ 0.43;
+* packet length M = 25 τ;
+* playout deadlines swept from 100 τ (5 ms) to 1600 τ (80 ms).
+
+Run:  python examples/packetized_voice.py
+"""
+
+from repro.core import ControlPolicy
+from repro.experiments import ascii_table
+from repro.mac import WindowMACSimulator
+from repro.workloads import VoiceWorkload
+
+MESSAGE_SLOTS = 25
+N_CALLS = 24
+PACKET_INTERVAL = 400.0  # slots between packets in a talkspurt
+TALKSPURT = 20_000.0  # ~1.0 s in tau units
+SILENCE = 27_000.0  # ~1.35 s
+DEADLINES = (100.0, 200.0, 400.0, 800.0, 1600.0)
+HORIZON = 300_000.0
+WARMUP = 30_000.0
+
+
+def run_protocol(policy, workload, deadline, seed=11):
+    simulator = WindowMACSimulator(
+        policy,
+        arrival_rate=workload.mean_rate,
+        transmission_slots=MESSAGE_SLOTS,
+        n_stations=N_CALLS,
+        deadline=deadline,
+        seed=seed,
+        workload=workload,
+    )
+    return simulator.run(HORIZON, warmup_slots=WARMUP)
+
+
+def main() -> None:
+    workload = VoiceWorkload(
+        n_sources=N_CALLS,
+        packet_interval=PACKET_INTERVAL,
+        mean_talkspurt=TALKSPURT,
+        mean_silence=SILENCE,
+    )
+    load = workload.mean_rate * MESSAGE_SLOTS
+    print(
+        f"{N_CALLS} calls, activity {workload.activity_factor:.2f}, "
+        f"offered channel load rho' = {load:.3f}\n"
+    )
+
+    rows = []
+    for deadline in DEADLINES:
+        controlled = run_protocol(
+            ControlPolicy.optimal(deadline, workload.mean_rate), workload, deadline
+        )
+        fcfs = run_protocol(
+            ControlPolicy.uncontrolled_fcfs(workload.mean_rate), workload, deadline
+        )
+        rows.append(
+            [
+                f"{deadline:g}",
+                f"{deadline * 0.05:.0f} ms",
+                f"{controlled.loss_fraction:.4f}",
+                f"{fcfs.loss_fraction:.4f}",
+                f"{controlled.mean_true_wait:.0f}",
+            ]
+        )
+    print(
+        ascii_table(
+            ["K (tau)", "playout", "controlled loss", "fcfs loss", "mean wait"],
+            rows,
+            title="Voice packet loss vs playout deadline",
+        )
+    )
+    print(
+        "\nA voice call is typically fine below ~2% loss; the controlled\n"
+        "protocol reaches that at a much tighter playout deadline."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""A Figure-7 panel on your terminal: loss vs deadline, three protocols.
+
+Generates the ρ′ = 0.5, M = 25 panel with both the analytic curves
+(eq. 4.7 for the controlled protocol; M/G/1 and LCFS waiting-time tails
+for the baselines) and slot-level simulation points, then prints the
+table and a coarse ASCII plot.
+
+Run:  python examples/protocol_comparison.py           (analytic only, fast)
+      python examples/protocol_comparison.py --simulate (adds sim points)
+"""
+
+import sys
+
+from repro.experiments import PanelConfig, generate_panel
+
+DEADLINES = [12.5, 25.0, 50.0, 100.0, 200.0, 400.0]
+
+
+def ascii_plot(panel, width=60) -> str:
+    """A log-x scatter of the analytic curves."""
+    rows = []
+    markers = {"controlled_analytic": "C", "fcfs_analytic": "F", "lcfs_analytic": "L"}
+    rows.append("loss")
+    for level in (0.4, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01):
+        line = [" "] * width
+        for name, marker in markers.items():
+            series = panel.series[name]
+            for point in series.points:
+                import math
+
+                x = int(
+                    (math.log(point.deadline) - math.log(DEADLINES[0]))
+                    / (math.log(DEADLINES[-1]) - math.log(DEADLINES[0]))
+                    * (width - 1)
+                )
+                if abs(point.loss - level) / level < 0.3:
+                    line[x] = marker
+        rows.append(f"{level:5.2f} |" + "".join(line))
+    rows.append("      +" + "-" * width)
+    rows.append(f"       K={DEADLINES[0]:g}" + " " * (width - 20) + f"K={DEADLINES[-1]:g}")
+    rows.append("       C=controlled  F=fcfs  L=lcfs   (log-x)")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    simulate = "--simulate" in sys.argv
+    config = PanelConfig(rho_prime=0.5, message_length=25)
+    print(f"generating panel {config.rho_prime=} {config.message_length=} "
+          f"(simulation: {simulate}) ...\n")
+    panel = generate_panel(
+        config,
+        deadlines=DEADLINES,
+        include_simulation=simulate,
+        sim_horizon=120_000.0,
+        sim_warmup=15_000.0,
+    )
+    print(panel.to_table())
+    print()
+    print(ascii_plot(panel))
+    print("\nCSV:\n" + panel.to_csv())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Distributed sensor network: window protocol vs ALOHA vs TDMA ([DSN 82]).
+
+Forty sensors share one channel.  Each reports periodically; detection
+events additionally make clusters of sensors report almost at once —
+the worst case for random access (correlated collisions) and for TDMA
+(the cluster must wait for its slots to come around).  Measurements are
+stale after K = 400 τ.
+
+The time-window protocol resolves a burst deterministically in ~log
+steps ordered by arrival time, which is exactly what a fusion centre
+wants: the oldest (most stale-endangered) reading first.
+
+Run:  python examples/sensor_network.py
+"""
+
+from repro.core import ControlPolicy
+from repro.experiments import ascii_table
+from repro.mac import SlottedAlohaSimulator, TDMASimulator, WindowMACSimulator
+from repro.workloads import SensorWorkload
+
+N_SENSORS = 40
+MESSAGE_SLOTS = 25
+DEADLINE = 400.0
+HORIZON = 250_000.0
+WARMUP = 25_000.0
+
+
+def main() -> None:
+    workload = SensorWorkload(
+        n_sensors=N_SENSORS,
+        report_period=2_500.0,  # one report per sensor per 2500 tau
+        report_jitter=50.0,
+        event_rate=0.002,  # detection events
+        burst_size=8.0,  # ~8 sensors react per event
+        burst_spread=10.0,  # within 10 tau of the event
+    )
+    lam = workload.mean_rate
+    print(
+        f"{N_SENSORS} sensors, aggregate rate {lam:.4f}/tau, "
+        f"offered load rho' = {lam * MESSAGE_SLOTS:.3f}, K = {DEADLINE:g} tau\n"
+    )
+
+    rows = []
+
+    window = WindowMACSimulator(
+        ControlPolicy.optimal(DEADLINE, lam),
+        arrival_rate=lam,
+        transmission_slots=MESSAGE_SLOTS,
+        n_stations=N_SENSORS,
+        deadline=DEADLINE,
+        seed=5,
+        workload=workload,
+    ).run(HORIZON, warmup_slots=WARMUP)
+    rows.append(
+        ["controlled window", f"{window.loss_fraction:.4f}",
+         f"{window.mean_true_wait:.0f}", f"{window.channel.utilization():.3f}"]
+    )
+
+    aloha = SlottedAlohaSimulator(
+        lam, MESSAGE_SLOTS, DEADLINE, adaptive=True, seed=5
+    ).run(HORIZON, warmup_slots=WARMUP)
+    rows.append(["slotted ALOHA", f"{aloha.loss_fraction:.4f}", "-",
+                 f"{aloha.throughput:.3f}"])
+
+    tdma = TDMASimulator(
+        lam, MESSAGE_SLOTS, N_SENSORS, DEADLINE, seed=5
+    ).run(HORIZON, warmup_slots=WARMUP)
+    rows.append(["TDMA", f"{tdma.loss_fraction:.4f}", "-", "-"])
+
+    print(
+        ascii_table(
+            ["protocol", "stale fraction", "mean wait", "utilization"],
+            rows,
+            title="Fraction of sensor readings stale on delivery",
+        )
+    )
+    print(
+        "\nTDMA pays the full cycle latency (N·M = "
+        f"{N_SENSORS * MESSAGE_SLOTS} tau > K); ALOHA sheds bursts; the\n"
+        "window protocol schedules the burst oldest-first within the bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

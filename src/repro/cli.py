@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figure7``    regenerate one Figure-7 panel (table/CSV to stdout)
+``theorem1``   run the Theorem-1 verification sweep
+``simulate``   one slot-level protocol run with chosen parameters
+``capacity``   print the protocol's capacity figures for a range of M
+``ablations``  run the fast (analytic) ablations
+
+Examples
+--------
+::
+
+    python -m repro figure7 --rho 0.75 --m 25
+    python -m repro figure7 --rho 0.5 --m 25 --simulate --csv
+    python -m repro simulate --rho 0.75 --m 25 --deadline 75 --protocol lcfs
+    python -m repro theorem1 --deadline 10
+    python -m repro capacity
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import ControlPolicy
+from .crp.capacity import max_stable_throughput
+from .experiments import (
+    PanelConfig,
+    Theorem1Config,
+    ablation_table,
+    ascii_table,
+    generate_panel,
+    run_theorem1_experiment,
+    twopoint_fit_errors,
+    window_length_ablation,
+)
+from .mac import WindowMACSimulator
+
+__all__ = ["main"]
+
+
+def _cmd_figure7(args: argparse.Namespace) -> int:
+    config = PanelConfig(rho_prime=args.rho, message_length=args.m)
+    panel = generate_panel(
+        config,
+        include_simulation=args.simulate,
+        sim_horizon=args.horizon,
+        sim_warmup=args.horizon * 0.125,
+        sim_seed=args.seed,
+    )
+    print(panel.to_csv() if args.csv else panel.to_table())
+    return 0
+
+
+def _cmd_theorem1(args: argparse.Namespace) -> int:
+    config = Theorem1Config(
+        arrival_rate=args.rate,
+        deadline=args.deadline,
+        transmission=args.m,
+        window_length=args.window,
+    )
+    report = run_theorem1_experiment(config, simulate=args.simulate)
+    print(report.to_table())
+    ok = report.minimum_slack_is_best() and report.iteration_uses_theorem_elements()
+    print(f"\nTheorem 1 verified: {ok}")
+    return 0 if ok else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    lam = args.rho / args.m
+    factories = {
+        "controlled": lambda: ControlPolicy.optimal(args.deadline, lam),
+        "fcfs": lambda: ControlPolicy.uncontrolled_fcfs(lam),
+        "lcfs": lambda: ControlPolicy.uncontrolled_lcfs(lam),
+        "random": lambda: ControlPolicy.uncontrolled_random(lam),
+    }
+    simulator = WindowMACSimulator(
+        factories[args.protocol](),
+        arrival_rate=lam,
+        transmission_slots=args.m,
+        n_stations=args.stations,
+        deadline=args.deadline,
+        seed=args.seed,
+    )
+    result = simulator.run(args.horizon, warmup_slots=args.horizon * 0.125)
+    rows = [
+        ["arrivals", str(result.arrivals)],
+        ["delivered on time", str(result.delivered_on_time)],
+        ["delivered late", str(result.delivered_late)],
+        ["discarded (element 4)", str(result.discarded)],
+        ["unresolved", str(result.unresolved)],
+        ["loss fraction", f"{result.loss_fraction:.4f} ± {2 * result.loss_stderr():.4f}"],
+        ["mean true wait", f"{result.mean_true_wait:.2f}"],
+        ["mean paper wait", f"{result.mean_paper_wait:.2f}"],
+        ["channel utilization", f"{result.channel.utilization():.3f}"],
+    ]
+    title = (
+        f"{args.protocol} protocol: rho'={args.rho}, M={args.m}, "
+        f"K={args.deadline}, {args.horizon:.0f} slots"
+    )
+    print(ascii_table(["metric", "value"], rows, title=title))
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    rows = []
+    for m in args.m:
+        report = max_stable_throughput(m)
+        rows.append(
+            [str(m), f"{report.scheduling_overhead:.3f}",
+             f"{report.max_throughput:.5f}", f"{report.utilization_bound:.4f}"]
+        )
+    print(
+        ascii_table(
+            ["M", "overhead E[T] (slots)", "max throughput (msg/slot)",
+             "max offered load rho'"],
+            rows,
+            title="Window-protocol capacity (occupancy heuristic)",
+        )
+    )
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    arms = window_length_ablation(simulate=False)
+    print(ablation_table(arms, "Element 2: loss vs window occupancy (analytic)"))
+    print()
+    print(twopoint_fit_errors())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Kurose/Schwartz/Yemini (1983) window-protocol reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figure7", help="regenerate one Figure-7 panel")
+    p.add_argument("--rho", type=float, default=0.5, help="offered load rho'")
+    p.add_argument("--m", type=int, default=25, help="message length M (tau)")
+    p.add_argument("--simulate", action="store_true", help="add simulation arms")
+    p.add_argument("--horizon", type=float, default=80_000.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--csv", action="store_true", help="CSV instead of a table")
+    p.set_defaults(func=_cmd_figure7)
+
+    p = sub.add_parser("theorem1", help="verify Theorem 1 numerically")
+    p.add_argument("--rate", type=float, default=0.15)
+    p.add_argument("--deadline", type=int, default=10)
+    p.add_argument("--m", type=int, default=4)
+    p.add_argument("--window", type=int, default=4)
+    p.add_argument("--simulate", action="store_true")
+    p.set_defaults(func=_cmd_theorem1)
+
+    p = sub.add_parser("simulate", help="one slot-level protocol run")
+    p.add_argument("--protocol", choices=("controlled", "fcfs", "lcfs", "random"),
+                   default="controlled")
+    p.add_argument("--rho", type=float, default=0.5)
+    p.add_argument("--m", type=int, default=25)
+    p.add_argument("--deadline", type=float, default=100.0)
+    p.add_argument("--stations", type=int, default=200)
+    p.add_argument("--horizon", type=float, default=100_000.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("capacity", help="protocol capacity vs message length")
+    p.add_argument("--m", type=int, nargs="+", default=[1, 5, 25, 100, 400])
+    p.set_defaults(func=_cmd_capacity)
+
+    p = sub.add_parser("ablations", help="fast analytic ablations")
+    p.set_defaults(func=_cmd_ablations)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""The paper's primary contribution: the controlled window protocol.
+
+Policy elements 1-4 (:mod:`repro.core.policy`), the station's view of
+the time axis (:mod:`repro.core.timeline`), the windowing / splitting
+state machine (:mod:`repro.core.window`) and the shared protocol
+controller (:mod:`repro.core.controller`).
+"""
+
+from .controller import DiscardReport, ProtocolController
+from .policy import (
+    ControlPolicy,
+    FixedLength,
+    FullBacklogLength,
+    LengthRule,
+    NewestFirstPosition,
+    OccupancyLength,
+    OldestFirstPosition,
+    PositionRule,
+    RandomPosition,
+)
+from .timeline import IntervalSet, Span
+from .window import ChannelFeedback, WindowingProcess
+
+__all__ = [
+    "ControlPolicy",
+    "PositionRule",
+    "OldestFirstPosition",
+    "NewestFirstPosition",
+    "RandomPosition",
+    "LengthRule",
+    "FixedLength",
+    "FullBacklogLength",
+    "OccupancyLength",
+    "IntervalSet",
+    "Span",
+    "ChannelFeedback",
+    "WindowingProcess",
+    "ProtocolController",
+    "DiscardReport",
+]

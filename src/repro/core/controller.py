@@ -1,0 +1,119 @@
+"""Protocol controller: the shared state machine of all stations.
+
+Because every station observes the same channel feedback and follows the
+same policy, the entire network's protocol state is a single object
+(§2): the set of unresolved past time, the discard horizon (element 4),
+and the windowing process currently in flight.  The controller owns that
+state; a channel substrate (:mod:`repro.mac`) drives it by asking for
+decisions and reporting feedback.
+
+Under the optimal policy the unresolved set is always one contiguous
+interval whose old edge is the paper's ``t_past`` (consequence of
+Theorem 1, end of §3.2) — asserted by the test suite; uncontrolled
+policies legitimately fragment it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .policy import ControlPolicy
+from .timeline import IntervalSet
+from .window import WindowingProcess
+
+__all__ = ["DiscardReport", "ProtocolController"]
+
+
+@dataclass(frozen=True)
+class DiscardReport:
+    """What element 4 removed at a decision epoch.
+
+    Attributes
+    ----------
+    horizon:
+        The cut instant ``now − K``; stations drop older messages.
+    measure_removed:
+        Unresolved time discarded (0 when nothing was stale).
+    """
+
+    horizon: float
+    measure_removed: float
+
+
+class ProtocolController:
+    """Tracks unresolved time and issues windowing processes.
+
+    Parameters
+    ----------
+    policy:
+        The four-element control policy.
+    rng:
+        Random generator for stochastic policy elements (random position
+        or random split); optional otherwise.
+    """
+
+    def __init__(self, policy: ControlPolicy, rng: Optional[np.random.Generator] = None):
+        self.policy = policy
+        self.rng = rng
+        self.unresolved = IntervalSet()
+        self.frontier = 0.0
+
+    @property
+    def t_past(self) -> Optional[float]:
+        """The oldest unresolved instant (None when fully resolved)."""
+        return None if self.unresolved.is_empty() else self.unresolved.oldest()
+
+    def backlog_measure(self) -> float:
+        """Pseudo-time extent of unresolved time."""
+        return self.unresolved.measure
+
+    def advance_time(self, now: float) -> None:
+        """Account for newly elapsed time ``[frontier, now]``."""
+        if now < self.frontier - 1e-9:
+            raise ValueError(f"time moved backwards: {now} < {self.frontier}")
+        if now > self.frontier:
+            self.unresolved.add(self.frontier, now)
+            self.frontier = now
+
+    def apply_discard(self, now: float) -> Optional[DiscardReport]:
+        """Apply policy element 4 at the current instant.
+
+        Returns a report (for the simulator to drop stale messages), or
+        None when the policy has no discard deadline.
+        """
+        deadline = self.policy.discard_deadline
+        if deadline is None:
+            return None
+        horizon = now - deadline
+        removed = self.unresolved.clamp_before(horizon)
+        return DiscardReport(horizon=horizon, measure_removed=removed)
+
+    def begin_process(self, now: float) -> Optional[WindowingProcess]:
+        """Select an initial window and start a windowing process.
+
+        Advances bookkeeping to ``now``, applies element 4, and carves
+        the initial window with elements 1 and 2.  Returns ``None`` when
+        no unresolved time exists (the channel waits one slot).
+        """
+        self.advance_time(now)
+        self.apply_discard(now)
+        measure = self.unresolved.measure
+        if measure <= 1e-12:
+            return None
+        length = min(self.policy.length.length(measure), measure)
+        span = self.policy.position.select(self.unresolved, length, self.rng)
+        if span.is_empty():
+            return None
+        return WindowingProcess(
+            span, split=self.policy.split, arity=self.policy.split_arity, rng=self.rng
+        )
+
+    def complete_process(self, process: WindowingProcess) -> None:
+        """Fold a finished process's resolved time back into the state."""
+        if not process.done:
+            raise ValueError("cannot complete an unfinished windowing process")
+        for span in process.resolved_spans:
+            self.unresolved.subtract_span(span)

@@ -1,0 +1,191 @@
+"""The windowing process — collision resolution on a window span.
+
+:class:`WindowingProcess` is the distributed algorithm every station
+runs in §2: examine the initial window; on collision split it (in half
+by default; §5 suggests other arities, supported here) and examine the
+parts in policy order; an idle part hands examination to the next
+sibling — and when every earlier sibling was idle, the last one is known
+to contain all the colliding arrivals and is split immediately without
+being examined.  A collision inside a part abandons its remaining
+siblings to the backlog and recurses.  The process ends when a single
+station transmits, or immediately when the initial window is empty.
+
+The process is an explicit state machine driven by channel feedback, so
+the same code serves the analytic checks and the slot-level MAC
+simulator: callers repeatedly read :attr:`current_span` (who may
+transmit) and report the observed :class:`ChannelFeedback`.
+
+The process records which time it has *resolved* — examined-idle pieces
+and the success sub-window — which the caller removes from its
+unresolved interval set.  Abandoned siblings are *not* resolved; they
+simply remain in the backlog.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .timeline import Span
+
+__all__ = ["ChannelFeedback", "WindowingProcess"]
+
+_MAX_SPLIT_DEPTH = 60  # beyond double resolution; splitting cannot separate ties
+
+
+class ChannelFeedback(enum.Enum):
+    """Ternary channel outcome observable by every station after τ."""
+
+    IDLE = "idle"
+    SUCCESS = "success"
+    COLLISION = "collision"
+
+
+class WindowingProcess:
+    """One windowing process: from an initial window to one transmission.
+
+    Parameters
+    ----------
+    initial_window:
+        The span selected by policy elements 1 and 2.
+    split:
+        Element 3 — ``"older"``, ``"newer"`` or ``"random"`` examination
+        order of split parts.
+    arity:
+        Number of parts a colliding span is split into (default 2, the
+        paper's rule; §5 contemplates other values).
+    rng:
+        Needed only for the random split order.
+
+    Notes
+    -----
+    Drive the process with::
+
+        process = WindowingProcess(window, split="older")
+        while not process.done:
+            feedback = channel.examine(process.current_span)
+            process.on_feedback(feedback)
+
+    After completion, :attr:`resolved_spans` lists every piece of time
+    the process has proven message-free or transmitted, and
+    :attr:`slots_spent` counts the idle/collision slots consumed (the
+    success slot starts the transmission and is not counted — see
+    DESIGN.md §7).
+    """
+
+    def __init__(
+        self,
+        initial_window: Span,
+        split: str = "older",
+        arity: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if initial_window.is_empty():
+            raise ValueError("initial window must have positive measure")
+        if split not in ("older", "newer", "random"):
+            raise ValueError(f"unknown split rule: {split!r}")
+        if arity < 2:
+            raise ValueError(f"split arity must be at least 2, got {arity}")
+        if split == "random" and rng is None:
+            raise ValueError("random split requires an rng")
+        self.split = split
+        self.arity = arity
+        self._rng = rng
+        self.current_span: Optional[Span] = initial_window
+        # Unexamined siblings at the current level, in examination order.
+        # Invariant: when non-None, (current_span + siblings) jointly hold
+        # at least two arrivals.
+        self._siblings: Optional[List[Span]] = None
+        self._depth = 0
+        self.slots_spent = 0
+        self.resolved_spans: List[Span] = []
+        self.done = False
+        self.transmission_started = False
+
+    # -- feedback handling --------------------------------------------------
+
+    def on_feedback(self, feedback: ChannelFeedback) -> None:
+        """Advance the state machine with the observed channel outcome."""
+        if self.done:
+            raise RuntimeError("windowing process already finished")
+        span = self.current_span
+        assert span is not None
+
+        if feedback is ChannelFeedback.SUCCESS:
+            # Exactly one ready station; its transmission is under way and
+            # the examined span is resolved.
+            self.resolved_spans.append(span)
+            self.transmission_started = True
+            self._finish()
+            return
+
+        if feedback is ChannelFeedback.IDLE:
+            self.slots_spent += 1
+            self.resolved_spans.append(span)
+            if self._siblings is None:
+                # Empty initial window: the process ends with no message.
+                self._finish()
+                return
+            if len(self._siblings) == 1:
+                # All earlier siblings idle: the last one holds every
+                # colliding arrival (>= 2) and is split immediately (§2).
+                self._split_into(self._siblings[0])
+            else:
+                self.current_span = self._siblings[0]
+                self._siblings = self._siblings[1:]
+            return
+
+        # COLLISION: recurse into the examined span; any remaining
+        # siblings are abandoned to the backlog.
+        self.slots_spent += 1
+        self._split_into(span)
+
+    # -- internals -----------------------------------------------------------
+
+    def _finish(self) -> None:
+        self.done = True
+        self.current_span = None
+        self._siblings = None
+
+    def _split_into(self, span: Span) -> None:
+        """Split ``span`` into ``arity`` parts and stage the first."""
+        self._depth += 1
+        if self._depth > _MAX_SPLIT_DEPTH:
+            # Two stations generated arrivals closer than double
+            # resolution; like the paper's continuous-time protocol, the
+            # splitting process cannot separate them.  With float64
+            # uniform arrival instants this needs indistinguishable
+            # values — astronomically unlikely — so fail loudly rather
+            # than silently mis-resolve.
+            raise RuntimeError(
+                "window splitting exceeded the maximum depth; two arrivals "
+                "are indistinguishable at double precision"
+            )
+        parts = _split_parts(span, self.arity)
+        order = self._examination_order(len(parts))
+        ordered = [parts[i] for i in order]
+        self.current_span = ordered[0]
+        self._siblings = ordered[1:]
+
+    def _examination_order(self, n_parts: int) -> Sequence[int]:
+        if self.split == "older":
+            return range(n_parts)
+        if self.split == "newer":
+            return range(n_parts - 1, -1, -1)
+        order = list(range(n_parts))
+        self._rng.shuffle(order)
+        return order
+
+
+def _split_parts(span: Span, arity: int) -> List[Span]:
+    """Split a span into ``arity`` equal-measure parts, oldest first."""
+    parts: List[Span] = []
+    rest = span
+    total = span.measure
+    for index in range(arity - 1):
+        piece, rest = rest.split_at_measure(total / arity)
+        parts.append(piece)
+    parts.append(rest)
+    return parts

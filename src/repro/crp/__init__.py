@@ -1,0 +1,43 @@
+"""Collision-resolution-process (CRP) analysis.
+
+Exact analysis of the binary window-splitting process: expected
+resolution steps, scheduling-time distributions, the optimal-occupancy
+window-length heuristic (policy element 2), the joint
+(duration, resolved-length) law used by the decision model, and the
+[Kurose 83] two-endpoint approximation for comparison.
+"""
+
+from .capacity import CapacityReport, max_stable_throughput, utilization_bound
+from .joint import WindowProcessDistribution, windowing_process_outcomes
+from .scheduling_time import (
+    ExactSchedulingModel,
+    GeometricSchedulingModel,
+    mean_scheduling_slots,
+    scheduling_time_pmf,
+)
+from .splitting import (
+    binomial_split_probabilities,
+    expected_resolution_steps,
+    resolution_time_pmf,
+)
+from .twopoint import TwoPointFit, fit_two_point
+from .window_opt import WindowSizer, optimal_window_occupancy
+
+__all__ = [
+    "binomial_split_probabilities",
+    "expected_resolution_steps",
+    "resolution_time_pmf",
+    "mean_scheduling_slots",
+    "scheduling_time_pmf",
+    "ExactSchedulingModel",
+    "GeometricSchedulingModel",
+    "WindowSizer",
+    "optimal_window_occupancy",
+    "WindowProcessDistribution",
+    "windowing_process_outcomes",
+    "CapacityReport",
+    "max_stable_throughput",
+    "utilization_bound",
+    "TwoPointFit",
+    "fit_two_point",
+]

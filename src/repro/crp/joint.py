@@ -1,0 +1,176 @@
+"""Joint distribution of (duration, resolved length, success locus).
+
+The semi-Markov decision model (§3) needs more than the scheduling time:
+a decision's successor state depends on *how much* of the examined
+window was resolved when the transmission began, and the paper's
+one-step pseudo-loss (Lemma 3) needs to know *where inside the window*
+the transmitted message sat — that determines whether a critical message
+(one about to age past the constraint K) was the one saved.
+
+This module computes, by dynamic programming on the binary splitting
+tree, the exact joint law of
+
+    (T, F, S) = (idle/collision slots spent,
+                 fraction of the window resolved,
+                 width of the final success sub-window as a fraction)
+
+for one windowing process on a window holding Poisson(μ) arrivals.
+Window coordinates run x ∈ [0, 1] with x = 1 the *older* edge.  Under
+the older-half-first rule a success resolves [1 − F, 1]; the success
+sub-window — the only resolved piece that contained a message — is its
+youngest piece, [1 − F, 1 − F + S], and the transmitted message is
+uniformly distributed inside it (Poisson arrivals conditioned on a
+single occupant).  The newer-half-first mirror image resolves [0, F]
+with the success sub-window [F − S, F].
+
+All fractions are dyadic (denominator 2^depth), hence exact in binary
+floating point.  The recursion is truncated at ``depth`` levels; at the
+truncation depth a still-colliding sub-interval is treated as resolved
+by a single forced transmission (the mass reaching that depth decays
+geometrically and is checked in the test suite).  Because every step
+descends one level, T ≤ depth within the returned law.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from .scheduling_time import occupancy_cutoff, poisson_window_probabilities
+from .splitting import binomial_split_probabilities
+
+__all__ = ["WindowProcessDistribution", "windowing_process_outcomes"]
+
+Outcome = Tuple[int, float, float]  # (slots, resolved fraction, success width)
+
+
+@lru_cache(maxsize=None)
+def _resolve(n: int, depth: int) -> Tuple[Tuple[Outcome, float], ...]:
+    """Joint (T, F, S) law for an interval known to contain n ≥ 2 arrivals.
+
+    The interval has just been split (free); probabilities follow the
+    Binomial(n, 1/2) occupancy of the older half.  At ``depth == 0`` the
+    process is forcibly terminated: the interval counts as resolved by
+    one transmission spanning the whole of it.
+    """
+    if n < 2:
+        raise ValueError(f"resolution requires n >= 2, got {n}")
+    if depth == 0:
+        return (((0, 1.0, 1.0), 1.0),)
+
+    q = binomial_split_probabilities(n)
+    outcomes: Dict[Outcome, float] = {}
+
+    def add(key: Outcome, probability: float) -> None:
+        outcomes[key] = outcomes.get(key, 0.0) + probability
+
+    # Older half holds exactly one arrival: transmission starts now.  The
+    # older half (the upper x-half of this interval) is fully resolved and
+    # is itself the success sub-window.
+    add((0, 0.5, 0.5), q[1])
+
+    # Older half idle: one slot; the newer half holds all n arrivals and
+    # is split immediately (§2).  Resolved fractions of the newer half map
+    # into the lower x-half; the already-idle older half adds 0.5.
+    for (t, f, s), p in _resolve(n, depth - 1):
+        add((1 + t, 0.5 + 0.5 * f, 0.5 * s), q[0] * p)
+
+    # Older half collides with j arrivals: one slot, recurse into it.
+    for j in range(2, n + 1):
+        for (t, f, s), p in _resolve(j, depth - 1):
+            add((1 + t, 0.5 * f, 0.5 * s), q[j] * p)
+
+    return tuple(sorted(outcomes.items()))
+
+
+@dataclass(frozen=True)
+class WindowProcessDistribution:
+    """Joint outcome law of one windowing process on a Poisson(μ) window.
+
+    Attributes
+    ----------
+    empty_probability:
+        P(window holds no arrivals) = e^{−μ}; the process then spends one
+        slot and resolves the entire window with no transmission.
+    success_outcomes:
+        Mapping (slots, resolved fraction, success width) → probability;
+        the probabilities of all success outcomes sum to
+        ``1 − empty_probability`` (up to Poisson truncation).
+    occupancy:
+        The window occupancy μ the law was computed for.
+    """
+
+    empty_probability: float
+    success_outcomes: Tuple[Tuple[Outcome, float], ...]
+    occupancy: float
+
+    def success_probability(self) -> float:
+        """Total probability that the process transmits a message."""
+        return sum(p for _, p in self.success_outcomes)
+
+    def truncated_mass(self) -> float:
+        """Probability unaccounted for by empty + success (Poisson tail)."""
+        return max(0.0, 1.0 - self.empty_probability - self.success_probability())
+
+    def mean_slots_given_success(self) -> float:
+        """E[scheduling slots | success] — cross-check for scheduling_time."""
+        total = self.success_probability()
+        if total == 0:
+            raise ValueError("no success mass (μ too small for the truncation)")
+        return sum(t * p for (t, _f, _s), p in self.success_outcomes) / total
+
+    def mean_resolved_given_success(self) -> float:
+        """E[resolved fraction | success]."""
+        total = self.success_probability()
+        if total == 0:
+            raise ValueError("no success mass")
+        return sum(f * p for (_t, f, _s), p in self.success_outcomes) / total
+
+
+def windowing_process_outcomes(
+    mu: float, depth: int = 14
+) -> WindowProcessDistribution:
+    """Compute the joint (T, F, S) law for a fresh window with occupancy μ.
+
+    Parameters
+    ----------
+    mu:
+        Mean number of arrivals in the window (λ_acc · w).
+    depth:
+        Splitting-depth truncation; outcomes beyond it are forced
+        terminal (see module docstring).
+    """
+    if mu < 0:
+        raise ValueError(f"occupancy must be non-negative, got {mu}")
+    if depth < 1:
+        raise ValueError(f"depth must be at least 1, got {depth}")
+
+    n_max = occupancy_cutoff(mu)
+    poisson = poisson_window_probabilities(mu, n_max)
+
+    outcomes: Dict[Outcome, float] = {}
+
+    def add(key: Outcome, probability: float) -> None:
+        if probability > 0:
+            outcomes[key] = outcomes.get(key, 0.0) + probability
+
+    # Exactly one arrival: immediate success; the whole window is both the
+    # resolved region and the success sub-window.
+    add((0, 1.0, 1.0), float(poisson[1]))
+
+    # n >= 2: one collision-detection slot, then the splitting recursion.
+    for n in range(2, n_max + 1):
+        weight = float(poisson[n])
+        if weight <= 0:
+            continue
+        for (t, f, s), p in _resolve(n, depth):
+            add((1 + t, f, s), weight * p)
+
+    empty = math.exp(-mu)
+    return WindowProcessDistribution(
+        empty_probability=empty,
+        success_outcomes=tuple(sorted(outcomes.items())),
+        occupancy=mu,
+    )

@@ -1,0 +1,186 @@
+"""Scheduling-time distribution of the window protocol.
+
+In the queueing model of §4, a message's *service time* is its
+transmission time ``M·τ`` plus a *scheduling* component: the windowing
+slots between the end of the previous transmission (or the message's own
+arrival, whichever is later) and the start of its own transmission.
+
+Under the controlled protocol with backlog, successive initial windows
+cover adjacent, as-yet-unexamined stretches of time, so (Assumption 1)
+the numbers of arrivals in successive windows are iid Poisson(μ) with
+``μ = λ_acc · w`` (``λ_acc`` = arrival rate of surviving messages, ``w`` =
+initial window length).  One message is transmitted per windowing
+process, and the scheduling slots it pays are
+
+    T = (number of consecutive empty windows, one slot each)
+      + 0                       if its window holds exactly one arrival
+      + 1 + resolution slots    if its window holds n ≥ 2 arrivals
+
+(the extra 1 is the collision-detection slot).  This module computes the
+exact pmf and mean of T and the two service-time models used by the
+performance study:
+
+* :class:`ExactSchedulingModel` — full pmf of T, convolved with the
+  deterministic transmission time;
+* :class:`GeometricSchedulingModel` — the paper's approximation
+  ([Kurose 83], quoted in §4.1): a geometric distribution with the same
+  mean, convolved with the transmission time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..queueing.distributions import LatticePMF, deterministic_pmf, geometric_pmf
+from .splitting import expected_resolution_steps, resolution_time_pmf
+
+__all__ = [
+    "poisson_window_probabilities",
+    "mean_scheduling_slots",
+    "scheduling_time_pmf",
+    "ExactSchedulingModel",
+    "GeometricSchedulingModel",
+]
+
+
+def poisson_window_probabilities(mu: float, n_max: int) -> np.ndarray:
+    """Poisson(μ) pmf truncated at ``n_max`` (unnormalised tail dropped)."""
+    if mu < 0:
+        raise ValueError(f"window occupancy mean must be non-negative, got {mu}")
+    k = np.arange(n_max + 1)
+    if mu == 0:
+        p = np.zeros(n_max + 1)
+        p[0] = 1.0
+        return p
+    log_p = k * math.log(mu) - mu - np.array([math.lgamma(i + 1) for i in k])
+    return np.exp(log_p)
+
+
+def occupancy_cutoff(mu: float) -> int:
+    """Truncation point keeping all but ~1e-12 of the Poisson mass."""
+    return max(8, int(mu + 12.0 * math.sqrt(mu + 1.0) + 10))
+
+
+def mean_scheduling_slots(mu: float) -> float:
+    """Expected scheduling slots per transmitted message, E[T](μ).
+
+        E[T] = [ q₀ + Σ_{n≥2} qₙ·(1 + D(n)) ] / (1 − q₀)
+
+    where q is Poisson(μ) and D the resolution recursion.  Undefined at
+    μ = 0 (an empty channel schedules nothing); raises there.
+    """
+    if mu <= 0:
+        raise ValueError(f"window occupancy must be positive, got {mu}")
+    n_max = occupancy_cutoff(mu)
+    q = poisson_window_probabilities(mu, n_max)
+    numerator = q[0]
+    for n in range(2, n_max + 1):
+        numerator += q[n] * (1.0 + expected_resolution_steps(n))
+    return float(numerator / (1.0 - q[0]))
+
+
+def scheduling_time_pmf(mu: float, t_max: int = 400) -> LatticePMF:
+    """Exact pmf of the scheduling slots T for window occupancy mean μ.
+
+    T = G + C where G counts single-slot empty windows (geometric with
+    success probability 1 − e^{−μ}) and C is the conditional
+    resolution cost of the first non-empty window.  The result is a
+    :class:`LatticePMF` on unit (τ) slots, truncated at ``t_max``; the
+    truncated tail mass is reported by ``truncation_deficit``.
+    """
+    if mu <= 0:
+        raise ValueError(f"window occupancy must be positive, got {mu}")
+    if t_max < 1:
+        raise ValueError(f"t_max must be at least 1, got {t_max}")
+
+    n_max = occupancy_cutoff(mu)
+    q = poisson_window_probabilities(mu, n_max)
+    p_empty = float(q[0])
+    busy_mass = 1.0 - p_empty
+
+    # C: resolution cost of the first non-empty window.
+    c = np.zeros(t_max + 1)
+    c[0] = q[1] / busy_mass
+    resolution = resolution_time_pmf(n_max, t_max - 1)
+    for n in range(2, n_max + 1):
+        weight = q[n] / busy_mass
+        # cost = 1 (collision slot) + resolution slots
+        c[1:] += weight * resolution[n]
+
+    # G: number of empty windows before the non-empty one, one slot each.
+    n_geo = t_max + 1
+    g = np.power(p_empty, np.arange(n_geo)) * busy_mass
+
+    t = np.convolve(g, c)[: t_max + 1]
+    return LatticePMF(t, delta=1.0)
+
+
+@dataclass(frozen=True)
+class ExactSchedulingModel:
+    """Service-time model using the exact scheduling-time pmf.
+
+    Parameters
+    ----------
+    transmission_slots:
+        Fixed message transmission time M (in τ slots).
+    window_occupancy:
+        Mean number of arrivals per initial window, μ = λ_acc·w.  When
+        built through :class:`repro.crp.window_opt.WindowSizer` this is
+        the heuristic optimum μ*.
+    t_max:
+        Truncation for the scheduling pmf.
+    """
+
+    transmission_slots: float
+    window_occupancy: float
+    t_max: int = 400
+
+    def scheduling_pmf(self) -> LatticePMF:
+        """The scheduling-slot distribution T."""
+        return scheduling_time_pmf(self.window_occupancy, self.t_max)
+
+    def mean_scheduling(self) -> float:
+        """E[T] in slots."""
+        return mean_scheduling_slots(self.window_occupancy)
+
+    def service_pmf(self) -> LatticePMF:
+        """Full service time: scheduling + deterministic transmission."""
+        sched = self.scheduling_pmf()
+        # Renormalise the tiny truncated tail onto the retained support so
+        # downstream samplers see a proper distribution.
+        mass = sched.p.sum()
+        if mass <= 0:
+            raise RuntimeError("scheduling pmf lost all mass to truncation")
+        normalised = LatticePMF(sched.p / mass, sched.delta)
+        return normalised.shift(self.transmission_slots)
+
+
+@dataclass(frozen=True)
+class GeometricSchedulingModel:
+    """The paper's geometric scheduling-time approximation (§4.1).
+
+    Scheduling slots are modelled as geometric on {0, 1, 2, ...} with the
+    *exact* mean E[T](μ); the service time is that plus the deterministic
+    transmission time.
+    """
+
+    transmission_slots: float
+    window_occupancy: float
+
+    def mean_scheduling(self) -> float:
+        """E[T] in slots (same exact mean as the exact model)."""
+        return mean_scheduling_slots(self.window_occupancy)
+
+    def service_pmf(self) -> LatticePMF:
+        """Geometric(mean = E[T]) scheduling plus transmission."""
+        mean = self.mean_scheduling()
+        sched = geometric_pmf(mean, delta=1.0, start=0.0)
+        return sched.shift(self.transmission_slots)
+
+
+def transmission_only_service(transmission_slots: float) -> LatticePMF:
+    """Service with zero scheduling overhead (the K = 0 starting point)."""
+    return deterministic_pmf(transmission_slots, delta=1.0)

@@ -1,0 +1,83 @@
+"""The [Kurose 83] two-endpoint fit for the mean scheduling time.
+
+The paper's performance model (§4.1) cites an earlier approximation: the
+average scheduling time was "exactly determined" at two arrival rates
+and a function fitted through those endpoints approximated the value at
+intermediate rates.  This module reproduces that construction so it can
+be compared with the exact recursion of
+:mod:`repro.crp.scheduling_time`, quantifying how much the shortcut
+costs (see ``benchmarks/test_bench_ablations.py``).
+
+Two fit families are provided:
+
+* ``"linear"`` — affine interpolation in μ;
+* ``"exponential"`` — ``s(μ) = a·e^{b·μ}``, matched at both endpoints
+  (useful because E[T] grows roughly geometrically for large μ).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .scheduling_time import mean_scheduling_slots
+
+__all__ = ["TwoPointFit", "fit_two_point"]
+
+
+@dataclass(frozen=True)
+class TwoPointFit:
+    """A fitted mean-scheduling-time curve through two exact endpoints.
+
+    Attributes
+    ----------
+    mu_low, mu_high:
+        The occupancies at which the exact mean was computed.
+    s_low, s_high:
+        The exact E[T] values at those occupancies.
+    kind:
+        ``"linear"`` or ``"exponential"``.
+    """
+
+    mu_low: float
+    mu_high: float
+    s_low: float
+    s_high: float
+    kind: str
+
+    def mean_scheduling(self, mu: float) -> float:
+        """Fitted E[T] at occupancy μ (extrapolates outside the endpoints)."""
+        if self.kind == "linear":
+            if self.mu_high == self.mu_low:
+                return self.s_low
+            slope = (self.s_high - self.s_low) / (self.mu_high - self.mu_low)
+            return self.s_low + slope * (mu - self.mu_low)
+        # exponential: s = a·e^{b·μ}
+        b = math.log(self.s_high / self.s_low) / (self.mu_high - self.mu_low)
+        a = self.s_low * math.exp(-b * self.mu_low)
+        return a * math.exp(b * mu)
+
+    def relative_error(self, mu: float) -> float:
+        """|fit − exact| / exact at occupancy μ."""
+        exact = mean_scheduling_slots(mu)
+        return abs(self.mean_scheduling(mu) - exact) / exact
+
+
+def fit_two_point(
+    mu_low: float, mu_high: float, kind: str = "linear"
+) -> TwoPointFit:
+    """Fit a curve through the exact E[T] at two occupancies.
+
+    Raises for a degenerate or reversed interval or an unknown family.
+    """
+    if not mu_low < mu_high:
+        raise ValueError(f"need mu_low < mu_high, got {mu_low} >= {mu_high}")
+    if kind not in ("linear", "exponential"):
+        raise ValueError(f"unknown fit kind: {kind!r}")
+    return TwoPointFit(
+        mu_low=mu_low,
+        mu_high=mu_high,
+        s_low=mean_scheduling_slots(mu_low),
+        s_high=mean_scheduling_slots(mu_high),
+        kind=kind,
+    )

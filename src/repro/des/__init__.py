@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate.
+
+A small, deterministic, coroutine-based event engine in the style of
+SimPy (which is not available offline), plus reproducible random streams
+and measurement probes.  Used by :mod:`repro.mac` for channel-level
+simulation and by :mod:`repro.queueing.simulation` for queue-level
+validation.
+"""
+
+from .engine import Simulator, StopSimulation
+from .events import AllOf, AnyOf, Event, Interrupt, ProcessEvent, Timeout
+from .monitor import Counter, Tally, TimeSeries
+from .resources import PriorityResource, Resource, Store
+from .rng import RandomStreams
+
+__all__ = [
+    "Simulator",
+    "StopSimulation",
+    "Event",
+    "Timeout",
+    "ProcessEvent",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "PriorityResource",
+    "Store",
+    "RandomStreams",
+    "Counter",
+    "TimeSeries",
+    "Tally",
+]

@@ -1,0 +1,304 @@
+"""Event primitives for the discrete-event simulation engine.
+
+The engine (:mod:`repro.des.engine`) is organised around :class:`Event`
+objects.  A process (a Python generator) advances by yielding events; the
+simulator resumes the process when the yielded event fires.  The design
+follows the conventions popularised by SimPy, which is not available in
+this environment, so a small, fully-featured engine is provided here.
+
+Events move through three states:
+
+``PENDING``
+    Created but not yet scheduled to fire.
+``TRIGGERED``
+    Scheduled on the event queue with a firing time and a value.
+``PROCESSED``
+    Callbacks have run; the value is final.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Iterable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .engine import Simulator
+
+__all__ = [
+    "EventState",
+    "Event",
+    "Timeout",
+    "ProcessEvent",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+]
+
+
+class EventState(enum.Enum):
+    """Lifecycle state of an :class:`Event`."""
+
+    PENDING = "pending"
+    TRIGGERED = "triggered"
+    PROCESSED = "processed"
+
+
+class Interrupt(Exception):
+    """Raised inside a process that has been interrupted.
+
+    The ``cause`` attribute carries the object passed to
+    :meth:`ProcessEvent.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A single occurrence in simulated time.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.des.engine.Simulator`.
+
+    Notes
+    -----
+    An event can *succeed* (carrying an arbitrary value) or *fail*
+    (carrying an exception which is re-raised in every waiting process).
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.state = EventState.PENDING
+        self.value: Any = None
+        self.ok: bool = True
+        self.callbacks: list[Callable[["Event"], None]] = []
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled to fire."""
+        return self.state is not EventState.PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self.state is EventState.PROCESSED
+
+    # -- state transitions -------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self.ok = True
+        self.value = value
+        self.state = EventState.TRIGGERED
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire by raising ``exception`` in waiters."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.ok = False
+        self.value = exception
+        self.state = EventState.TRIGGERED
+        self.sim._schedule(self, delay)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self.state = EventState.PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} state={self.state.value}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` units after its creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self.ok = True
+        self.value = value
+        self.state = EventState.TRIGGERED
+        sim._schedule(self, delay)
+
+
+class ProcessEvent(Event):
+    """The event representing the completion of a simulated process.
+
+    A process is a generator that yields :class:`Event` objects.  The
+    ``ProcessEvent`` fires when the generator returns (successfully, with
+    the generator's return value) or raises (failure).
+    """
+
+    def __init__(self, sim: "Simulator", generator, name: Optional[str] = None):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError("a process must be a generator")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the process at the current simulation instant.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return self.state is EventState.PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
+        interrupt_event = Event(self.sim)
+        interrupt_event.ok = False
+        interrupt_event.value = Interrupt(cause)
+        interrupt_event.state = EventState.TRIGGERED
+        interrupt_event.callbacks.append(self._resume)
+        self.sim._schedule(interrupt_event, 0.0, urgent=True)
+
+    # -- engine plumbing ---------------------------------------------------
+
+    def _resume(self, trigger: Event) -> None:
+        if not self.is_alive:
+            return
+        if self._waiting_on is not None:
+            # Detach from the event we were waiting for (relevant for
+            # interrupts; the original event may still fire later and must
+            # not resume us twice).
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if trigger.ok:
+                target = self.generator.send(trigger.value)
+            else:
+                exc = trigger.value
+                target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            if not self.callbacks:
+                raise
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances"
+            )
+        if target.processed:
+            # The event already fired; resume immediately (zero delay).
+            immediate = Event(self.sim)
+            immediate.ok = target.ok
+            immediate.value = target.value
+            immediate.state = EventState.TRIGGERED
+            immediate.callbacks.append(self._resume)
+            self.sim._schedule(immediate, 0.0)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+
+class Condition(Event):
+    """Base for composite events over a collection of child events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise ValueError("all events must belong to the same simulator")
+        self._pending = sum(1 for e in self.events if not e.processed)
+        if self._check_immediately():
+            return
+        for event in self.events:
+            if not event.processed:
+                event.callbacks.append(self._child_fired)
+
+    def _check_immediately(self) -> bool:
+        raise NotImplementedError
+
+    def _child_fired(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e.value for e in self.events if e.processed and e.ok}
+
+
+class AllOf(Condition):
+    """Fires when every child event has fired; value maps event -> value.
+
+    Fails as soon as any child fails.
+    """
+
+    def _check_immediately(self) -> bool:
+        for event in self.events:
+            if event.processed and not event.ok:
+                self.fail(event.value)
+                return True
+        if self._pending == 0:
+            self.succeed(self._collect())
+            return True
+        return False
+
+    def _child_fired(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Fires as soon as the first child event fires."""
+
+    def _check_immediately(self) -> bool:
+        for event in self.events:
+            if event.processed:
+                if event.ok:
+                    self.succeed(self._collect())
+                else:
+                    self.fail(event.value)
+                return True
+        if not self.events:
+            self.succeed({})
+            return True
+        return False
+
+    def _child_fired(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed(self._collect())
+        else:
+            self.fail(event.value)

@@ -1,0 +1,156 @@
+"""Measurement probes for simulations.
+
+Three complementary collectors:
+
+:class:`Counter`
+    Named integer tallies (messages sent, collisions, ...).
+:class:`TimeSeries`
+    (time, value) samples of a state variable, with time-average
+    integration for piecewise-constant signals.
+:class:`Tally`
+    Streaming scalar observations (delays, queue waits) with online
+    moments via Welford's algorithm and optional retention of raw
+    samples for quantiles.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Counter", "TimeSeries", "Tally"]
+
+
+class Counter:
+    """A bag of named integer counters."""
+
+    def __init__(self):
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name``."""
+        self._counts[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"Counter({inner})"
+
+
+class TimeSeries:
+    """Samples of a piecewise-constant state variable over time."""
+
+    def __init__(self):
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Record that the variable took ``value`` from ``time`` onwards."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"samples must be recorded in time order: {time} < {self.times[-1]}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean, treating the signal as piecewise constant."""
+        if not self.times:
+            raise ValueError("no samples recorded")
+        end = self.times[-1] if until is None else until
+        if end < self.times[0]:
+            raise ValueError("averaging horizon precedes the first sample")
+        total = 0.0
+        for i, (start, value) in enumerate(zip(self.times, self.values)):
+            stop = self.times[i + 1] if i + 1 < len(self.times) else end
+            stop = min(stop, end)
+            if stop > start:
+                total += value * (stop - start)
+        duration = end - self.times[0]
+        return total / duration if duration > 0 else self.values[0]
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The samples as a pair of numpy arrays (times, values)."""
+        return np.asarray(self.times), np.asarray(self.values)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+class Tally:
+    """Streaming moments (and optionally raw samples) of observations.
+
+    Parameters
+    ----------
+    keep_samples:
+        Retain every observation (needed for quantiles / histograms).
+    """
+
+    def __init__(self, keep_samples: bool = False):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.samples: Optional[List[float]] = [] if keep_samples else None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        if self.samples is not None:
+            self.samples.append(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of observations."""
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (NaN when empty)."""
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN for fewer than two samples)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else math.nan
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        variance = self.variance
+        return math.sqrt(variance) if not math.isnan(variance) else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile; requires ``keep_samples=True``."""
+        if self.samples is None:
+            raise RuntimeError("quantiles require keep_samples=True")
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        return float(np.quantile(self.samples, q))
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of observations strictly above ``threshold``."""
+        if self.samples is None:
+            raise RuntimeError("fraction_above requires keep_samples=True")
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        above = sum(1 for sample in self.samples if sample > threshold)
+        return above / len(self.samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tally(count={self.count}, mean={self.mean:.4g})"

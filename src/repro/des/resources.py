@@ -1,0 +1,221 @@
+"""Shared-resource abstractions for the DES engine.
+
+These mirror the classic SimPy resources:
+
+:class:`Resource`
+    A counted semaphore with FIFO queueing (e.g. a server, a channel).
+:class:`PriorityResource`
+    A resource whose waiting queue is ordered by a numeric priority.
+:class:`Store`
+    An unbounded (or bounded) FIFO buffer of Python objects with blocking
+    ``get``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Optional
+
+from .engine import Simulator
+from .events import Event
+
+__all__ = ["Resource", "PriorityResource", "Store", "Request", "Release"]
+
+
+class Request(Event):
+    """Event that fires when a resource slot is granted.
+
+    Use as a context manager inside a process::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    def __init__(self, resource: "Resource", priority: float = 0.0):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+        resource._enqueue(self)
+
+    def cancel(self) -> None:
+        """Withdraw the request (or release the slot if already granted)."""
+        self.resource._cancel(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.cancel()
+
+
+class Release(Event):
+    """Immediate event confirming a resource release."""
+
+    def __init__(self, resource: "Resource", request: Request):
+        super().__init__(resource.sim)
+        resource._release(request)
+        self.succeed()
+
+
+class Resource:
+    """A counted, FIFO-queued resource.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Number of concurrent holders allowed (default 1).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self._waiting: deque[Request] = deque()
+
+    # -- public API ----------------------------------------------------------
+
+    def request(self) -> Request:
+        """Ask for a slot; the returned event fires when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Give back a previously granted slot."""
+        return Release(self, request)
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    # -- internals -------------------------------------------------------------
+
+    def _enqueue(self, request: Request) -> None:
+        self._waiting.append(request)
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._has_waiting() and len(self.users) < self.capacity:
+            request = self._pop_next()
+            self.users.append(request)
+            request.succeed(request)
+
+    def _has_waiting(self) -> bool:
+        return bool(self._waiting)
+
+    def _pop_next(self) -> Request:
+        return self._waiting.popleft()
+
+    def _release(self, request: Request) -> None:
+        try:
+            self.users.remove(request)
+        except ValueError:
+            raise RuntimeError("releasing a request that does not hold the resource")
+        self._grant()
+
+    def _cancel(self, request: Request) -> None:
+        if request in self.users:
+            self._release(request)
+        else:
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                pass
+
+
+class PriorityResource(Resource):
+    """A resource whose queue is served in ascending ``priority`` order.
+
+    Ties are broken FIFO.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        super().__init__(sim, capacity)
+        self._heap: list[tuple[float, int, Request]] = []
+        self._seq = 0
+
+    def request(self, priority: float = 0.0) -> Request:  # type: ignore[override]
+        return Request(self, priority=priority)
+
+    def _enqueue(self, request: Request) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (request.priority, self._seq, request))
+        self._grant()
+
+    def _has_waiting(self) -> bool:
+        return bool(self._heap)
+
+    def _pop_next(self) -> Request:
+        _, _, request = heapq.heappop(self._heap)
+        return request
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+    def _cancel(self, request: Request) -> None:
+        if request in self.users:
+            self._release(request)
+        else:
+            self._heap = [entry for entry in self._heap if entry[2] is not request]
+            heapq.heapify(self._heap)
+
+
+class StoreGet(Event):
+    """Event that fires with the next item from a :class:`Store`."""
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.sim)
+        store._getters.append(self)
+        store._dispatch()
+
+
+class Store:
+    """A FIFO buffer of arbitrary items with blocking retrieval.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Maximum number of buffered items; ``None`` means unbounded.
+        ``put`` on a full store raises (the MAC simulator never needs
+        blocking puts).
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[StoreGet] = deque()
+
+    def put(self, item: Any) -> None:
+        """Add ``item``; wakes a blocked getter if one is waiting."""
+        if self.capacity is not None and len(self.items) >= self.capacity:
+            raise OverflowError("store is full")
+        self.items.append(item)
+        self._dispatch()
+
+    def get(self) -> StoreGet:
+        """Return an event that fires with the next available item."""
+        return StoreGet(self)
+
+    def _dispatch(self) -> None:
+        while self.items and self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(self.items.popleft())
+
+    def __len__(self) -> int:
+        return len(self.items)

@@ -1,0 +1,52 @@
+"""The evaluation harness: Figure 7 panels, Theorem 1, and ablations."""
+
+from .ablations import (
+    AblationArm,
+    ablation_table,
+    arity_ablation,
+    element4_ablation,
+    split_rule_ablation,
+    twopoint_fit_errors,
+    window_length_ablation,
+)
+from .figure7 import PAPER_PANELS, PanelConfig, default_deadlines, generate_panel
+from .records import PanelResult, Series, SeriesPoint, ascii_table
+from .runner import ReplicationResult, replicate
+from .sensitivity import (
+    burstiness_sensitivity,
+    scheduling_model_sensitivity,
+    station_count_sensitivity,
+)
+from .theorem1 import (
+    Theorem1Config,
+    Theorem1Report,
+    enumerate_policy_family,
+    run_theorem1_experiment,
+)
+
+__all__ = [
+    "PanelConfig",
+    "PAPER_PANELS",
+    "default_deadlines",
+    "generate_panel",
+    "Series",
+    "SeriesPoint",
+    "PanelResult",
+    "ascii_table",
+    "Theorem1Config",
+    "Theorem1Report",
+    "enumerate_policy_family",
+    "run_theorem1_experiment",
+    "AblationArm",
+    "element4_ablation",
+    "window_length_ablation",
+    "split_rule_ablation",
+    "arity_ablation",
+    "twopoint_fit_errors",
+    "ablation_table",
+    "ReplicationResult",
+    "replicate",
+    "station_count_sensitivity",
+    "burstiness_sensitivity",
+    "scheduling_model_sensitivity",
+]

@@ -1,0 +1,142 @@
+"""Result records and plain-text rendering for the experiment harness.
+
+The paper's evaluation is a set of curves (Figure 7); the harness
+produces them as :class:`Series` of (K, loss) points grouped into
+:class:`PanelResult` objects, renderable as aligned ASCII tables and CSV
+(no plotting dependencies are available offline).
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["SeriesPoint", "Series", "PanelResult", "ascii_table"]
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (deadline, loss) point, with optional simulation error bar."""
+
+    deadline: float
+    loss: float
+    stderr: Optional[float] = None
+
+
+@dataclass
+class Series:
+    """A named loss-vs-deadline curve."""
+
+    name: str
+    points: List[SeriesPoint] = field(default_factory=list)
+
+    def add(self, deadline: float, loss: float, stderr: Optional[float] = None) -> None:
+        """Append a point (deadlines should be added in increasing order)."""
+        self.points.append(SeriesPoint(deadline, loss, stderr))
+
+    def deadlines(self) -> List[float]:
+        """The K values of the curve."""
+        return [p.deadline for p in self.points]
+
+    def losses(self) -> List[float]:
+        """The loss values of the curve."""
+        return [p.loss for p in self.points]
+
+    def loss_at(self, deadline: float) -> float:
+        """Loss at an exact deadline present in the curve."""
+        for point in self.points:
+            if math.isclose(point.deadline, deadline):
+                return point.loss
+        raise KeyError(f"series {self.name!r} has no point at K = {deadline}")
+
+
+@dataclass
+class PanelResult:
+    """All curves of one Figure 7 panel (one (ρ′, M) pair)."""
+
+    rho_prime: float
+    message_length: int
+    series: Dict[str, Series] = field(default_factory=dict)
+
+    @property
+    def title(self) -> str:
+        """Panel heading matching the paper's labels."""
+        return f"rho' = {self.rho_prime:.2f}, M = {self.message_length}"
+
+    def add_series(self, series: Series) -> None:
+        """Attach a curve to the panel."""
+        if series.name in self.series:
+            raise ValueError(f"duplicate series {series.name!r}")
+        self.series[series.name] = series
+
+    def _deadline_grid(self) -> List[float]:
+        """The sorted union of every series' deadlines.
+
+        Series may use different grids (simulation arms are typically
+        sparser than the analytic ones); missing cells render blank.
+        """
+        grid = sorted({p.deadline for s in self.series.values() for p in s.points})
+        return grid
+
+    def to_table(self) -> str:
+        """Render the panel as an aligned text table."""
+        names = list(self.series)
+        lookup = {
+            name: {p.deadline: p for p in series.points}
+            for name, series in self.series.items()
+        }
+        rows = []
+        for deadline in self._deadline_grid():
+            row = [f"{deadline:g}"]
+            for name in names:
+                point = lookup[name].get(deadline)
+                if point is None:
+                    row.append("")
+                    continue
+                cell = f"{point.loss:.4f}"
+                if point.stderr is not None:
+                    cell += f"±{2 * point.stderr:.4f}"
+                row.append(cell)
+            rows.append(row)
+        return ascii_table(["K"] + names, rows, title=self.title)
+
+    def to_csv(self) -> str:
+        """Render the panel as CSV (one row per deadline in the union grid)."""
+        names = list(self.series)
+        lookup = {
+            name: {p.deadline: p for p in series.points}
+            for name, series in self.series.items()
+        }
+        out = io.StringIO()
+        out.write("deadline," + ",".join(names) + "\n")
+        for deadline in self._deadline_grid():
+            cells = []
+            for name in names:
+                point = lookup[name].get(deadline)
+                cells.append("" if point is None else f"{point.loss:.6g}")
+            out.write(f"{deadline:g}," + ",".join(cells) + "\n")
+        return out.getvalue()
+
+
+def ascii_table(
+    header: Sequence[str], rows: Sequence[Sequence[str]], title: Optional[str] = None
+) -> str:
+    """Render rows as an aligned monospace table."""
+    columns = len(header)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("all rows must match the header width")
+    widths = [
+        max(len(str(header[c])), max((len(str(r[c])) for r in rows), default=0))
+        for c in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[c]) for c, h in enumerate(header)))
+    lines.append("  ".join("-" * widths[c] for c in range(columns)))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(widths[c]) for c, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Slotted-ALOHA baseline (extension — not part of the paper's Figure 7).
+
+Included to situate the window protocol among classic random-access
+protocols: ALOHA has no scheduling discipline at all, so its
+time-constrained performance degrades quickly.  Frames are
+``transmission_slots`` long; every backlogged station transmits in a
+frame independently with probability p; exactly one transmitter means
+success.  Two retransmission policies:
+
+* fixed ``p``;
+* ``adaptive=True`` — p = 1/n with n the current backlog (the
+  genie-aided stabilisation bound, giving ALOHA its best case 1/e
+  throughput).
+
+Messages can optionally be discarded at the sender once older than the
+deadline (the analogue of policy element 4), which is the fair
+comparison against the controlled window protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+__all__ = ["AlohaResult", "SlottedAlohaSimulator"]
+
+
+@dataclass(frozen=True)
+class AlohaResult:
+    """Outcome of a slotted-ALOHA run (fields as in ``MACSimResult``)."""
+
+    arrivals: int
+    delivered_on_time: int
+    delivered_late: int
+    discarded: int
+    unresolved: int
+    throughput: float
+
+    @property
+    def resolved(self) -> int:
+        """Messages with a terminal outcome."""
+        return self.arrivals - self.unresolved
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of resolved messages that missed the deadline."""
+        if self.resolved <= 0:
+            return float("nan")
+        return (self.delivered_late + self.discarded) / self.resolved
+
+
+class SlottedAlohaSimulator:
+    """Frame-slotted ALOHA on the same channel model as the window MAC.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Network-wide Poisson arrival rate (messages per τ slot).
+    transmission_slots:
+        Message length M; frames are M slots.
+    retransmission_probability:
+        Fixed per-frame transmission probability (ignored when adaptive).
+    adaptive:
+        Use p = 1/backlog (idealised stabilised ALOHA).
+    deadline:
+        Scoring constraint K (slots); also the sender-discard age when
+        ``discard_stale`` is set.
+    discard_stale:
+        Drop messages older than the deadline at the sender.
+    """
+
+    def __init__(
+        self,
+        arrival_rate: float,
+        transmission_slots: int,
+        deadline: float,
+        retransmission_probability: float = 0.1,
+        adaptive: bool = True,
+        discard_stale: bool = True,
+        seed: int = 0,
+    ):
+        if arrival_rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
+        if transmission_slots < 1:
+            raise ValueError("transmission must be at least one slot")
+        if deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        if not 0 < retransmission_probability <= 1:
+            raise ValueError("retransmission probability must be in (0, 1]")
+        self.arrival_rate = arrival_rate
+        self.frame = transmission_slots
+        self.deadline = deadline
+        self.p = retransmission_probability
+        self.adaptive = adaptive
+        self.discard_stale = discard_stale
+        self.rng = np.random.default_rng(seed)
+
+    def run(self, horizon_slots: float, warmup_slots: float = 0.0) -> AlohaResult:
+        """Simulate and score messages arriving after the warm-up."""
+        total = warmup_slots + horizon_slots
+        n = self.rng.poisson(self.arrival_rate * total)
+        arrival_times = np.sort(self.rng.uniform(0.0, total, size=n))
+
+        backlog: list = []  # arrival times of pending messages
+        next_arrival = 0
+        delivered_on_time = delivered_late = discarded = 0
+        successes = 0
+        now = 0.0
+
+        while now < total:
+            while next_arrival < n and arrival_times[next_arrival] <= now:
+                backlog.append(arrival_times[next_arrival])
+                next_arrival += 1
+
+            if self.discard_stale:
+                horizon = now - self.deadline
+                keep = []
+                for arrival in backlog:
+                    if arrival < horizon:
+                        if arrival >= warmup_slots:
+                            discarded += 1
+                    else:
+                        keep.append(arrival)
+                backlog = keep
+
+            if backlog:
+                p = min(1.0, 1.0 / len(backlog)) if self.adaptive else self.p
+                transmitting = self.rng.random(len(backlog)) < p
+                if transmitting.sum() == 1:
+                    index = int(np.flatnonzero(transmitting)[0])
+                    arrival = backlog.pop(index)
+                    successes += 1
+                    wait = now - arrival
+                    if arrival >= warmup_slots:
+                        if wait > self.deadline:
+                            delivered_late += 1
+                        else:
+                            delivered_on_time += 1
+            now += self.frame
+
+        measured_arrivals = int(np.sum(arrival_times >= warmup_slots))
+        unresolved = sum(1 for arrival in backlog if arrival >= warmup_slots)
+        return AlohaResult(
+            arrivals=measured_arrivals,
+            delivered_on_time=delivered_on_time,
+            delivered_late=delivered_late,
+            discarded=discarded,
+            unresolved=unresolved,
+            throughput=successes * self.frame / total,
+        )

@@ -1,0 +1,120 @@
+"""The slotted broadcast channel.
+
+Time is measured in units of the end-to-end propagation delay τ (one
+*slot*).  Examining a window costs one slot when the outcome is idle or
+collision — the time all stations need to observe the channel state
+(§2).  A successful transmission occupies ``transmission_slots`` = M
+slots; the success becomes known τ into the transmission, which the slot
+accounting absorbs into M (DESIGN.md §7).
+
+The channel also tallies how every slot was spent, giving the
+utilization breakdown the paper's §4.2 discussion appeals to (the
+controlled protocol never spends transmission slots on messages that are
+already late).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.timeline import Span
+from ..core.window import ChannelFeedback
+from .messages import Message
+from .station import StationRegistry
+
+__all__ = ["ChannelStats", "SlottedChannel"]
+
+
+@dataclass
+class ChannelStats:
+    """How the channel's slots were spent."""
+
+    idle_slots: float = 0.0
+    collision_slots: float = 0.0
+    transmission_slots: float = 0.0
+    wait_slots: float = 0.0
+
+    @property
+    def total_slots(self) -> float:
+        """All accounted slots."""
+        return (
+            self.idle_slots
+            + self.collision_slots
+            + self.transmission_slots
+            + self.wait_slots
+        )
+
+    def utilization(self) -> float:
+        """Fraction of time spent transmitting."""
+        total = self.total_slots
+        return self.transmission_slots / total if total else 0.0
+
+
+class SlottedChannel:
+    """Drives slot-level time and resolves window examinations.
+
+    Parameters
+    ----------
+    registry:
+        The station registry holding the global backlog.
+    transmission_slots:
+        Message length M in τ units.
+    """
+
+    def __init__(self, registry: StationRegistry, transmission_slots: int):
+        if transmission_slots < 1:
+            raise ValueError(
+                f"transmission must be at least one slot, got {transmission_slots}"
+            )
+        self.registry = registry
+        self.transmission_slots = transmission_slots
+        self.now = 0.0
+        self.stats = ChannelStats()
+
+    def wait_slot(self) -> None:
+        """Let one slot pass with no protocol activity."""
+        self.now += 1.0
+        self.stats.wait_slots += 1.0
+
+    def examine(
+        self,
+        span: Span,
+        eligible: "Optional[dict]" = None,
+    ) -> Tuple[ChannelFeedback, Optional[Message]]:
+        """Enable the stations with arrivals in ``span`` and observe.
+
+        Returns the ternary feedback and, on success, the transmitted
+        message.  Advances the clock: one slot for idle/collision, M
+        slots for a transmission.
+
+        ``eligible`` restricts participation to a fixed station → message
+        map established at the start of the windowing process (the §5
+        priority extension); ``None`` means every backlogged station
+        participates.
+        """
+        if span.end > self.now + 1e-9:
+            raise ValueError(
+                f"window end {span.end} lies in the future (now = {self.now})"
+            )
+        if eligible is None:
+            enabled = self.registry.enabled_stations(span)
+        else:
+            enabled = {
+                station: message
+                for station, message in eligible.items()
+                if span.contains(message.arrival)
+            }
+        if not enabled:
+            self.now += 1.0
+            self.stats.idle_slots += 1.0
+            return ChannelFeedback.IDLE, None
+        if len(enabled) == 1:
+            (message,) = enabled.values()
+            message.tx_start = self.now
+            self.now += self.transmission_slots
+            self.stats.transmission_slots += self.transmission_slots
+            return ChannelFeedback.SUCCESS, message
+        self.now += 1.0
+        self.stats.collision_slots += 1.0
+        return ChannelFeedback.COLLISION, None

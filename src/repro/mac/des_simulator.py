@@ -1,0 +1,182 @@
+"""Event-driven implementation of the window-MAC simulation.
+
+A second, independent execution of the same protocol:
+:class:`WindowMACSimulator` advances a slot-count loop, while this
+implementation runs the protocol as *processes* on the
+:mod:`repro.des` engine — arrivals stream in from a generator process
+while the protocol driver yields timeouts for examinations and
+transmissions.  Messages, stations, channel-feedback semantics and the
+controller are shared code, so statistical agreement between the two
+simulators pins down the one thing they don't share: the time-advance
+machinery.  (`tests/mac/test_des_simulator.py` asserts that agreement.)
+
+It also serves as the package's worked example of building a protocol
+simulation on the DES substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+from ..core.controller import ProtocolController
+from ..core.policy import ControlPolicy
+from ..core.window import ChannelFeedback
+from ..des.engine import Simulator
+from ..des.monitor import Counter, Tally
+from ..des.rng import RandomStreams
+from .messages import Message, MessageFate
+from .simulator import MACSimResult
+from .channel import ChannelStats
+from .station import StationRegistry
+
+__all__ = ["DESWindowMACSimulator"]
+
+
+class DESWindowMACSimulator:
+    """The window protocol as coroutine processes on the DES engine.
+
+    Parameters mirror :class:`~repro.mac.simulator.WindowMACSimulator`.
+    """
+
+    def __init__(
+        self,
+        policy: ControlPolicy,
+        arrival_rate: float,
+        transmission_slots: int,
+        n_stations: int = 200,
+        deadline: Optional[float] = None,
+        loss_definition: str = "true",
+        seed: int = 0,
+    ):
+        if arrival_rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
+        if loss_definition not in ("true", "paper"):
+            raise ValueError(f"unknown loss definition: {loss_definition!r}")
+        self.policy = policy
+        self.arrival_rate = arrival_rate
+        self.transmission_slots = transmission_slots
+        self.deadline = deadline
+        self.loss_definition = loss_definition
+        self.streams = RandomStreams(seed)
+        self.registry = StationRegistry(n_stations)
+        self.controller = ProtocolController(
+            policy, rng=self.streams.get("policy")
+        )
+
+    # -- processes ---------------------------------------------------------
+
+    def _arrival_process(self, sim: Simulator, horizon: float, sink: list):
+        rng = self.streams.get("arrivals")
+        station_rng = self.streams.get("stations")
+        uid = 0
+        while True:
+            gap = rng.exponential(1.0 / self.arrival_rate)
+            if sim.now + gap > horizon:
+                return
+            yield sim.timeout(gap)
+            message = Message(
+                arrival=sim.now,
+                station=int(station_rng.integers(0, self.registry.n_stations)),
+                uid=uid,
+            )
+            uid += 1
+            self.registry.ingest(message)
+            sink.append(message)
+
+    def _protocol_process(
+        self, sim: Simulator, horizon: float, stats: ChannelStats,
+        counts: Counter, true_wait: Tally, paper_wait: Tally, warmup: float,
+    ):
+        registry = self.registry
+        controller = self.controller
+        while sim.now < horizon:
+            now = sim.now
+            process = controller.begin_process(now)
+            if self.policy.discard_deadline is not None:
+                cut = now - self.policy.discard_deadline
+                for message in registry.drop_older_than(cut):
+                    message.fate = MessageFate.DISCARDED_AT_SENDER
+                    if message.arrival >= warmup:
+                        counts.increment("discarded")
+            if process is None:
+                stats.wait_slots += 1.0
+                yield sim.timeout(1.0)
+                continue
+
+            process_start = now
+            transmitted: Optional[Message] = None
+            while not process.done:
+                span = process.current_span
+                enabled = registry.enabled_stations(span)
+                if not enabled:
+                    stats.idle_slots += 1.0
+                    yield sim.timeout(1.0)
+                    process.on_feedback(ChannelFeedback.IDLE)
+                elif len(enabled) == 1:
+                    (message,) = enabled.values()
+                    message.tx_start = sim.now
+                    transmitted = message
+                    stats.transmission_slots += self.transmission_slots
+                    yield sim.timeout(self.transmission_slots)
+                    process.on_feedback(ChannelFeedback.SUCCESS)
+                else:
+                    stats.collision_slots += 1.0
+                    yield sim.timeout(1.0)
+                    process.on_feedback(ChannelFeedback.COLLISION)
+            controller.complete_process(process)
+
+            if transmitted is not None:
+                transmitted.process_start = process_start
+                registry.remove(transmitted)
+                wait = transmitted.wait(self.loss_definition)
+                late = self.deadline is not None and wait > self.deadline
+                transmitted.fate = (
+                    MessageFate.DELIVERED_LATE if late
+                    else MessageFate.DELIVERED_ON_TIME
+                )
+                if transmitted.arrival >= warmup:
+                    counts.increment("late" if late else "on_time")
+                    true_wait.observe(transmitted.true_wait)
+                    paper_wait.observe(transmitted.paper_wait)
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, horizon_slots: float, warmup_slots: float = 0.0) -> MACSimResult:
+        """Run the event-driven simulation and aggregate like the slot loop."""
+        if horizon_slots <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon_slots}")
+        total = warmup_slots + horizon_slots
+        sim = Simulator()
+        stats = ChannelStats()
+        counts = Counter()
+        true_wait = Tally()
+        paper_wait = Tally()
+        generated: list = []
+
+        sim.process(
+            self._arrival_process(sim, total, generated), name="arrivals"
+        )
+        driver = sim.process(
+            self._protocol_process(
+                sim, total, stats, counts, true_wait, paper_wait, warmup_slots
+            ),
+            name="protocol",
+        )
+        sim.run(until=driver)
+
+        measured = [m for m in generated if m.arrival >= warmup_slots]
+        unresolved = sum(
+            1 for m in measured if m.fate is MessageFate.PENDING
+        )
+        return MACSimResult(
+            arrivals=len(measured),
+            delivered_on_time=counts["on_time"],
+            delivered_late=counts["late"],
+            discarded=counts["discarded"],
+            unresolved=unresolved,
+            mean_true_wait=true_wait.mean,
+            mean_paper_wait=paper_wait.mean,
+            channel=stats,
+            deadline=self.deadline,
+        )

@@ -1,0 +1,78 @@
+"""Message records and delay bookkeeping for the MAC simulator.
+
+Every message carries its arrival instant and owning station.  Two delay
+definitions coexist (§2 and §4.2):
+
+* **paper waiting time** — arrival → beginning of the windowing process
+  that results in the message's own transmission (excludes the message's
+  own scheduling time; the definition used by the analysis);
+* **true waiting time** — arrival → start of the message's successful
+  transmission (the traditional definition; the one the paper's
+  simulations — and Figure 7's simulation points — score losses by).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["MessageFate", "Message"]
+
+
+class MessageFate(enum.Enum):
+    """Terminal outcome of a message."""
+
+    PENDING = "pending"
+    DELIVERED_ON_TIME = "delivered_on_time"
+    DELIVERED_LATE = "delivered_late"  # lost at the receiver
+    DISCARDED_AT_SENDER = "discarded_at_sender"  # policy element 4
+
+
+@dataclass
+class Message:
+    """One message in the network.
+
+    Attributes
+    ----------
+    arrival:
+        Arrival instant at the sending station (τ-slot units).
+    station:
+        Owning station id.
+    uid:
+        Unique index (generation order).
+    tx_start / process_start:
+        Set on successful transmission: when the transmission began and
+        when the windowing process that produced it began.
+    fate:
+        Terminal outcome (see :class:`MessageFate`).
+    """
+
+    arrival: float
+    station: int
+    uid: int
+    tx_start: Optional[float] = None
+    process_start: Optional[float] = None
+    fate: MessageFate = field(default=MessageFate.PENDING)
+
+    @property
+    def true_wait(self) -> float:
+        """Arrival → transmission start (requires delivery)."""
+        if self.tx_start is None:
+            raise ValueError(f"message {self.uid} was never transmitted")
+        return self.tx_start - self.arrival
+
+    @property
+    def paper_wait(self) -> float:
+        """Arrival → start of the final windowing process (§2 definition)."""
+        if self.process_start is None:
+            raise ValueError(f"message {self.uid} was never transmitted")
+        return max(0.0, self.process_start - self.arrival)
+
+    def wait(self, definition: str) -> float:
+        """The chosen waiting-time definition (``"true"`` or ``"paper"``)."""
+        if definition == "true":
+            return self.true_wait
+        if definition == "paper":
+            return self.paper_wait
+        raise ValueError(f"unknown waiting-time definition: {definition!r}")

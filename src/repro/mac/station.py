@@ -1,0 +1,164 @@
+"""Stations of the multiple-access network.
+
+The protocol is fully distributed: every station runs the identical
+controller, so the only per-station state the simulator needs is each
+station's *local* message queue — a station with one or more messages in
+the enabled window transmits exactly one of them (its oldest enabled
+message), and a collision occurs iff two or more *distinct* stations are
+enabled simultaneously.
+
+:class:`StationRegistry` provides that view efficiently on top of the
+simulator's global arrival-ordered backlog.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.timeline import Span
+from .messages import Message
+
+__all__ = ["Station", "StationRegistry"]
+
+
+@dataclass
+class Station:
+    """One network station.
+
+    Attributes
+    ----------
+    station_id:
+        Identifier (0-based).
+    window_scale:
+        Per-station window scale factor for the §5 priority extension: a
+        station only enables itself for windows whose young edge is at
+        least ``(1 − window_scale)`` of the window behind the frontier…
+        kept at 1.0 (always enabled) for the paper's protocol.
+    """
+
+    station_id: int
+    window_scale: float = 1.0
+
+    def __post_init__(self):
+        if not 0.0 < self.window_scale <= 1.0:
+            raise ValueError(
+                f"window scale must be in (0, 1], got {self.window_scale}"
+            )
+
+
+class StationRegistry:
+    """Global backlog indexed for window queries.
+
+    Maintains the network-wide list of pending messages sorted by
+    arrival time and answers the channel's question: *which stations are
+    enabled by this span, and which message would each transmit?*
+    """
+
+    def __init__(self, n_stations: int):
+        if n_stations < 1:
+            raise ValueError(f"need at least one station, got {n_stations}")
+        self.stations: List[Station] = [Station(i) for i in range(n_stations)]
+        self._arrivals: List[float] = []  # sorted arrival instants
+        self._messages: List[Message] = []  # parallel to _arrivals
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    @property
+    def n_stations(self) -> int:
+        """Number of stations in the network."""
+        return len(self.stations)
+
+    # -- backlog maintenance ---------------------------------------------------
+
+    def ingest(self, message: Message) -> None:
+        """Add a pending message (arrivals must be ingested in time order)."""
+        if self._arrivals and message.arrival < self._arrivals[-1]:
+            raise ValueError("messages must be ingested in arrival order")
+        self._arrivals.append(message.arrival)
+        self._messages.append(message)
+
+    def remove(self, message: Message) -> None:
+        """Remove a message (after delivery)."""
+        index = bisect.bisect_left(self._arrivals, message.arrival)
+        while index < len(self._messages) and self._messages[index] is not message:
+            index += 1
+        if index >= len(self._messages):
+            raise ValueError(f"message {message.uid} not in backlog")
+        del self._arrivals[index]
+        del self._messages[index]
+
+    def drop_older_than(self, horizon: float) -> List[Message]:
+        """Remove and return all messages with arrival < ``horizon``."""
+        cut = bisect.bisect_left(self._arrivals, horizon)
+        dropped = self._messages[:cut]
+        del self._arrivals[:cut]
+        del self._messages[:cut]
+        return dropped
+
+    # -- window queries -----------------------------------------------------------
+
+    def messages_in_span(self, span: Span) -> List[Message]:
+        """All pending messages whose arrival lies in the span."""
+        found: List[Message] = []
+        for lo, hi in span.pieces:
+            left = bisect.bisect_left(self._arrivals, lo)
+            right = bisect.bisect_right(self._arrivals, hi)
+            found.extend(self._messages[left:right])
+        return found
+
+    def enabled_stations(self, span: Span) -> Dict[int, Message]:
+        """Map of enabled station id → the message it would transmit.
+
+        A station transmits its oldest message inside the span.
+        """
+        enabled: Dict[int, Message] = {}
+        for message in self.messages_in_span(span):
+            incumbent = enabled.get(message.station)
+            if incumbent is None or message.arrival < incumbent.arrival:
+                enabled[message.station] = message
+        return enabled
+
+    @property
+    def has_scaled_stations(self) -> bool:
+        """Whether any station uses a priority window scale below 1."""
+        return any(s.window_scale < 1.0 for s in self.stations)
+
+    def eligible_for_window(self, initial_window: Span) -> Dict[int, Message]:
+        """Per-process eligibility under the §5 priority extension.
+
+        A station with ``window_scale < 1`` participates in a windowing
+        process only with messages inside the *oldest* ``scale × measure``
+        prefix of the initial window — it behaves as if its own initial
+        window were shorter, so full-scale stations reach the channel
+        first with fresh traffic.  The decision is made once per process
+        (at the initial window), keeping the splitting logic's
+        known-occupancy inferences consistent.
+        """
+        prefix_cache: Dict[float, Span] = {}
+        eligible: Dict[int, Message] = {}
+        for message in self.messages_in_span(initial_window):
+            scale = self.stations[message.station].window_scale
+            if scale < 1.0:
+                prefix = prefix_cache.get(scale)
+                if prefix is None:
+                    prefix, _ = initial_window.split_at_measure(
+                        scale * initial_window.measure
+                    )
+                    prefix_cache[scale] = prefix
+                if not prefix.contains(message.arrival):
+                    continue
+            incumbent = eligible.get(message.station)
+            if incumbent is None or message.arrival < incumbent.arrival:
+                eligible[message.station] = message
+        return eligible
+
+    def set_window_scale(self, station_id: int, scale: float) -> None:
+        """Set a station's priority window scale (§5 extension)."""
+        self.stations[station_id] = Station(station_id, window_scale=scale)
+
+    def oldest_pending(self) -> Optional[Message]:
+        """The oldest message still pending, if any."""
+        return self._messages[0] if self._messages else None

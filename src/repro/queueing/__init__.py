@@ -1,0 +1,66 @@
+"""Queueing-theory substrate.
+
+Lattice distributions, classic M/G/1 results, the paper's
+impatient-customer model (eq. 4.2-4.7), an exact discrete workload-chain
+validator, busy-period/LCFS analytics for the uncontrolled baselines,
+and Monte-Carlo queue simulators.
+"""
+
+from .accepted_wait import accepted_wait_pmf, accepted_wait_pmf_from_chain
+from .busy_period import busy_period_pmf, delay_busy_period_pmf
+from .convolve import SeriesResult, convolution_series, waiting_series_pmf
+from .distributions import (
+    LatticePMF,
+    deterministic_pmf,
+    exponential_pmf,
+    geometric_pmf,
+    mixture,
+    poisson_pmf,
+    uniform_pmf,
+)
+from .impatient import ImpatientMG1, ImpatientSolution, LossCurvePoint, loss_curve
+from .lcfs import LCFSQueue
+from .mg1 import MG1, pollaczek_khinchine_wait
+from .simulation import (
+    ImpatientSimResult,
+    WaitSimResult,
+    simulate_impatient_mg1,
+    simulate_mg1_waits,
+)
+from .transient import TransientResult, transient_workload
+from .true_wait import TrueWaitCorrection, true_wait_correction
+from .workload_chain import WorkloadChainSolution, solve_workload_chain
+
+__all__ = [
+    "LatticePMF",
+    "deterministic_pmf",
+    "geometric_pmf",
+    "poisson_pmf",
+    "exponential_pmf",
+    "uniform_pmf",
+    "mixture",
+    "SeriesResult",
+    "convolution_series",
+    "waiting_series_pmf",
+    "MG1",
+    "pollaczek_khinchine_wait",
+    "ImpatientMG1",
+    "ImpatientSolution",
+    "LossCurvePoint",
+    "loss_curve",
+    "TransientResult",
+    "transient_workload",
+    "TrueWaitCorrection",
+    "true_wait_correction",
+    "WorkloadChainSolution",
+    "solve_workload_chain",
+    "accepted_wait_pmf",
+    "accepted_wait_pmf_from_chain",
+    "busy_period_pmf",
+    "delay_busy_period_pmf",
+    "LCFSQueue",
+    "ImpatientSimResult",
+    "WaitSimResult",
+    "simulate_impatient_mg1",
+    "simulate_mg1_waits",
+]

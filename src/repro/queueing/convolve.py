@@ -1,0 +1,204 @@
+"""Convolution-series machinery for the paper's waiting-time series.
+
+Equation 4.4 of the paper expresses the unfinished-work density as
+
+    f(w) = P(0) · Σ_i ρ^i β^{(i)}(w)
+
+where β is the residual service density and β^{(i)} its i-fold
+convolution (β^{(0)} is a unit mass at 0).  Equation 4.7 then only needs
+the *partial integrals*
+
+    q_i = ∫₀ᴷ β^{(i)}(w) dw,     z(K, ρ) = Σ_i ρ^i q_i.
+
+On a lattice, q_i is the CDF of the i-fold convolution at index
+⌊K/delta⌋, and convolutions truncated at that index remain exact below
+it (non-negative summands can only push mass upward).  This module
+computes the series with adaptive stopping:
+
+* for ρ < 1, terms are bounded by ρ^i → geometric tail bound;
+* for ρ ≥ 1, q_i still decays geometrically whenever ρ·r₀ < 1 (r₀ the
+  residual's mass at 0), which holds for every service time longer than
+  one lattice step; the sum is monitored through its effect on
+  z/(1 + ρz), the quantity that actually enters the loss formula.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .distributions import LatticePMF
+
+__all__ = ["SeriesResult", "convolution_series", "waiting_series_pmf"]
+
+
+@dataclass(frozen=True)
+class SeriesResult:
+    """Outcome of summing ``z(K, ρ) = Σ ρ^i q_i``.
+
+    Attributes
+    ----------
+    z:
+        The summed series value.
+    terms:
+        Number of terms accumulated (including the i = 0 term).
+    converged:
+        Whether the stopping criterion was met before ``max_terms``.
+    partial_integrals:
+        The ``q_i`` values actually used.
+    """
+
+    z: float
+    terms: int
+    converged: bool
+    partial_integrals: tuple
+
+    def transformed(self, rho: float) -> float:
+        """The loss-formula kernel ``z / (1 + ρ·z)``."""
+        return self.z / (1.0 + rho * self.z)
+
+
+def convolution_series(
+    residual: LatticePMF,
+    horizon: float,
+    rho: float,
+    tol: float = 1e-12,
+    max_terms: int = 100_000,
+    midpoint: bool = True,
+) -> SeriesResult:
+    """Compute ``z(K, ρ)`` for eq. 4.7 of the paper.
+
+    Parameters
+    ----------
+    residual:
+        The residual service-time distribution β on the lattice.
+    horizon:
+        The time constraint K (same units as the lattice).
+    rho:
+        Traffic intensity λ·x̄ (may exceed 1; the series still converges
+        through the monitored kernel).
+    tol:
+        Stop once an upper bound for the remaining contribution to
+        ``z/(1+ρz)`` falls below ``tol``.
+    max_terms:
+        Hard cap on the number of series terms.
+    midpoint:
+        Interpret each residual lattice cell as carrying the mass of the
+        *continuous* residual density over ``[j·δ, (j+1)·δ)``, located at
+        the cell midpoint.  A sum of ``i`` residuals then sits at
+        ``(Σ indices + i/2)·δ``, so term ``i``'s partial integral uses
+        the cutoff index ``⌊K/δ − i/2⌋``.  This removes the O(δ)
+        left-edge bias of the naive lattice sum (validated against Monte
+        Carlo in the test suite); disable only to reproduce the naive
+        convention.
+    """
+    if horizon < 0:
+        raise ValueError(f"time constraint must be non-negative, got {horizon}")
+    if rho < 0:
+        raise ValueError(f"traffic intensity must be non-negative, got {rho}")
+    if rho == 0:
+        return SeriesResult(z=1.0, terms=1, converged=True, partial_integrals=(1.0,))
+
+    k_index = int(math.floor(horizon / residual.delta + 1e-9))
+    limit = k_index + 1
+    beta = residual.p[:limit].copy()
+    q1 = float(beta.sum())
+
+    z = 1.0  # i = 0 term: β^{(0)} is a unit mass at 0, q_0 = 1.
+    partials = [1.0]
+    power = np.zeros(limit)
+    power[0] = 1.0  # running β^{(i)} truncated to the horizon
+    rho_i = 1.0
+    converged = False
+    terms = 1
+    half_steps = horizon / residual.delta  # K in lattice units, real-valued
+
+    # Geometric decay rate of q_i for the tail bound: each extra
+    # convolution multiplies the in-horizon mass by at most q_1.
+    decay = min(1.0, q1)
+
+    for i in range(1, max_terms + 1):
+        power = np.convolve(power, beta)[:limit]
+        rho_i *= rho
+        if midpoint:
+            cutoff = int(math.floor(half_steps - 0.5 * i + 1e-9))
+            if cutoff < 0:
+                q_i = 0.0
+            else:
+                q_i = float(power[: cutoff + 1].sum())
+        else:
+            q_i = float(power.sum())
+        term = rho_i * q_i
+        z += term
+        partials.append(q_i)
+        terms = i + 1
+        # Remaining-tail bound: q_{i+k} <= q_i * decay^k, so the tail of the
+        # raw series is <= term * rho*decay / (1 - rho*decay) when rho*decay < 1.
+        ratio = rho * decay
+        if ratio < 1.0:
+            tail_bound = term * ratio / (1.0 - ratio)
+        else:
+            # Fall back to the effect on the monitored kernel: dz of `term`
+            # changes z/(1+ρz) by at most term / (1+ρz)^2.
+            tail_bound = term
+        kernel_sensitivity = 1.0 / (1.0 + rho * z) ** 2
+        if tail_bound * kernel_sensitivity < tol and q_i < 1.0:
+            converged = True
+            break
+        if q_i == 0.0:
+            converged = True
+            break
+
+    return SeriesResult(
+        z=z, terms=terms, converged=converged, partial_integrals=tuple(partials)
+    )
+
+
+def waiting_series_pmf(
+    residual: LatticePMF,
+    rho: float,
+    horizon: float,
+    tol: float = 1e-12,
+    max_terms: int = 100_000,
+) -> LatticePMF:
+    """The (unnormalised) waiting-time mass ``Σ ρ^i β^{(i)}`` below ``horizon``.
+
+    Multiplying by P(0) gives the M/G/1 unfinished-work density of
+    eq. 4.4 on ``[0, horizon]``.  Only valid pointwise below the horizon;
+    mass above it is truncated.  Raises for ρ ≥ 1 when the series does
+    not converge pointwise.
+    """
+    if rho < 0:
+        raise ValueError(f"traffic intensity must be non-negative, got {rho}")
+    k_index = int(math.floor(horizon / residual.delta + 1e-9))
+    limit = k_index + 1
+    beta = residual.p[:limit].copy()
+
+    accumulator = np.zeros(limit)
+    accumulator[0] = 1.0
+    power = np.zeros(limit)
+    power[0] = 1.0
+    rho_i = 1.0
+    for _ in range(1, max_terms + 1):
+        power = np.convolve(power, beta)[:limit]
+        rho_i *= rho
+        term = rho_i * power
+        accumulator += term
+        term_mass = float(term.sum())
+        in_horizon = float(power.sum())
+        if term_mass < tol:
+            break
+        if rho >= 1.0 and in_horizon >= 1.0 - 1e-12:
+            raise ValueError(
+                "waiting-time series diverges pointwise for rho >= 1 with "
+                "service support inside the horizon"
+            )
+    else:
+        raise RuntimeError("series did not converge within max_terms")
+    # Allow total mass > 1: this is an unnormalised kernel.
+    result = LatticePMF.__new__(LatticePMF)
+    result.p = accumulator
+    result.delta = residual.delta
+    return result

@@ -1,0 +1,339 @@
+"""Lattice (discrete-time) probability distributions.
+
+All analytic models in this package work on a uniform time lattice with
+step ``delta`` (in units of the channel propagation delay τ).  A
+:class:`LatticePMF` stores the probability mass at ``0, delta, 2·delta,
+...`` as a numpy array.  The paper's integrals (eq. 4.4/4.7) become sums
+and its convolutions become discrete convolutions, which are *exact* for
+lattice-valued random variables such as the slotted window protocol's
+service times.
+
+The residual (equilibrium) distribution uses the discrete renewal form
+
+    r[j] = P(X > j·delta) · delta / E[X],   j = 0, 1, ...
+
+which sums to one exactly for lattice-valued ``X`` and converges to the
+continuous residual density ``(1 − B(w))/x̄`` as ``delta → 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "LatticePMF",
+    "deterministic_pmf",
+    "geometric_pmf",
+    "poisson_pmf",
+    "exponential_pmf",
+    "uniform_pmf",
+    "mixture",
+]
+
+_MASS_TOL = 1e-9
+
+
+class LatticePMF:
+    """A probability mass function on the lattice ``{0, delta, 2·delta, ...}``.
+
+    Parameters
+    ----------
+    probabilities:
+        Mass at lattice points, starting at value 0.  Must be
+        non-negative and sum to at most 1 (strictly less than 1 is
+        permitted for deliberately truncated distributions; the deficit
+        is reported by :attr:`truncation_deficit`).
+    delta:
+        Lattice step, in the model's time unit.
+    """
+
+    __slots__ = ("p", "delta")
+
+    def __init__(self, probabilities: Sequence[float], delta: float = 1.0):
+        p = np.asarray(probabilities, dtype=float)
+        if p.ndim != 1 or p.size == 0:
+            raise ValueError("probabilities must be a non-empty 1-D sequence")
+        if delta <= 0:
+            raise ValueError(f"lattice step must be positive, got {delta}")
+        if np.any(p < -_MASS_TOL):
+            raise ValueError("probabilities must be non-negative")
+        total = float(p.sum())
+        if total > 1.0 + 1e-6:
+            raise ValueError(f"probabilities sum to {total} > 1")
+        self.p = np.clip(p, 0.0, None)
+        self.delta = float(delta)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[float], probs: Iterable[float], delta: float = 1.0
+    ) -> "LatticePMF":
+        """Build from (value, probability) pairs; values must be lattice points."""
+        values = list(values)
+        probs = list(probs)
+        if len(values) != len(probs):
+            raise ValueError("values and probs must have equal length")
+        indices = []
+        for value in values:
+            index = value / delta
+            if abs(index - round(index)) > 1e-9:
+                raise ValueError(f"value {value} is not a multiple of delta={delta}")
+            if value < 0:
+                raise ValueError(f"negative value {value}")
+            indices.append(int(round(index)))
+        size = max(indices) + 1
+        p = np.zeros(size)
+        for index, prob in zip(indices, probs):
+            p[index] += prob
+        return cls(p, delta)
+
+    # -- basic properties -------------------------------------------------------
+
+    @property
+    def support_max(self) -> float:
+        """Largest lattice value carrying mass."""
+        nonzero = np.nonzero(self.p)[0]
+        return float(nonzero[-1] * self.delta) if nonzero.size else 0.0
+
+    @property
+    def truncation_deficit(self) -> float:
+        """Probability mass lost to truncation (0 for a proper distribution)."""
+        return max(0.0, 1.0 - float(self.p.sum()))
+
+    def values(self) -> np.ndarray:
+        """The lattice points carrying the stored mass."""
+        return np.arange(self.p.size) * self.delta
+
+    def mean(self) -> float:
+        """First moment."""
+        return float(np.dot(np.arange(self.p.size), self.p) * self.delta)
+
+    def moment(self, order: int) -> float:
+        """Raw moment of the given order."""
+        if order < 0:
+            raise ValueError("moment order must be non-negative")
+        lattice = np.arange(self.p.size, dtype=float) * self.delta
+        return float(np.dot(lattice**order, self.p))
+
+    def variance(self) -> float:
+        """Second central moment."""
+        mean = self.mean()
+        return self.moment(2) - mean * mean
+
+    def cdf(self) -> np.ndarray:
+        """Cumulative distribution evaluated at every lattice point."""
+        return np.cumsum(self.p)
+
+    def cdf_at(self, x: float) -> float:
+        """``P(X <= x)``."""
+        if x < 0:
+            return 0.0
+        index = int(math.floor(x / self.delta + 1e-12))
+        if index >= self.p.size:
+            return float(self.p.sum())
+        return float(self.p[: index + 1].sum())
+
+    def sf_at(self, x: float) -> float:
+        """``P(X > x)`` (assuming a proper distribution)."""
+        return max(0.0, 1.0 - self.cdf_at(x))
+
+    # -- transforms ----------------------------------------------------------------
+
+    def convolve(self, other: "LatticePMF", limit: int | None = None) -> "LatticePMF":
+        """Distribution of the sum of independent draws from self and other.
+
+        Parameters
+        ----------
+        other:
+            Second summand; must share the lattice step.
+        limit:
+            If given, truncate the result to the first ``limit`` lattice
+            points.  Truncation only discards mass *above* the limit, so
+            probabilities below it remain exact.
+        """
+        if not math.isclose(self.delta, other.delta):
+            raise ValueError(
+                f"lattice mismatch: {self.delta} vs {other.delta}; "
+                "rebin one distribution first"
+            )
+        full = np.convolve(self.p, other.p)
+        if limit is not None:
+            full = full[:limit]
+        return LatticePMF(full, self.delta)
+
+    def shift(self, amount: float) -> "LatticePMF":
+        """Distribution of ``X + amount`` (amount must be a lattice multiple)."""
+        steps = amount / self.delta
+        if abs(steps - round(steps)) > 1e-9:
+            raise ValueError(f"shift {amount} is not a multiple of delta={self.delta}")
+        steps = int(round(steps))
+        if steps < 0:
+            raise ValueError("negative shifts are not supported")
+        return LatticePMF(np.concatenate([np.zeros(steps), self.p]), self.delta)
+
+    def residual(self) -> "LatticePMF":
+        """The equilibrium (residual-life) distribution of this PMF.
+
+        This is the discrete analogue of the residual service density
+        β(w) = (1 − B(w)) / x̄ used throughout §4 of the paper.
+        """
+        mean = self.mean()
+        if mean <= 0:
+            raise ValueError("residual distribution requires a positive mean")
+        survival = 1.0 - np.cumsum(self.p)
+        survival = np.clip(survival[:-1], 0.0, None)  # P(X > j) for j = 0..max-1
+        r = survival * self.delta / mean
+        # Guard against floating point drift; the discrete form is exact.
+        total = r.sum()
+        if total > 1.0:
+            r = r / total
+        return LatticePMF(r, self.delta)
+
+    def refine(self, factor: int) -> "LatticePMF":
+        """Re-express exactly on a lattice ``factor`` times finer.
+
+        Mass at ``j·delta`` moves to index ``j·factor`` of the new
+        lattice — values are unchanged, so this is exact (unlike
+        :meth:`rebin`, which coarsens).  Useful for reducing the O(delta)
+        discretisation bias of the workload-chain and busy-period
+        solvers, whose *arrival* process is continuous.
+        """
+        if factor < 1 or int(factor) != factor:
+            raise ValueError(f"refine factor must be a positive integer, got {factor}")
+        factor = int(factor)
+        if factor == 1:
+            return LatticePMF(self.p.copy(), self.delta)
+        p = np.zeros((self.p.size - 1) * factor + 1)
+        p[::factor] = self.p
+        return LatticePMF(p, self.delta / factor)
+
+    def rebin(self, new_delta: float) -> "LatticePMF":
+        """Coarsen to a larger lattice step (must be an integer multiple)."""
+        factor = new_delta / self.delta
+        if abs(factor - round(factor)) > 1e-9 or factor < 1:
+            raise ValueError(
+                f"new step {new_delta} must be an integer multiple of {self.delta}"
+            )
+        factor = int(round(factor))
+        if factor == 1:
+            return LatticePMF(self.p.copy(), self.delta)
+        padded_size = -(-self.p.size // factor) * factor
+        padded = np.zeros(padded_size)
+        padded[: self.p.size] = self.p
+        return LatticePMF(padded.reshape(-1, factor).sum(axis=1), new_delta)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw lattice-valued samples (requires a proper distribution)."""
+        deficit = self.truncation_deficit
+        if deficit > 1e-6:
+            raise ValueError(
+                f"cannot sample a truncated distribution (deficit {deficit:.2e})"
+            )
+        p = self.p / self.p.sum()
+        indices = rng.choice(self.p.size, size=size, p=p)
+        return indices * self.delta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LatticePMF(n={self.p.size}, delta={self.delta}, "
+            f"mean={self.mean():.4g})"
+        )
+
+
+# -- canonical service-time distributions ------------------------------------------
+
+
+def deterministic_pmf(value: float, delta: float = 1.0) -> LatticePMF:
+    """All mass on a single lattice point (fixed message length M·τ)."""
+    return LatticePMF.from_values([value], [1.0], delta)
+
+
+def geometric_pmf(
+    mean: float, delta: float = 1.0, start: float = 0.0, tol: float = 1e-12
+) -> LatticePMF:
+    """Geometric distribution on ``{start, start+delta, ...}`` with given mean.
+
+    Used for the paper's geometric scheduling-time approximation (§4.1).
+    The success parameter is chosen so the mean (including the ``start``
+    offset) equals ``mean``.
+    """
+    if mean < start:
+        raise ValueError(f"mean {mean} must be at least the start offset {start}")
+    excess_steps = (mean - start) / delta
+    # X = start + delta * G with G >= 0 geometric: E[G] = (1-q)/q.
+    q = 1.0 / (1.0 + excess_steps)
+    n_terms = max(2, int(math.ceil(math.log(tol) / math.log(1.0 - q))) + 1) if q < 1 else 1
+    tail = np.power(1.0 - q, np.arange(n_terms)) * q
+    pmf = LatticePMF(tail, delta)
+    return pmf.shift(start) if start else pmf
+
+
+def poisson_pmf(mean: float, delta: float = 1.0, tol: float = 1e-12) -> LatticePMF:
+    """Poisson distribution scaled onto the lattice."""
+    if mean < 0:
+        raise ValueError(f"Poisson mean must be non-negative, got {mean}")
+    if mean == 0:
+        return LatticePMF([1.0], delta)
+    n_terms = int(mean + 12 * math.sqrt(mean) + 20)
+    k = np.arange(n_terms)
+    log_p = k * math.log(mean) - mean - np.array([math.lgamma(i + 1) for i in k])
+    p = np.exp(log_p)
+    p[p < tol * p.max()] = 0.0
+    return LatticePMF(p / p.sum(), delta)
+
+
+def exponential_pmf(mean: float, delta: float, quantile: float = 1 - 1e-10) -> LatticePMF:
+    """Exponential distribution discretised by interval mass.
+
+    Cell ``j`` receives ``P(j·delta <= X < (j+1)·delta)``; the support is
+    truncated at the requested quantile and renormalised.  Used to
+    cross-check the impatient-queue solver against M/M/1 results.
+    """
+    if mean <= 0:
+        raise ValueError(f"mean must be positive, got {mean}")
+    rate = 1.0 / mean
+    x_max = -math.log(1.0 - quantile) / rate
+    n_cells = int(math.ceil(x_max / delta)) + 1
+    edges = np.arange(n_cells + 1) * delta
+    cdf = 1.0 - np.exp(-rate * edges)
+    p = np.diff(cdf)
+    return LatticePMF(p / p.sum(), delta)
+
+
+def uniform_pmf(low: float, high: float, delta: float) -> LatticePMF:
+    """Uniform distribution on lattice points in ``[low, high]`` inclusive."""
+    if high < low:
+        raise ValueError(f"high {high} < low {low}")
+    low_index = low / delta
+    high_index = high / delta
+    if abs(low_index - round(low_index)) > 1e-9 or abs(high_index - round(high_index)) > 1e-9:
+        raise ValueError("bounds must be lattice multiples")
+    low_index, high_index = int(round(low_index)), int(round(high_index))
+    count = high_index - low_index + 1
+    p = np.zeros(high_index + 1)
+    p[low_index:] = 1.0 / count
+    return LatticePMF(p, delta)
+
+
+def mixture(components: Sequence[LatticePMF], weights: Sequence[float]) -> LatticePMF:
+    """Finite mixture of lattice PMFs sharing one lattice step."""
+    if len(components) != len(weights):
+        raise ValueError("components and weights must have equal length")
+    if not components:
+        raise ValueError("mixture needs at least one component")
+    total = float(sum(weights))
+    if not math.isclose(total, 1.0, abs_tol=1e-9):
+        raise ValueError(f"weights must sum to 1, got {total}")
+    delta = components[0].delta
+    for component in components[1:]:
+        if not math.isclose(component.delta, delta):
+            raise ValueError("all mixture components must share the lattice step")
+    size = max(component.p.size for component in components)
+    p = np.zeros(size)
+    for component, weight in zip(components, weights):
+        p[: component.p.size] += weight * component.p
+    return LatticePMF(p, delta)

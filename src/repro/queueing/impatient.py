@@ -1,0 +1,228 @@
+"""M/G/1 queue with impatient customers — the paper's §4 performance model.
+
+A message joins the (conceptually centralized) queue iff the unfinished
+work it finds — its FCFS waiting time — does not exceed the time
+constraint ``K``; otherwise it is lost (policy element 4 discards it at
+the sender).  The loss probability follows the paper's eq. 4.7:
+
+    p(loss) = 1 − z / (1 + ρ·z),
+    z(K, ρ) = Σ_i ρ^i ∫₀ᴷ β^{(i)}(w) dw,
+
+derived from the flow-conservation identity ``p(accept)·ρ = 1 − P(0)``
+(eq. 4.6) and the Beneš-series form of the in-horizon workload
+distribution (eq. 4.4).
+
+Because the window protocol's *scheduling* overhead depends on how many
+messages survive (§4.1, last paragraph), the service-time distribution
+itself depends on ``p(loss)``.  :func:`loss_curve` reproduces the
+paper's fix: start at K = 0 where the scheduling time is exactly zero,
+then march K upward using the previous K's loss to set the accepted
+arrival rate, optionally iterating each K to a fixed point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from .convolve import SeriesResult, convolution_series
+from .distributions import LatticePMF, deterministic_pmf
+
+__all__ = [
+    "ImpatientMG1",
+    "ImpatientSolution",
+    "LossCurvePoint",
+    "loss_curve",
+]
+
+ServiceModel = Callable[[float], LatticePMF]
+"""Maps an accepted arrival rate to a service-time distribution."""
+
+
+@dataclass(frozen=True)
+class ImpatientSolution:
+    """Solved performance measures of the impatient M/G/1 queue.
+
+    Attributes
+    ----------
+    loss_probability:
+        Fraction of messages whose waiting time would exceed K (eq. 4.7).
+    idle_probability:
+        P(0), the probability the server is idle.
+    accepted_rate:
+        λ·p(accept), the throughput of surviving messages.
+    rho:
+        Offered traffic intensity λ·x̄ (may exceed 1).
+    series:
+        The underlying :class:`SeriesResult` for z(K, ρ).
+    """
+
+    loss_probability: float
+    idle_probability: float
+    accepted_rate: float
+    rho: float
+    series: SeriesResult
+
+
+@dataclass(frozen=True)
+class ImpatientMG1:
+    """M/G/1 queue whose customers balk when the workload exceeds ``deadline``.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson arrival rate λ of *all* messages (lost and transmitted).
+    service:
+        Service-time distribution of accepted messages.
+    deadline:
+        The time constraint K.
+    """
+
+    arrival_rate: float
+    service: LatticePMF
+    deadline: float
+
+    def __post_init__(self):
+        if self.arrival_rate < 0:
+            raise ValueError(f"negative arrival rate: {self.arrival_rate}")
+        if self.deadline < 0:
+            raise ValueError(f"negative deadline: {self.deadline}")
+
+    @property
+    def rho(self) -> float:
+        """Offered traffic intensity λ·x̄ (can exceed 1 — the queue still
+        reaches equilibrium because of balking)."""
+        return self.arrival_rate * self.service.mean()
+
+    def solve(self, tol: float = 1e-12, max_terms: int = 100_000) -> ImpatientSolution:
+        """Evaluate eq. 4.7 and the derived quantities."""
+        rho = self.rho
+        if rho == 0.0:
+            return ImpatientSolution(
+                loss_probability=0.0,
+                idle_probability=1.0,
+                accepted_rate=self.arrival_rate,
+                rho=0.0,
+                series=SeriesResult(1.0, 1, True, (1.0,)),
+            )
+        if math.isinf(self.deadline):
+            if rho >= 1:
+                raise ValueError(
+                    "K = inf requires a stable queue (rho < 1); "
+                    f"got rho = {rho:.4g}"
+                )
+            series = SeriesResult(
+                z=1.0 / (1.0 - rho), terms=0, converged=True, partial_integrals=()
+            )
+        else:
+            residual = self.service.residual()
+            series = convolution_series(
+                residual, self.deadline, rho, tol=tol, max_terms=max_terms
+            )
+        kernel = series.transformed(rho)  # z / (1 + ρz) = p(accept)
+        loss = min(1.0, max(0.0, 1.0 - kernel))
+        idle = 1.0 / (1.0 + rho * series.z)
+        return ImpatientSolution(
+            loss_probability=loss,
+            idle_probability=idle,
+            accepted_rate=self.arrival_rate * (1.0 - loss),
+            rho=rho,
+            series=series,
+        )
+
+    def loss_probability(self, tol: float = 1e-12) -> float:
+        """Shortcut for :meth:`solve`'s loss probability."""
+        return self.solve(tol=tol).loss_probability
+
+
+@dataclass(frozen=True)
+class LossCurvePoint:
+    """One point of a loss-vs-deadline curve."""
+
+    deadline: float
+    loss_probability: float
+    rho: float
+    mean_service: float
+    accepted_rate: float
+
+
+def loss_curve(
+    arrival_rate: float,
+    deadlines: Sequence[float],
+    service_model: Optional[ServiceModel] = None,
+    transmission_time: Optional[float] = None,
+    delta: float = 1.0,
+    fixed_point: bool = True,
+    fixed_point_tol: float = 1e-9,
+    max_fixed_point_iter: int = 200,
+    tol: float = 1e-12,
+) -> list[LossCurvePoint]:
+    """Loss probability across a sweep of deadlines (the paper's §4.1 iteration).
+
+    Parameters
+    ----------
+    arrival_rate:
+        Rate λ of all message arrivals.
+    deadlines:
+        Increasing values of K at which to evaluate the loss.
+    service_model:
+        Maps accepted arrival rate → full service-time distribution
+        (scheduling + transmission).  When omitted, a constant service of
+        ``transmission_time`` is used (no scheduling overhead).
+    transmission_time:
+        Fixed transmission component M·τ; required when ``service_model``
+        is omitted.
+    fixed_point:
+        When true (default), iterate each deadline to a self-consistent
+        loss; when false, follow the paper exactly: use the previous
+        deadline's loss once.
+    """
+    if service_model is None:
+        if transmission_time is None:
+            raise ValueError("provide either service_model or transmission_time")
+        constant = deterministic_pmf(transmission_time, delta)
+
+        def service_model(_rate: float, _pmf=constant) -> LatticePMF:
+            return _pmf
+
+    previous = list(deadlines)
+    if any(b < a for a, b in zip(previous, previous[1:])):
+        raise ValueError("deadlines must be non-decreasing")
+
+    points: list[LossCurvePoint] = []
+    loss_estimate = 0.0  # at K = 0 the scheduling time is exactly 0 (paper §4.1)
+    for index, deadline in enumerate(deadlines):
+        if index == 0 and deadline == 0:
+            # Scheduling time is exactly zero at K = 0; service = transmission.
+            accepted = arrival_rate
+        else:
+            accepted = arrival_rate * (1.0 - loss_estimate)
+
+        def evaluate(accepted_rate: float) -> ImpatientSolution:
+            service = service_model(accepted_rate)
+            queue = ImpatientMG1(arrival_rate, service, deadline)
+            return queue.solve(tol=tol)
+
+        solution = evaluate(accepted)
+        if fixed_point:
+            for _ in range(max_fixed_point_iter):
+                new_accepted = arrival_rate * (1.0 - solution.loss_probability)
+                if abs(new_accepted - accepted) <= fixed_point_tol * max(
+                    arrival_rate, 1e-30
+                ):
+                    break
+                accepted = new_accepted
+                solution = evaluate(accepted)
+        loss_estimate = solution.loss_probability
+        service = service_model(arrival_rate * (1.0 - loss_estimate))
+        points.append(
+            LossCurvePoint(
+                deadline=deadline,
+                loss_probability=loss_estimate,
+                rho=solution.rho,
+                mean_service=service.mean(),
+                accepted_rate=solution.accepted_rate,
+            )
+        )
+    return points

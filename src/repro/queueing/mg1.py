@@ -1,0 +1,111 @@
+"""Classic (loss-free) M/G/1 results.
+
+Used for two purposes:
+
+* the **FCFS baseline** of [Kurose 83]: the uncontrolled window protocol
+  transmits *every* message in global FCFS order, so its waiting time is
+  the ordinary M/G/1 FCFS waiting time and a message is lost (at the
+  receiver) iff ``W > K``;
+* **validation** of the impatient-customer solver in the limit K → ∞.
+
+The waiting-time distribution uses the same Beneš/Takács series that the
+paper quotes as eq. 4.4:
+
+    P(W <= w) = (1 − ρ) Σ_i ρ^i B_e^{(i)}(w)
+
+with ``B_e`` the equilibrium (residual) service distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .convolve import convolution_series
+from .distributions import LatticePMF
+
+__all__ = ["MG1", "pollaczek_khinchine_wait"]
+
+
+def pollaczek_khinchine_wait(arrival_rate: float, service: LatticePMF) -> float:
+    """Mean FCFS waiting time  ``W = λ·E[X²] / (2(1 − ρ))``.
+
+    Raises for an unstable queue (ρ >= 1).
+    """
+    rho = arrival_rate * service.mean()
+    if rho >= 1:
+        raise ValueError(f"queue is unstable: rho = {rho:.4g} >= 1")
+    return arrival_rate * service.moment(2) / (2.0 * (1.0 - rho))
+
+
+@dataclass(frozen=True)
+class MG1:
+    """An M/G/1 queue with Poisson arrivals and lattice service times.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson arrival rate λ (per unit time).
+    service:
+        Service-time distribution on the lattice.
+    """
+
+    arrival_rate: float
+    service: LatticePMF
+
+    def __post_init__(self):
+        if self.arrival_rate < 0:
+            raise ValueError(f"negative arrival rate: {self.arrival_rate}")
+
+    @property
+    def rho(self) -> float:
+        """Traffic intensity λ·x̄."""
+        return self.arrival_rate * self.service.mean()
+
+    @property
+    def utilization(self) -> float:
+        """Server busy probability (equals ρ when stable)."""
+        rho = self.rho
+        if rho >= 1:
+            raise ValueError(f"queue is unstable: rho = {rho:.4g} >= 1")
+        return rho
+
+    def mean_wait(self) -> float:
+        """Pollaczek–Khinchine mean FCFS waiting time."""
+        return pollaczek_khinchine_wait(self.arrival_rate, self.service)
+
+    def mean_sojourn(self) -> float:
+        """Mean time in system (wait + service)."""
+        return self.mean_wait() + self.service.mean()
+
+    def mean_queue_length(self) -> float:
+        """Mean number waiting (Little's law on the waiting room)."""
+        return self.arrival_rate * self.mean_wait()
+
+    def wait_cdf_at(self, w: float, tol: float = 1e-12) -> float:
+        """``P(W <= w)`` for the FCFS waiting time via the Beneš series."""
+        rho = self.rho
+        if rho >= 1:
+            raise ValueError(f"queue is unstable: rho = {rho:.4g} >= 1")
+        if w < 0:
+            return 0.0
+        residual = self.service.residual()
+        series = convolution_series(residual, w, rho, tol=tol)
+        return min(1.0, (1.0 - rho) * series.z)
+
+    def wait_survival_at(self, w: float, tol: float = 1e-12) -> float:
+        """``P(W > w)`` — the FCFS-baseline receiver-loss probability."""
+        return max(0.0, 1.0 - self.wait_cdf_at(w, tol=tol))
+
+    def loss_beyond_deadline(self, deadline: float) -> float:
+        """Fraction of messages missing the deadline under plain FCFS.
+
+        This is the analytic [Kurose 83] FCFS baseline used in Figure 7:
+        every message is transmitted; those with ``W > deadline`` are
+        discarded at the *receiver*.
+        """
+        if deadline < 0:
+            raise ValueError(f"negative deadline: {deadline}")
+        if math.isinf(deadline):
+            return 0.0
+        return self.wait_survival_at(deadline)

@@ -1,0 +1,138 @@
+"""A generic finite semi-Markov decision process.
+
+The paper (§3, Appendix A) models the window protocol as an SMDP in
+Howard's formulation: upon entering state ``s`` a decision ``k`` is
+made, incurring an expected cost ``r_s^k`` (the one-step pseudo loss),
+occupying the system for an expected sojourn ``τ_s^k``, and moving it to
+state ``j`` with probability ``p_sj^k``.  The objective is to minimise
+the long-run average cost per unit time (the *gain* ``g`` of eq. A1).
+
+This module holds the model container; the solvers live in
+:mod:`repro.smdp.policy_iteration` and :mod:`repro.smdp.value_iteration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping, Tuple
+
+__all__ = ["ActionData", "SMDP"]
+
+State = Hashable
+ActionLabel = Hashable
+
+
+@dataclass(frozen=True)
+class ActionData:
+    """The data of one (state, action) pair.
+
+    Attributes
+    ----------
+    transitions:
+        Mapping next-state → probability; must sum to 1.
+    sojourn:
+        Expected time until the next decision, τ > 0.
+    cost:
+        Expected cost accrued over the transition (one-step pseudo loss
+        in the protocol model).
+    """
+
+    transitions: Mapping[State, float]
+    sojourn: float
+    cost: float
+
+    def validate(self) -> None:
+        """Raise if probabilities are invalid or the sojourn non-positive."""
+        total = 0.0
+        for state, prob in self.transitions.items():
+            if prob < -1e-12:
+                raise ValueError(f"negative transition probability to {state!r}")
+            total += prob
+        if abs(total - 1.0) > 1e-8:
+            raise ValueError(f"transition probabilities sum to {total}, not 1")
+        if self.sojourn <= 0:
+            raise ValueError(f"sojourn time must be positive, got {self.sojourn}")
+
+
+@dataclass
+class SMDP:
+    """A finite semi-Markov decision process.
+
+    Build incrementally with :meth:`add_action`; every state must have at
+    least one action before solving.
+
+    Example
+    -------
+    >>> mdp = SMDP()
+    >>> mdp.add_action("idle", "wait", {"idle": 1.0}, sojourn=1.0, cost=0.0)
+    >>> mdp.states()
+    ['idle']
+    """
+
+    _actions: Dict[State, Dict[ActionLabel, ActionData]] = field(default_factory=dict)
+
+    def add_action(
+        self,
+        state: State,
+        label: ActionLabel,
+        transitions: Mapping[State, float],
+        sojourn: float,
+        cost: float,
+    ) -> None:
+        """Register an action available in ``state``."""
+        data = ActionData(transitions=dict(transitions), sojourn=sojourn, cost=cost)
+        data.validate()
+        self._actions.setdefault(state, {})
+        if label in self._actions[state]:
+            raise ValueError(f"duplicate action {label!r} in state {state!r}")
+        self._actions[state][label] = data
+
+    def states(self) -> list:
+        """All states, in insertion order."""
+        return list(self._actions)
+
+    def actions(self, state: State) -> Dict[ActionLabel, ActionData]:
+        """The action set of ``state``."""
+        try:
+            return self._actions[state]
+        except KeyError:
+            raise KeyError(f"unknown state {state!r}") from None
+
+    def action(self, state: State, label: ActionLabel) -> ActionData:
+        """The data of one (state, action) pair."""
+        actions = self.actions(state)
+        try:
+            return actions[label]
+        except KeyError:
+            raise KeyError(f"state {state!r} has no action {label!r}") from None
+
+    def validate(self) -> None:
+        """Check the model is closed: every transition target has actions."""
+        known = set(self._actions)
+        if not known:
+            raise ValueError("SMDP has no states")
+        for state, actions in self._actions.items():
+            if not actions:
+                raise ValueError(f"state {state!r} has no actions")
+            for label, data in actions.items():
+                for target in data.transitions:
+                    if target not in known:
+                        raise ValueError(
+                            f"action {label!r} in state {state!r} leads to "
+                            f"unknown state {target!r}"
+                        )
+
+    def policy_from(self, chooser) -> Dict[State, ActionLabel]:
+        """Build a policy by applying ``chooser(state, actions) -> label``."""
+        return {
+            state: chooser(state, actions) for state, actions in self._actions.items()
+        }
+
+    def uniform_sojourn_bound(self) -> Tuple[float, float]:
+        """(min, max) sojourn across all state-action pairs."""
+        sojourns = [
+            data.sojourn
+            for actions in self._actions.values()
+            for data in actions.values()
+        ]
+        return min(sojourns), max(sojourns)

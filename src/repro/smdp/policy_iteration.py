@@ -1,0 +1,176 @@
+"""Howard policy iteration for average-cost semi-Markov decision processes.
+
+This is the algorithm of [Howard 71] used by the paper's Appendix A.
+For a fixed policy P, the *value-determination* step solves eq. A1,
+
+    v_i + g·τ_i = r_i + Σ_j p_ij v_j,      v_ref = 0,
+
+for the gain ``g`` (average cost per unit time) and relative values
+``v``.  The *policy-improvement* step then evaluates each alternative
+decision k through its test quantity (eq. A2, written as a cost to be
+minimised)
+
+    Γ_i^k = ( r_i^k − g·τ_i^k + Σ_j p_ij^k v_j − v_i ) / τ_i^k
+
+and switches to any strictly better action.  Iteration terminates when
+no state can improve — exactly the condition the paper exploits to prove
+no policy iteration can leave its candidate optimum (Lemma 4).
+
+Assumes a unichain model (every stationary policy yields a single
+recurrent class), which holds for the protocol model: state 0 is
+reachable from everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+import numpy as np
+
+from .model import SMDP
+
+__all__ = ["PolicyEvaluation", "PolicyIterationResult", "evaluate_policy", "policy_iteration"]
+
+State = Hashable
+ActionLabel = Hashable
+Policy = Dict[State, ActionLabel]
+
+
+@dataclass(frozen=True)
+class PolicyEvaluation:
+    """Gain and relative values of a fixed policy (solution of eq. A1)."""
+
+    gain: float
+    values: Dict[State, float]
+
+
+@dataclass(frozen=True)
+class PolicyIterationResult:
+    """Outcome of policy iteration.
+
+    Attributes
+    ----------
+    policy:
+        The final (optimal) policy.
+    gain:
+        Its average cost per unit time.
+    values:
+        Relative values of the final policy.
+    iterations:
+        Number of improvement rounds performed.
+    history:
+        The gain after each value-determination step (monotone
+        non-increasing for a minimisation problem).
+    """
+
+    policy: Policy
+    gain: float
+    values: Dict[State, float]
+    iterations: int
+    history: tuple
+
+
+def evaluate_policy(
+    model: SMDP, policy: Policy, reference: Optional[State] = None
+) -> PolicyEvaluation:
+    """Solve the value-determination equations (A1) for a fixed policy."""
+    states = model.states()
+    if set(policy) != set(states):
+        raise ValueError("policy must assign an action to every state")
+    index = {state: i for i, state in enumerate(states)}
+    n = len(states)
+    if reference is None:
+        reference = states[0]
+    ref = index[reference]
+
+    # Unknowns: v_0..v_{n-1} with v_ref eliminated, plus g (at column ref).
+    a = np.zeros((n, n))
+    b = np.zeros(n)
+    for state in states:
+        i = index[state]
+        data = model.action(state, policy[state])
+        row = np.zeros(n)
+        row_v = np.zeros(n)
+        row_v[i] += 1.0
+        for target, prob in data.transitions.items():
+            row_v[index[target]] -= prob
+        # v_i + g τ_i − Σ p v_j = r_i;  substitute column ref with g.
+        row[:] = row_v
+        row[ref] = data.sojourn  # overwrite the (eliminated) v_ref column with g
+        # careful: if row_v[ref] != 0 it multiplies v_ref = 0, so dropping it
+        # is sound.
+        a[i] = row
+        b[i] = data.cost
+    solution = np.linalg.solve(a, b)
+    gain = float(solution[ref])
+    values = {state: float(solution[index[state]]) for state in states}
+    values[reference] = 0.0
+    return PolicyEvaluation(gain=gain, values=values)
+
+
+def policy_iteration(
+    model: SMDP,
+    initial_policy: Optional[Policy] = None,
+    reference: Optional[State] = None,
+    tol: float = 1e-10,
+    max_iterations: int = 1000,
+) -> PolicyIterationResult:
+    """Minimise the long-run average cost per unit time.
+
+    Parameters
+    ----------
+    model:
+        The SMDP (validated on entry).
+    initial_policy:
+        Starting policy; defaults to the first action of every state.
+    tol:
+        An alternative action replaces the incumbent only when its test
+        quantity improves by more than ``tol`` (prevents cycling between
+        equally good actions).
+    """
+    model.validate()
+    states = model.states()
+    if initial_policy is None:
+        policy = {state: next(iter(model.actions(state))) for state in states}
+    else:
+        policy = dict(initial_policy)
+
+    history = []
+    for iteration in range(1, max_iterations + 1):
+        evaluation = evaluate_policy(model, policy, reference=reference)
+        history.append(evaluation.gain)
+        values = evaluation.values
+        gain = evaluation.gain
+
+        improved = False
+        for state in states:
+            incumbent = model.action(state, policy[state])
+            best_label = policy[state]
+            best_test = _test_quantity(incumbent, gain, values, state)
+            for label, data in model.actions(state).items():
+                if label == policy[state]:
+                    continue
+                test = _test_quantity(data, gain, values, state)
+                if test < best_test - tol:
+                    best_test = test
+                    best_label = label
+            if best_label != policy[state]:
+                policy[state] = best_label
+                improved = True
+
+        if not improved:
+            return PolicyIterationResult(
+                policy=policy,
+                gain=gain,
+                values=values,
+                iterations=iteration,
+                history=tuple(history),
+            )
+    raise RuntimeError(f"policy iteration did not converge in {max_iterations} rounds")
+
+
+def _test_quantity(data, gain: float, values: Dict[State, float], state: State) -> float:
+    """Eq. A2 as a per-unit-time improvement test (lower is better)."""
+    expected_value = sum(prob * values[t] for t, prob in data.transitions.items())
+    return (data.cost - gain * data.sojourn + expected_value - values[state]) / data.sojourn

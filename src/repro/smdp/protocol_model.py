@@ -1,0 +1,299 @@
+"""The pseudo-time SMDP of the controlled window protocol (§3).
+
+States are the pseudo-time backlog ``i ∈ {0, 1, …, K}`` — the amount of
+past time that may still contain untransmitted, undiscarded message
+arrivals (§3.1, eq. 3.2).  A decision chooses the initial window: its
+length ``w``, its position (the pseudo-delay ``a`` of its young edge;
+``a = i − w`` is the paper's oldest-first placement), and the splitting
+order.  ``WAIT`` (let one slot elapse) is also offered so the solver can
+demonstrate it is dominated.
+
+Transition and cost data come from the exact windowing-process law of
+:mod:`repro.crp.joint`:
+
+* a window with occupancy μ = λ·w is empty with probability e^{−μ}
+  (sojourn 1 slot, whole window resolved), else yields a success after
+  ``t`` extra slots with resolved fraction ``f`` and success sub-window
+  width ``s`` (sojourn ``t + M`` slots);
+* the successor backlog is ``i′ = min(K, i − f·w + σ)`` — resolved
+  pseudo time leaves, elapsed real time σ enters, anything beyond K is
+  discarded (policy element 4); fractional backlogs are split
+  stochastically between neighbouring lattice states, preserving the
+  mean;
+* the one-step cost is the paper's one-step pseudo loss (Lemma 3): the
+  expected number of messages aging past K during the transition.  With
+  content density λ per slot of backlog, that is λ times the length of
+  ``(K − σ, i]`` minus its overlap with the resolved chunk — the chunk
+  carries no lost messages (it is empty except for the transmitted
+  message, which is saved).  Unresolved window remainders are treated at
+  density λ (Assumption 1).
+
+The long-run average cost per slot, divided by λ, is the model's
+pseudo-loss fraction — comparable to the queueing model's p(loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+from ..crp.joint import WindowProcessDistribution, windowing_process_outcomes
+from .model import SMDP
+
+__all__ = [
+    "WAIT",
+    "WindowAction",
+    "build_protocol_smdp",
+    "minimum_slack_policy",
+    "lcfs_like_policy",
+    "pseudo_loss_fraction",
+]
+
+WAIT = ("wait",)
+
+OLDER = "older"
+NEWER = "newer"
+
+
+@dataclass(frozen=True)
+class WindowAction:
+    """A window decision: length, young-edge position and split order.
+
+    ``offset`` is the pseudo-delay of the window's *young* edge, so the
+    window covers pseudo-delays ``[offset, offset + length]``; the
+    paper's optimal placement (Theorem 1 element 1) is
+    ``offset = i − length``.
+    """
+
+    length: int
+    offset: int
+    split: str
+
+    def label(self) -> tuple:
+        """Hashable action label used inside the SMDP."""
+        return ("win", self.length, self.offset, self.split)
+
+
+def _resolved_chunk(action: WindowAction, f: float) -> Tuple[float, float]:
+    """Pseudo-delay extent of the resolved chunk for resolved fraction f."""
+    a, w = action.offset, action.length
+    if action.split == OLDER:
+        return a + w * (1.0 - f), a + float(w)
+    if action.split == NEWER:
+        return float(a), a + w * f
+    raise ValueError(f"unknown split order: {action.split!r}")
+
+
+def _one_step_loss(
+    arrival_rate: float,
+    backlog: int,
+    deadline: int,
+    sigma: float,
+    chunk: Optional[Tuple[float, float]],
+) -> float:
+    """λ · |(K − σ, i] \\ resolved chunk| — the expected messages aging out."""
+    critical_lo = max(0.0, deadline - sigma)
+    critical_len = max(0.0, backlog - critical_lo)
+    if critical_len <= 0.0:
+        return 0.0
+    overlap = 0.0
+    if chunk is not None:
+        lo = max(chunk[0], critical_lo)
+        hi = min(chunk[1], float(backlog))
+        overlap = max(0.0, hi - lo)
+    return arrival_rate * (critical_len - overlap)
+
+
+def _lattice_split(value: float, deadline: int) -> Dict[int, float]:
+    """Distribute a fractional backlog onto neighbouring lattice states."""
+    value = min(float(deadline), max(0.0, value))
+    lower = int(value)
+    frac = value - lower
+    if frac < 1e-12 or lower >= deadline:
+        return {min(lower, deadline): 1.0}
+    return {lower: 1.0 - frac, lower + 1: frac}
+
+
+def build_protocol_smdp(
+    arrival_rate: float,
+    deadline: int,
+    transmission: int,
+    window_lengths: Optional[Callable[[int], Iterable[int]]] = None,
+    positions: str = "endpoints",
+    splits: Sequence[str] = (OLDER, NEWER),
+    include_wait: bool = True,
+    depth: int = 8,
+) -> SMDP:
+    """Construct the protocol SMDP over states 0..K.
+
+    Parameters
+    ----------
+    arrival_rate:
+        λ, in messages per slot (*all* messages; discarded ones are the
+        loss being minimised).
+    deadline:
+        K in slots; must be ≥ 1.
+    transmission:
+        M in slots.
+    window_lengths:
+        Maps backlog i → iterable of candidate window lengths (each
+        clipped to ≤ i).  Default: every length 1..i.
+    positions:
+        ``"endpoints"`` offers the oldest-first, newest-first and middle
+        placements per (i, w); ``"all"`` offers every lattice offset
+        (cubic blow-up — keep K small).
+    splits:
+        Which splitting orders to offer.
+    include_wait:
+        Offer the (dominated) WAIT action in every state.
+    depth:
+        Splitting-depth truncation passed to the windowing-process law.
+    """
+    if deadline < 1:
+        raise ValueError(f"deadline must be at least 1 slot, got {deadline}")
+    if transmission < 1:
+        raise ValueError(f"transmission must be at least 1 slot, got {transmission}")
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
+    if positions not in ("endpoints", "all"):
+        raise ValueError(f"unknown positions mode: {positions!r}")
+    for split in splits:
+        if split not in (OLDER, NEWER):
+            raise ValueError(f"unknown split order: {split!r}")
+
+    @lru_cache(maxsize=None)
+    def law(length: int) -> WindowProcessDistribution:
+        return windowing_process_outcomes(arrival_rate * length, depth=depth)
+
+    model = SMDP()
+    for backlog in range(deadline + 1):
+        if include_wait or backlog == 0:
+            wait_target = _lattice_split(backlog + 1.0, deadline)
+            wait_cost = arrival_rate * max(0.0, backlog + 1.0 - deadline)
+            model.add_action(backlog, WAIT, wait_target, sojourn=1.0, cost=wait_cost)
+        if backlog == 0:
+            continue
+
+        lengths = (
+            range(1, backlog + 1)
+            if window_lengths is None
+            else sorted({min(backlog, w) for w in window_lengths(backlog) if w >= 1})
+        )
+        for w in lengths:
+            if positions == "all":
+                offsets = range(backlog - w + 1)
+            else:
+                oldest = backlog - w
+                offsets = sorted({0, oldest // 2, oldest})
+            for offset in offsets:
+                for split in splits:
+                    action = WindowAction(length=w, offset=offset, split=split)
+                    _add_window_action(
+                        model, action, backlog, deadline, transmission,
+                        arrival_rate, law(w),
+                    )
+    return model
+
+
+def _add_window_action(
+    model: SMDP,
+    action: WindowAction,
+    backlog: int,
+    deadline: int,
+    transmission: int,
+    arrival_rate: float,
+    law: WindowProcessDistribution,
+) -> None:
+    """Aggregate the windowing-process law into one SMDP action."""
+    transitions: Dict[int, float] = {}
+    expected_cost = 0.0
+    expected_sojourn = 0.0
+    total_mass = 0.0
+
+    def accumulate(probability: float, sigma: float, resolved: float,
+                   chunk: Optional[Tuple[float, float]]) -> None:
+        nonlocal expected_cost, expected_sojourn, total_mass
+        total_mass += probability
+        expected_sojourn += probability * sigma
+        expected_cost += probability * _one_step_loss(
+            arrival_rate, backlog, deadline, sigma, chunk
+        )
+        successor = backlog - resolved + sigma
+        for state, weight in _lattice_split(successor, deadline).items():
+            key = state
+            transitions[key] = transitions.get(key, 0.0) + probability * weight
+
+    # Empty window: one slot, the whole window resolved, no transmission.
+    # The chunk spans the full window (it is known message-free).
+    empty_chunk = (float(action.offset), float(action.offset + action.length))
+    accumulate(law.empty_probability, 1.0, float(action.length), empty_chunk)
+
+    for (t, f, _s), probability in law.success_outcomes:
+        sigma = float(t + transmission)
+        resolved = f * action.length
+        chunk = _resolved_chunk(action, f)
+        accumulate(probability, sigma, resolved, chunk)
+
+    # Assign the (tiny) Poisson-truncation remainder to the most common
+    # success outcome shape so probabilities sum to one.
+    remainder = 1.0 - total_mass
+    if remainder > 1e-15:
+        accumulate(remainder, float(1 + transmission), float(action.length),
+                   _resolved_chunk(action, 1.0))
+
+    # Normalise against floating-point drift.
+    norm = sum(transitions.values())
+    transitions = {state: p / norm for state, p in transitions.items()}
+    model.add_action(
+        backlog,
+        action.label(),
+        transitions,
+        sojourn=expected_sojourn / norm,
+        cost=expected_cost / norm,
+    )
+
+
+def minimum_slack_policy(
+    model: SMDP, window_rule: Optional[Callable[[int], int]] = None
+) -> Dict:
+    """The paper's candidate optimum P_ms: oldest-first window, older split.
+
+    ``window_rule`` maps backlog → desired window length (clipped to the
+    backlog); default picks the largest available length (one windowing
+    pass over the whole backlog).  Raises if the model lacks the needed
+    actions.
+    """
+    policy = {}
+    for state in model.states():
+        if state == 0:
+            policy[state] = WAIT
+            continue
+        length = state if window_rule is None else max(1, min(state, window_rule(state)))
+        label = ("win", length, state - length, OLDER)
+        model.action(state, label)  # raises KeyError if absent
+        policy[state] = label
+    return policy
+
+
+def lcfs_like_policy(
+    model: SMDP, window_rule: Optional[Callable[[int], int]] = None
+) -> Dict:
+    """Newest-first window with newer-half-first splitting (worst case)."""
+    policy = {}
+    for state in model.states():
+        if state == 0:
+            policy[state] = WAIT
+            continue
+        length = state if window_rule is None else max(1, min(state, window_rule(state)))
+        label = ("win", length, 0, NEWER)
+        model.action(state, label)
+        policy[state] = label
+    return policy
+
+
+def pseudo_loss_fraction(gain: float, arrival_rate: float) -> float:
+    """Convert an SMDP gain (losses per slot) to a loss fraction."""
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
+    return gain / arrival_rate

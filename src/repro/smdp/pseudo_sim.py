@@ -1,0 +1,327 @@
+"""Monte-Carlo simulation of the protocol in pseudo time.
+
+An independent check on both the SMDP numerics and Theorem 1: the
+protocol is simulated directly on the compressed (pseudo-time) axis of
+§3.1 with *actual* message arrivals, under an arbitrary window-control
+policy — any window position, any splitting order.
+
+Loss accounting follows the paper's definitions carefully, because they
+diverge for non-optimal policies (Lemma 1):
+
+* a message's **pseudo delay** is its position on the compressed axis;
+  it *decreases* whenever younger time is resolved out from under it,
+  which happens under newest-first window placement;
+* a message's **actual delay** is real elapsed time since its arrival;
+* a message is **actually lost** when it is not transmitted with actual
+  delay ≤ K — either because policy element 4 discarded it (its pseudo
+  delay crossed K) or because it was transmitted too late (the receiver
+  discards it).
+
+Under the minimum-slack elements (oldest placement, older-half-first)
+resolution always removes the *oldest prefix* of the backlog, so no
+compression gaps form, pseudo = actual delay (Lemma 2), and late
+transmissions cannot occur.  Other policies can show small pseudo loss
+yet large actual loss — scoring the actual loss is what makes the
+Theorem 1 ranking come out on sample paths.
+
+Dynamics per decision (cf. the protocol walk-through of Figure 4):
+
+1. the policy picks a window ``[a, a + w]`` inside the backlog ``[0, i]``
+   (delay coordinates, larger = older) and a split order;
+2. the windowing process runs on the real message positions — idle /
+   success / collision per examined sub-window, one slot each for idle
+   and collision outcomes — until one message is transmitted (σ = slots
+   + M) or the window proves empty (σ = 1);
+3. the resolved chunk is removed (compressing older delays down), all
+   delays age by σ, fresh Poisson arrivals fill ``[0, σ)``, and content
+   whose pseudo delay crosses K is discarded.
+
+Unlike the SMDP (which invokes Assumption 1), this simulation keeps the
+exact conditional arrival statistics, so agreement validates both the
+model and the assumption; disagreement quantifies the assumption's cost.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["PseudoSimResult", "WindowPolicy", "make_window_policy", "simulate_pseudo_protocol"]
+
+# A policy maps the backlog extent to (window length, young-edge offset,
+# split order), or None to wait one slot.
+WindowPolicy = Callable[[float], Optional[Tuple[float, float, str]]]
+
+_MAX_SPLIT_DEPTH = 60  # beyond float resolution; forces capture of ties
+
+
+@dataclass(frozen=True)
+class PseudoSimResult:
+    """Counts from a pseudo-time protocol simulation.
+
+    Attributes
+    ----------
+    arrivals:
+        Messages generated after warm-up.
+    aged_out:
+        Messages discarded when their pseudo delay crossed K (element 4).
+    late_transmissions:
+        Messages transmitted with *actual* delay above K (lost at the
+        receiver; zero under the minimum-slack policy by Lemma 2).
+    on_time_transmissions:
+        Messages transmitted with actual delay ≤ K.
+    elapsed_slots:
+        Simulated measurement time, in τ slots.
+    """
+
+    arrivals: int
+    aged_out: int
+    late_transmissions: int
+    on_time_transmissions: int
+    elapsed_slots: float
+
+    @property
+    def losses(self) -> int:
+        """Total actually-lost messages (aged out + transmitted late)."""
+        return self.aged_out + self.late_transmissions
+
+    @property
+    def transmissions(self) -> int:
+        """All transmissions, on time or not."""
+        return self.on_time_transmissions + self.late_transmissions
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of messages actually lost (NaN when no arrivals)."""
+        return self.losses / self.arrivals if self.arrivals else float("nan")
+
+    @property
+    def pseudo_loss_fraction(self) -> float:
+        """Fraction lost by pseudo-delay aging only (Lemma 1's lower bound)."""
+        return self.aged_out / self.arrivals if self.arrivals else float("nan")
+
+    @property
+    def throughput(self) -> float:
+        """Transmissions per slot."""
+        return self.transmissions / self.elapsed_slots if self.elapsed_slots else 0.0
+
+
+def make_window_policy(
+    window_length: float,
+    placement: str = "oldest",
+    split: str = "older",
+    rng: Optional[np.random.Generator] = None,
+) -> WindowPolicy:
+    """Build a stationary window policy.
+
+    Parameters
+    ----------
+    window_length:
+        Desired initial window length (clipped to the backlog).
+    placement:
+        ``"oldest"`` (Theorem 1 element 1), ``"newest"`` or ``"random"``.
+    split:
+        ``"older"`` (Theorem 1 element 3) or ``"newer"``.
+    rng:
+        Required for random placement.
+    """
+    if placement not in ("oldest", "newest", "random"):
+        raise ValueError(f"unknown placement: {placement!r}")
+    if split not in ("older", "newer"):
+        raise ValueError(f"unknown split: {split!r}")
+    if placement == "random" and rng is None:
+        raise ValueError("random placement needs an rng")
+
+    def policy(extent: float) -> Optional[Tuple[float, float, str]]:
+        if extent <= 0:
+            return None
+        w = min(window_length, extent)
+        if placement == "oldest":
+            offset = extent - w
+        elif placement == "newest":
+            offset = 0.0
+        else:
+            offset = rng.uniform(0.0, extent - w)
+        return (w, offset, split)
+
+    return policy
+
+
+def _run_windowing(
+    delays: list,
+    lo: float,
+    hi: float,
+    split: str,
+) -> Tuple[int, float, float, Optional[int]]:
+    """Run one windowing process on the sorted pseudo-delay list.
+
+    Returns ``(slots, chunk_lo, chunk_hi, transmitted_index)`` where the
+    chunk is the resolved delay interval and ``transmitted_index`` points
+    into ``delays`` (None when the window was empty).  ``slots`` counts
+    idle and collision slots only; the success slot starts the
+    transmission itself.
+    """
+    left = bisect.bisect_left(delays, lo)
+    right = bisect.bisect_right(delays, hi)
+    count = right - left
+    if count == 0:
+        return 1, lo, hi, None
+    if count == 1:
+        return 0, lo, hi, left
+
+    # Collision on the initial window: one detection slot, then split.
+    slots = 1
+    cur_lo, cur_hi = lo, hi
+    for _ in range(_MAX_SPLIT_DEPTH):
+        mid = 0.5 * (cur_lo + cur_hi)
+        if split == "older":
+            exam_lo, exam_hi = mid, cur_hi
+            other_lo, other_hi = cur_lo, mid
+        else:
+            exam_lo, exam_hi = cur_lo, mid
+            other_lo, other_hi = mid, cur_hi
+
+        e_left = bisect.bisect_left(delays, exam_lo)
+        e_right = bisect.bisect_right(delays, exam_hi)
+        in_exam = e_right - e_left
+        if in_exam == 1:
+            if split == "older":
+                # Everything from mid up to the window's old edge resolved.
+                return slots, mid, hi, e_left
+            # Mirror image: everything from the window's young edge up to
+            # the success sub-window's old edge (= mid) is resolved.
+            return slots, lo, exam_hi, e_left
+        if in_exam == 0:
+            # Idle slot; the other half holds >= 2 and is split immediately.
+            slots += 1
+            cur_lo, cur_hi = other_lo, other_hi
+        else:
+            # Collision slot; recurse into the examined half.
+            slots += 1
+            cur_lo, cur_hi = exam_lo, exam_hi
+
+    # Ties beyond float resolution: force-transmit the appropriate edge
+    # message of the unresolvable interval (capture effect).
+    left = bisect.bisect_left(delays, cur_lo)
+    right = bisect.bisect_right(delays, cur_hi)
+    index = right - 1 if split == "older" else left
+    if split == "older":
+        return slots, cur_lo, hi, index
+    return slots, lo, cur_hi, index
+
+
+def simulate_pseudo_protocol(
+    arrival_rate: float,
+    deadline: float,
+    transmission: int,
+    policy: WindowPolicy,
+    horizon_slots: float,
+    rng: np.random.Generator,
+    warmup_slots: float = 0.0,
+) -> PseudoSimResult:
+    """Simulate the protocol on the pseudo-time axis under ``policy``.
+
+    Parameters
+    ----------
+    arrival_rate:
+        λ in messages per slot (all messages).
+    deadline:
+        K in slots (both the element-4 discard age and the receiver
+        deadline).
+    transmission:
+        M in slots.
+    horizon_slots:
+        Measured simulation length (after ``warmup_slots``).
+    """
+    if deadline <= 0:
+        raise ValueError(f"deadline must be positive, got {deadline}")
+    if horizon_slots <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon_slots}")
+
+    delays: list = []  # sorted pseudo delays, ascending (index 0 youngest)
+    born: list = []  # parallel: arrival clock time of each message
+    extent = 0.0
+    clock = 0.0
+    measuring = warmup_slots <= 0.0
+    arrivals = aged_out = late = on_time = 0
+    measured_start = warmup_slots
+
+    while clock < warmup_slots + horizon_slots:
+        decision = policy(extent)
+        if decision is None:
+            sigma = 1.0
+            chunk: Optional[Tuple[float, float]] = None
+            transmitted = None
+        else:
+            w, offset, split = decision
+            if w <= 0 or offset < -1e-12 or offset + w > extent + 1e-9:
+                raise ValueError(
+                    f"policy returned window ({w}, {offset}) outside backlog {extent}"
+                )
+            slots, chunk_lo, chunk_hi, transmitted = _run_windowing(
+                delays, offset, offset + w, split
+            )
+            sigma = 1.0 if transmitted is None else float(slots + transmission)
+            chunk = (chunk_lo, chunk_hi)
+
+        if transmitted is not None:
+            # The paper's waiting time: arrival -> start of the windowing
+            # process that transmits the message (= current clock).
+            actual_delay = clock - born[transmitted]
+            delays.pop(transmitted)
+            born.pop(transmitted)
+            if measuring:
+                if actual_delay > deadline + 1e-9:
+                    late += 1
+                else:
+                    on_time += 1
+
+        # Remove the resolved chunk: delays older than it compress down.
+        if chunk is not None:
+            chunk_lo, chunk_hi = chunk
+            width = chunk_hi - chunk_lo
+            cut = bisect.bisect_right(delays, chunk_hi)
+            for k in range(cut, len(delays)):
+                delays[k] -= width
+            extent -= width
+
+        # Age everything by sigma and admit fresh arrivals in [0, sigma).
+        n_new = rng.poisson(arrival_rate * sigma)
+        if n_new:
+            offsets = np.sort(rng.uniform(0.0, sigma, size=n_new))
+            new_delays = [float(d) for d in offsets]
+            # offset d means the message arrived d slots before clock+sigma
+            new_born = [clock + sigma - d for d in new_delays]
+        else:
+            new_delays, new_born = [], []
+        delays = new_delays + [d + sigma for d in delays]
+        born = new_born + born
+        extent += sigma
+        if measuring:
+            arrivals += n_new
+
+        # Element 4: discard anything whose pseudo delay exceeds K.
+        if extent > deadline:
+            first_drop = bisect.bisect_right(delays, deadline)
+            dropped = len(delays) - first_drop
+            if dropped:
+                del delays[first_drop:]
+                del born[first_drop:]
+                if measuring:
+                    aged_out += dropped
+            extent = deadline
+
+        clock += sigma
+        if not measuring and clock >= measured_start:
+            measuring = True
+
+    return PseudoSimResult(
+        arrivals=arrivals,
+        aged_out=aged_out,
+        late_transmissions=late,
+        on_time_transmissions=on_time,
+        elapsed_slots=clock - measured_start,
+    )

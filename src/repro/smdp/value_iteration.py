@@ -1,0 +1,119 @@
+"""Relative value iteration for average-cost SMDPs (cross-check solver).
+
+Policy iteration (the paper's method) is validated against an
+independent algorithm: the Schweitzer data transformation converts the
+SMDP into a discrete-time MDP with the *same* optimal average cost per
+unit time,
+
+    c̃(i,a)   = c(i,a) / τ(i,a)
+    p̃(j|i,a) = (η/τ(i,a)) · (p(j|i,a) − δ_ij) + δ_ij
+
+for any aperiodicity constant 0 < η < min τ, after which standard
+relative value iteration applies:
+
+    v_{n+1}(i) = min_a [ c̃(i,a) + Σ_j p̃(j|i,a) v_n(j) ] − shift
+
+with the span of successive differences as the stopping criterion; the
+average cost is the limiting per-stage increment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable
+
+import numpy as np
+
+from .model import SMDP
+
+__all__ = ["ValueIterationResult", "relative_value_iteration"]
+
+State = Hashable
+
+
+@dataclass(frozen=True)
+class ValueIterationResult:
+    """Outcome of relative value iteration.
+
+    Attributes
+    ----------
+    gain:
+        Optimal average cost per unit time.
+    policy:
+        A greedy policy attaining it.
+    values:
+        Final relative values (transformed chain).
+    iterations:
+        Sweeps performed.
+    span:
+        Final span of the value-difference vector (convergence measure).
+    """
+
+    gain: float
+    policy: Dict
+    values: Dict[State, float]
+    iterations: int
+    span: float
+
+
+def relative_value_iteration(
+    model: SMDP,
+    tol: float = 1e-10,
+    max_iterations: int = 1_000_000,
+) -> ValueIterationResult:
+    """Solve the average-cost problem by transformed value iteration."""
+    model.validate()
+    states = model.states()
+    index = {state: i for i, state in enumerate(states)}
+    n = len(states)
+    min_sojourn, _ = model.uniform_sojourn_bound()
+    eta = 0.5 * min_sojourn  # strictly inside (0, min τ) for aperiodicity
+
+    # Precompute transformed costs and transition rows per (state, action).
+    compiled = []
+    for state in states:
+        rows = []
+        for label, data in model.actions(state).items():
+            cost = data.cost / data.sojourn
+            row = np.zeros(n)
+            scale = eta / data.sojourn
+            for target, prob in data.transitions.items():
+                row[index[target]] += scale * prob
+            i = index[state]
+            row[i] += 1.0 - scale
+            rows.append((label, cost, row))
+        compiled.append(rows)
+
+    v = np.zeros(n)
+    policy = [None] * n
+    span = np.inf
+    for iteration in range(1, max_iterations + 1):
+        new_v = np.empty(n)
+        for i, rows in enumerate(compiled):
+            best = np.inf
+            best_label = None
+            for label, cost, row in rows:
+                candidate = cost + float(row @ v)
+                if candidate < best:
+                    best = candidate
+                    best_label = label
+            new_v[i] = best
+            policy[i] = best_label
+        diff = new_v - v
+        span = float(diff.max() - diff.min())
+        gain_per_stage = float(diff.mean())
+        v = new_v - new_v[0]  # keep values bounded
+        if span < tol:
+            # Average cost per stage of the transformed chain equals the
+            # original average cost per unit time.
+            return ValueIterationResult(
+                gain=gain_per_stage,
+                policy={state: policy[index[state]] for state in states},
+                values={state: float(v[index[state]]) for state in states},
+                iterations=iteration,
+                span=span,
+            )
+    raise RuntimeError(
+        f"value iteration did not reach span {tol} in {max_iterations} sweeps "
+        f"(span = {span:.3e})"
+    )

@@ -1,0 +1,15 @@
+"""Output-analysis substrate: confidence intervals and summaries."""
+
+from .intervals import ConfidenceInterval, batch_means, proportion_interval, t_interval
+from .summaries import Summary, describe, monotone_fraction, relative_error
+
+__all__ = [
+    "ConfidenceInterval",
+    "t_interval",
+    "batch_means",
+    "proportion_interval",
+    "Summary",
+    "describe",
+    "relative_error",
+    "monotone_fraction",
+]

@@ -1,0 +1,15 @@
+"""Traffic-generation substrate: Poisson, MMPP, voice and sensor models."""
+
+from .arrivals import MMPPWorkload, PoissonWorkload, Workload
+from .sensor import SensorWorkload
+from .trace import TraceWorkload
+from .voice import VoiceWorkload
+
+__all__ = [
+    "Workload",
+    "PoissonWorkload",
+    "MMPPWorkload",
+    "VoiceWorkload",
+    "SensorWorkload",
+    "TraceWorkload",
+]

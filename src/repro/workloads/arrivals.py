@@ -1,0 +1,110 @@
+"""Arrival-process generators for the MAC simulator.
+
+The paper's analysis assumes network-wide Poisson arrivals
+(:class:`PoissonWorkload`).  The motivating applications are bursty —
+packetized voice [Cohen 77] and distributed sensor networks [DSN 82] —
+so this package also provides a Markov-modulated Poisson process and the
+domain workloads in :mod:`repro.workloads.voice` and
+:mod:`repro.workloads.sensor`, all conforming to the :class:`Workload`
+interface the simulator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["Workload", "PoissonWorkload", "MMPPWorkload"]
+
+
+class Workload:
+    """Interface: generate network-wide arrivals over a horizon.
+
+    Implementations return arrival instants (sorted, in τ-slot units)
+    and the originating station of each arrival.
+    """
+
+    def generate(
+        self, horizon: float, n_stations: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(times, stations)`` for arrivals in ``[0, horizon)``."""
+        raise NotImplementedError
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run arrivals per slot (used by window-length heuristics)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PoissonWorkload(Workload):
+    """Homogeneous Poisson arrivals, stations assigned uniformly."""
+
+    rate: float
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {self.rate}")
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate
+
+    def generate(self, horizon, n_stations, rng):
+        n = rng.poisson(self.rate * horizon)
+        times = np.sort(rng.uniform(0.0, horizon, size=n))
+        stations = rng.integers(0, n_stations, size=n)
+        return times, stations
+
+
+@dataclass(frozen=True)
+class MMPPWorkload(Workload):
+    """Two-state Markov-modulated Poisson process (bursty traffic).
+
+    The modulating chain alternates between a *low* and a *high* state
+    with exponential holding times; arrivals are Poisson at the state's
+    rate.  Stations are assigned uniformly.
+
+    Parameters
+    ----------
+    low_rate / high_rate:
+        Arrival rates in the two states (per slot).
+    mean_low / mean_high:
+        Mean holding times of the two states (slots).
+    """
+
+    low_rate: float
+    high_rate: float
+    mean_low: float
+    mean_high: float
+
+    def __post_init__(self):
+        if min(self.low_rate, self.high_rate) < 0 or self.high_rate <= 0:
+            raise ValueError("rates must be non-negative with high_rate > 0")
+        if min(self.mean_low, self.mean_high) <= 0:
+            raise ValueError("holding times must be positive")
+
+    @property
+    def mean_rate(self) -> float:
+        weight_low = self.mean_low / (self.mean_low + self.mean_high)
+        return weight_low * self.low_rate + (1.0 - weight_low) * self.high_rate
+
+    def generate(self, horizon, n_stations, rng):
+        times = []
+        clock = 0.0
+        # Start in a state drawn from the stationary distribution.
+        in_high = rng.random() < self.mean_high / (self.mean_low + self.mean_high)
+        while clock < horizon:
+            hold = rng.exponential(self.mean_high if in_high else self.mean_low)
+            end = min(clock + hold, horizon)
+            rate = self.high_rate if in_high else self.low_rate
+            if rate > 0:
+                n = rng.poisson(rate * (end - clock))
+                times.append(rng.uniform(clock, end, size=n))
+            clock = end
+            in_high = not in_high
+        all_times = np.sort(np.concatenate(times)) if times else np.empty(0)
+        stations = rng.integers(0, n_stations, size=all_times.size)
+        return all_times, stations

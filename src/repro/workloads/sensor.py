@@ -1,0 +1,107 @@
+"""Distributed-sensor-network traffic ([DSN 82], the paper's second
+motivating application).
+
+Two components:
+
+* **periodic reports** — every sensor reports once per cycle at a fixed
+  phase with small jitter (measurements are only useful while fresh —
+  the time-constrained requirement);
+* **event bursts** — a Poisson process of detection events, each causing
+  a cluster of nearby sensors to report almost simultaneously.  Bursts
+  are what stress the collision-resolution machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .arrivals import Workload
+
+__all__ = ["SensorWorkload"]
+
+
+@dataclass(frozen=True)
+class SensorWorkload(Workload):
+    """Periodic sensor reports plus Poisson event bursts.
+
+    Parameters
+    ----------
+    n_sensors:
+        Number of sensors (mapped to stations round-robin).
+    report_period:
+        Slots between successive reports of one sensor.
+    report_jitter:
+        Uniform jitter applied to each report instant (slots).
+    event_rate:
+        Poisson rate of detection events (per slot); 0 disables bursts.
+    burst_size:
+        Mean number of sensors reporting per event (Poisson, ≥1 forced).
+    burst_spread:
+        Event reports fall uniformly within this many slots of the event.
+    """
+
+    n_sensors: int
+    report_period: float
+    report_jitter: float = 1.0
+    event_rate: float = 0.0
+    burst_size: float = 5.0
+    burst_spread: float = 4.0
+
+    def __post_init__(self):
+        if self.n_sensors < 1:
+            raise ValueError(f"need at least one sensor, got {self.n_sensors}")
+        if self.report_period <= 0:
+            raise ValueError("report period must be positive")
+        if self.report_jitter < 0 or self.report_jitter >= self.report_period:
+            raise ValueError("jitter must be in [0, report_period)")
+        if self.event_rate < 0:
+            raise ValueError("event rate must be non-negative")
+        if self.burst_spread <= 0 or self.burst_size <= 0:
+            raise ValueError("burst parameters must be positive")
+
+    @property
+    def mean_rate(self) -> float:
+        """Aggregate arrivals per slot (reports + burst traffic)."""
+        periodic = self.n_sensors / self.report_period
+        bursty = self.event_rate * self.burst_size
+        return periodic + bursty
+
+    def generate(self, horizon, n_stations, rng):
+        times = []
+        stations = []
+
+        # Periodic reports with random phases.
+        for sensor in range(self.n_sensors):
+            station = sensor % n_stations
+            phase = rng.uniform(0.0, self.report_period)
+            t = phase
+            while t < horizon:
+                instant = t + (
+                    rng.uniform(0.0, self.report_jitter) if self.report_jitter else 0.0
+                )
+                if instant < horizon:
+                    times.append(instant)
+                    stations.append(station)
+                t += self.report_period
+
+        # Event bursts.
+        if self.event_rate > 0:
+            n_events = rng.poisson(self.event_rate * horizon)
+            for event_time in rng.uniform(0.0, horizon, size=n_events):
+                n_reports = max(1, rng.poisson(self.burst_size))
+                reporters = rng.choice(
+                    self.n_sensors, size=min(n_reports, self.n_sensors), replace=False
+                )
+                for sensor in reporters:
+                    instant = event_time + rng.uniform(0.0, self.burst_spread)
+                    if instant < horizon:
+                        times.append(instant)
+                        stations.append(int(sensor) % n_stations)
+
+        order = np.argsort(times) if times else np.empty(0, dtype=int)
+        return (
+            np.asarray(times, dtype=float)[order],
+            np.asarray(stations, dtype=int)[order],
+        )

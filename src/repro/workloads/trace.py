@@ -1,0 +1,135 @@
+"""Trace-replay workload.
+
+The paper's applications come with real traffic (voice frames, sensor
+telemetry).  When a captured trace is available, :class:`TraceWorkload`
+replays it through the simulator; traces round-trip through a simple
+two-column CSV (`time,station`) so experiments are shareable.  Traces
+longer than the simulated horizon are truncated; shorter ones can
+optionally be tiled periodically.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from .arrivals import Workload
+
+__all__ = ["TraceWorkload"]
+
+
+@dataclass(frozen=True)
+class TraceWorkload(Workload):
+    """Replay a fixed sequence of (time, station) arrivals.
+
+    Parameters
+    ----------
+    times:
+        Arrival instants in τ-slot units, sorted ascending.
+    stations:
+        Originating station per arrival (wrapped modulo the simulated
+        station count at generation time).
+    tile:
+        When true, repeat the trace with its own duration as the period
+        to fill any horizon; otherwise arrivals beyond the trace end are
+        simply absent.
+    """
+
+    times: Tuple[float, ...]
+    stations: Tuple[int, ...]
+    tile: bool = False
+
+    def __post_init__(self):
+        if len(self.times) != len(self.stations):
+            raise ValueError("times and stations must have equal length")
+        if not self.times:
+            raise ValueError("a trace needs at least one arrival")
+        if any(b < a for a, b in zip(self.times, self.times[1:])):
+            raise ValueError("trace times must be sorted ascending")
+        if self.times[0] < 0:
+            raise ValueError("trace times must be non-negative")
+        if any(s < 0 for s in self.stations):
+            raise ValueError("station ids must be non-negative")
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_arrays(cls, times, stations, tile: bool = False) -> "TraceWorkload":
+        """Build from array-likes."""
+        return cls(
+            times=tuple(float(t) for t in times),
+            stations=tuple(int(s) for s in stations),
+            tile=tile,
+        )
+
+    @classmethod
+    def from_csv(cls, source: Union[str, Path, io.TextIOBase],
+                 tile: bool = False) -> "TraceWorkload":
+        """Load a `time,station` CSV (header optional)."""
+        if isinstance(source, (str, Path)):
+            text = Path(source).read_text()
+        else:
+            text = source.read()
+        times = []
+        stations = []
+        for line_number, line in enumerate(text.strip().splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            cells = line.split(",")
+            if len(cells) != 2:
+                raise ValueError(f"line {line_number}: expected 'time,station'")
+            if line_number == 1 and not _is_number(cells[0]):
+                continue  # header row
+            times.append(float(cells[0]))
+            stations.append(int(cells[1]))
+        return cls.from_arrays(times, stations, tile=tile)
+
+    def to_csv(self) -> str:
+        """Serialise as a `time,station` CSV with header."""
+        out = io.StringIO()
+        out.write("time,station\n")
+        for t, s in zip(self.times, self.stations):
+            out.write(f"{t:.9g},{s}\n")
+        return out.getvalue()
+
+    # -- Workload interface -------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Trace span used as the tiling period (last arrival + one gap)."""
+        if len(self.times) > 1:
+            mean_gap = (self.times[-1] - self.times[0]) / (len(self.times) - 1)
+        else:
+            mean_gap = max(self.times[0], 1.0)
+        return self.times[-1] + mean_gap
+
+    @property
+    def mean_rate(self) -> float:
+        return len(self.times) / self.duration
+
+    def generate(self, horizon, n_stations, rng):
+        del rng  # replay is deterministic
+        times = np.asarray(self.times)
+        stations = np.asarray(self.stations) % n_stations
+        if not self.tile:
+            keep = times < horizon
+            return times[keep], stations[keep]
+        period = self.duration
+        reps = int(np.ceil(horizon / period))
+        tiled_t = np.concatenate([times + k * period for k in range(reps)])
+        tiled_s = np.concatenate([stations] * reps)
+        keep = tiled_t < horizon
+        return tiled_t[keep], tiled_s[keep]
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True

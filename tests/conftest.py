@@ -1,0 +1,34 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# A single moderate profile: the analytic code paths are fast, but a few
+# property tests construct distributions; keep examples bounded so the
+# whole suite stays snappy.
+settings.register_profile(
+    "repro",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for simulation tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory producing independent deterministic generators."""
+
+    def make(seed: int) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return make

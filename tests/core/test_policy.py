@@ -1,0 +1,126 @@
+"""Tests for the control-policy elements and factories."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ControlPolicy,
+    FixedLength,
+    FullBacklogLength,
+    IntervalSet,
+    NewestFirstPosition,
+    OccupancyLength,
+    OldestFirstPosition,
+    RandomPosition,
+)
+from repro.crp import optimal_window_occupancy
+
+
+def backlog(*intervals):
+    s = IntervalSet()
+    for lo, hi in intervals:
+        s.add(lo, hi)
+    return s
+
+
+class TestPositionRules:
+    def test_oldest_first(self):
+        s = backlog((0.0, 4.0), (6.0, 10.0))
+        span = OldestFirstPosition().select(s, 5.0, None)
+        assert span.pieces == ((0.0, 4.0), (6.0, 7.0))
+
+    def test_newest_first(self):
+        s = backlog((0.0, 4.0), (6.0, 10.0))
+        span = NewestFirstPosition().select(s, 5.0, None)
+        assert span.pieces == ((3.0, 4.0), (6.0, 10.0))
+
+    def test_random_requires_rng(self):
+        s = backlog((0.0, 10.0))
+        with pytest.raises(ValueError):
+            RandomPosition().select(s, 2.0, None)
+
+    def test_random_within_backlog(self):
+        s = backlog((0.0, 10.0))
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            span = RandomPosition().select(s, 2.0, rng)
+            assert span.measure == pytest.approx(2.0)
+            assert span.start >= 0.0
+            assert span.end <= 10.0
+
+
+class TestLengthRules:
+    def test_fixed(self):
+        assert FixedLength(7.5).length(100.0) == 7.5
+
+    def test_fixed_positive_required(self):
+        with pytest.raises(ValueError):
+            FixedLength(0.0)
+
+    def test_full_backlog(self):
+        assert FullBacklogLength().length(42.0) == 42.0
+        assert FullBacklogLength().length(0.0) == 1.0
+
+    def test_occupancy_default_uses_mu_star(self):
+        rule = OccupancyLength(arrival_rate=0.02)
+        assert rule.length(1000.0) == pytest.approx(
+            optimal_window_occupancy() / 0.02
+        )
+
+    def test_occupancy_explicit(self):
+        rule = OccupancyLength(arrival_rate=0.5, occupancy=2.0)
+        assert rule.length(1000.0) == pytest.approx(4.0)
+
+    def test_occupancy_rate_positive(self):
+        with pytest.raises(ValueError):
+            OccupancyLength(arrival_rate=0.0)
+
+
+class TestControlPolicy:
+    def test_optimal_factory(self):
+        policy = ControlPolicy.optimal(deadline=100.0, accepted_rate=0.02)
+        assert isinstance(policy.position, OldestFirstPosition)
+        assert policy.split == "older"
+        assert policy.discard_deadline == 100.0
+        assert policy.name == "controlled"
+
+    def test_uncontrolled_factories(self):
+        fcfs = ControlPolicy.uncontrolled_fcfs(0.02)
+        lcfs = ControlPolicy.uncontrolled_lcfs(0.02)
+        rnd = ControlPolicy.uncontrolled_random(0.02)
+        assert fcfs.discard_deadline is None
+        assert isinstance(lcfs.position, NewestFirstPosition)
+        assert lcfs.split == "newer"
+        assert isinstance(rnd.position, RandomPosition)
+        assert rnd.split == "random"
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ValueError):
+            ControlPolicy(
+                position=OldestFirstPosition(),
+                length=FixedLength(1.0),
+                split="sideways",
+                discard_deadline=None,
+                name="x",
+            )
+
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            ControlPolicy(
+                position=OldestFirstPosition(),
+                length=FixedLength(1.0),
+                split="older",
+                discard_deadline=0.0,
+                name="x",
+            )
+
+    def test_invalid_arity_rejected(self):
+        with pytest.raises(ValueError):
+            ControlPolicy(
+                position=OldestFirstPosition(),
+                length=FixedLength(1.0),
+                split="older",
+                discard_deadline=None,
+                name="x",
+                split_arity=1,
+            )

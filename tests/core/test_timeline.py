@@ -1,0 +1,200 @@
+"""Tests for IntervalSet and Span (the station's time-axis view)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import IntervalSet, Span
+
+
+class TestSpan:
+    def test_measure(self):
+        span = Span(((0.0, 2.0), (5.0, 8.0)))
+        assert span.measure == pytest.approx(5.0)
+
+    def test_start_end(self):
+        span = Span(((0.0, 2.0), (5.0, 8.0)))
+        assert span.start == 0.0
+        assert span.end == 8.0
+
+    def test_empty_span(self):
+        span = Span(())
+        assert span.is_empty()
+        with pytest.raises(ValueError):
+            span.start
+
+    def test_split_half_contiguous(self):
+        older, newer = Span(((0.0, 4.0),)).split_half()
+        assert older.pieces == ((0.0, 2.0),)
+        assert newer.pieces == ((2.0, 4.0),)
+
+    def test_split_half_across_gap(self):
+        span = Span(((0.0, 2.0), (10.0, 12.0)))
+        older, newer = span.split_half()
+        assert older.pieces == ((0.0, 2.0),)
+        assert newer.pieces == ((10.0, 12.0),)
+
+    def test_split_at_measure_partial_piece(self):
+        span = Span(((0.0, 3.0), (5.0, 6.0)))
+        older, newer = span.split_at_measure(1.5)
+        assert older.pieces == ((0.0, 1.5),)
+        assert newer.measure == pytest.approx(2.5)
+
+    def test_split_measure_out_of_range(self):
+        with pytest.raises(ValueError):
+            Span(((0.0, 1.0),)).split_at_measure(2.0)
+
+    def test_contains(self):
+        span = Span(((0.0, 1.0), (3.0, 4.0)))
+        assert span.contains(0.5)
+        assert span.contains(3.0)
+        assert not span.contains(2.0)
+
+    @given(width=st.floats(0.1, 100.0), cut=st.floats(0.0, 1.0))
+    def test_split_preserves_measure_property(self, width, cut):
+        span = Span(((0.0, width),))
+        older, newer = span.split_at_measure(cut * width)
+        assert older.measure + newer.measure == pytest.approx(width)
+
+
+class TestIntervalSet:
+    def test_empty(self):
+        s = IntervalSet()
+        assert s.is_empty()
+        assert s.measure == 0.0
+        with pytest.raises(ValueError):
+            s.oldest()
+        with pytest.raises(ValueError):
+            s.youngest()
+
+    def test_add_and_measure(self):
+        s = IntervalSet()
+        s.add(0.0, 5.0)
+        assert s.measure == pytest.approx(5.0)
+        assert s.oldest() == 0.0
+        assert s.youngest() == 5.0
+
+    def test_add_merges_overlapping(self):
+        s = IntervalSet()
+        s.add(0.0, 2.0)
+        s.add(1.0, 4.0)
+        assert s.intervals() == [(0.0, 4.0)]
+
+    def test_add_merges_adjacent(self):
+        s = IntervalSet()
+        s.add(0.0, 2.0)
+        s.add(2.0, 4.0)
+        assert s.intervals() == [(0.0, 4.0)]
+
+    def test_add_keeps_disjoint(self):
+        s = IntervalSet()
+        s.add(0.0, 1.0)
+        s.add(3.0, 4.0)
+        assert s.n_intervals == 2
+
+    def test_add_degenerate_ignored(self):
+        s = IntervalSet()
+        s.add(1.0, 1.0)
+        assert s.is_empty()
+
+    def test_subtract_middle_splits(self):
+        s = IntervalSet()
+        s.add(0.0, 10.0)
+        s.subtract(3.0, 5.0)
+        assert s.intervals() == [(0.0, 3.0), (5.0, 10.0)]
+
+    def test_subtract_edge(self):
+        s = IntervalSet()
+        s.add(0.0, 10.0)
+        s.subtract(0.0, 4.0)
+        assert s.intervals() == [(4.0, 10.0)]
+
+    def test_subtract_across_intervals(self):
+        s = IntervalSet()
+        s.add(0.0, 2.0)
+        s.add(4.0, 6.0)
+        s.add(8.0, 10.0)
+        s.subtract(1.0, 9.0)
+        assert s.intervals() == [(0.0, 1.0), (9.0, 10.0)]
+
+    def test_subtract_everything(self):
+        s = IntervalSet()
+        s.add(0.0, 5.0)
+        s.subtract(-1.0, 6.0)
+        assert s.is_empty()
+
+    def test_subtract_nonoverlapping_noop(self):
+        s = IntervalSet()
+        s.add(0.0, 2.0)
+        s.subtract(5.0, 7.0)
+        assert s.intervals() == [(0.0, 2.0)]
+
+    def test_subtract_span(self):
+        s = IntervalSet()
+        s.add(0.0, 10.0)
+        s.subtract_span(Span(((1.0, 2.0), (8.0, 9.0))))
+        assert s.measure == pytest.approx(8.0)
+        assert s.n_intervals == 3
+
+    def test_clamp_before_reports_removed(self):
+        s = IntervalSet()
+        s.add(0.0, 3.0)
+        s.add(5.0, 8.0)
+        removed = s.clamp_before(6.0)
+        assert removed == pytest.approx(4.0)
+        assert s.intervals() == [(6.0, 8.0)]
+
+    def test_clamp_before_nothing_stale(self):
+        s = IntervalSet()
+        s.add(5.0, 8.0)
+        assert s.clamp_before(2.0) == 0.0
+
+    def test_slice_oldest(self):
+        s = IntervalSet()
+        s.add(0.0, 2.0)
+        s.add(5.0, 9.0)
+        window = s.slice_oldest(3.0)
+        assert window.pieces == ((0.0, 2.0), (5.0, 6.0))
+
+    def test_slice_youngest(self):
+        s = IntervalSet()
+        s.add(0.0, 2.0)
+        s.add(5.0, 9.0)
+        window = s.slice_youngest(3.0)
+        assert window.pieces == ((6.0, 9.0),)
+
+    def test_slice_offset(self):
+        s = IntervalSet()
+        s.add(0.0, 10.0)
+        window = s.slice_offset(2.0, 3.0)
+        assert window.pieces == ((2.0, 5.0),)
+
+    def test_slice_longer_than_backlog_clips(self):
+        s = IntervalSet()
+        s.add(0.0, 2.0)
+        assert s.slice_oldest(100.0).measure == pytest.approx(2.0)
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["add", "sub"]),
+                st.floats(0.0, 100.0),
+                st.floats(0.1, 20.0),
+            ),
+            max_size=40,
+        )
+    )
+    def test_invariants_under_random_ops(self, ops):
+        """Intervals stay sorted, disjoint, positive-length."""
+        s = IntervalSet()
+        for op, lo, width in ops:
+            if op == "add":
+                s.add(lo, lo + width)
+            else:
+                s.subtract(lo, lo + width)
+            intervals = s.intervals()
+            for a, b in intervals:
+                assert b > a
+            for (a1, b1), (a2, b2) in zip(intervals, intervals[1:]):
+                assert b1 < a2 + 1e-9
+            assert s.measure >= 0.0

@@ -1,0 +1,93 @@
+"""Model-based (stateful) testing of IntervalSet against a reference.
+
+The reference model is a fine boolean grid over [0, 100): each cell is
+"unresolved" or not.  Every IntervalSet operation is mirrored on the
+grid (on cell boundaries, where both are exact), and the invariants —
+measure, membership, oldest/youngest, clamp results — must agree after
+every step.  Hypothesis drives randomised operation sequences.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.core import IntervalSet
+
+RESOLUTION = 0.5  # grid cell size; all operations snap to this lattice
+SPAN_END = 100.0
+N_CELLS = int(SPAN_END / RESOLUTION)
+
+cells = st.integers(0, N_CELLS - 1)
+lengths = st.integers(1, 40)
+
+
+class IntervalSetMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.real = IntervalSet()
+        self.grid = np.zeros(N_CELLS, dtype=bool)
+
+    # -- operations ------------------------------------------------------------
+
+    @rule(start=cells, length=lengths)
+    def add(self, start, length):
+        end = min(start + length, N_CELLS)
+        self.real.add(start * RESOLUTION, end * RESOLUTION)
+        self.grid[start:end] = True
+
+    @rule(start=cells, length=lengths)
+    def subtract(self, start, length):
+        end = min(start + length, N_CELLS)
+        self.real.subtract(start * RESOLUTION, end * RESOLUTION)
+        self.grid[start:end] = False
+
+    @rule(cut=cells)
+    def clamp(self, cut):
+        removed = self.real.clamp_before(cut * RESOLUTION)
+        expected = float(self.grid[:cut].sum()) * RESOLUTION
+        self.grid[:cut] = False
+        assert abs(removed - expected) < 1e-6
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def measures_agree(self):
+        assert abs(self.real.measure - self.grid.sum() * RESOLUTION) < 1e-6
+
+    @invariant()
+    def endpoints_agree(self):
+        occupied = np.flatnonzero(self.grid)
+        if occupied.size == 0:
+            assert self.real.is_empty()
+        else:
+            assert abs(self.real.oldest() - occupied[0] * RESOLUTION) < 1e-6
+            assert abs(
+                self.real.youngest() - (occupied[-1] + 1) * RESOLUTION
+            ) < 1e-6
+
+    @invariant()
+    def intervals_well_formed(self):
+        intervals = self.real.intervals()
+        for lo, hi in intervals:
+            assert hi > lo
+        for (_, hi1), (lo2, _) in zip(intervals, intervals[1:]):
+            assert hi1 < lo2 + 1e-9
+
+    @invariant()
+    def slices_cover_correct_measure(self):
+        measure = self.real.measure
+        if measure > RESOLUTION:
+            half = measure / 2
+            oldest = self.real.slice_oldest(half)
+            youngest = self.real.slice_youngest(half)
+            assert abs(oldest.measure - half) < 1e-6
+            assert abs(youngest.measure - half) < 1e-6
+            # the two halves partition the backlog
+            assert oldest.end <= youngest.start + measure  # loose sanity
+
+
+TestIntervalSetStateful = IntervalSetMachine.TestCase
+TestIntervalSetStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,135 @@
+"""Tests for the windowing-process state machine."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChannelFeedback, Span, WindowingProcess
+
+IDLE = ChannelFeedback.IDLE
+SUCCESS = ChannelFeedback.SUCCESS
+COLLISION = ChannelFeedback.COLLISION
+
+
+def window(lo=0.0, hi=8.0):
+    return Span(((lo, hi),))
+
+
+class TestConstruction:
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            WindowingProcess(Span(()))
+
+    def test_unknown_split_rejected(self):
+        with pytest.raises(ValueError):
+            WindowingProcess(window(), split="zigzag")
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(ValueError):
+            WindowingProcess(window(), arity=1)
+
+    def test_random_split_needs_rng(self):
+        with pytest.raises(ValueError):
+            WindowingProcess(window(), split="random")
+
+
+class TestBinaryProtocol:
+    def test_empty_initial_window(self):
+        process = WindowingProcess(window())
+        process.on_feedback(IDLE)
+        assert process.done
+        assert not process.transmission_started
+        assert process.slots_spent == 1
+        assert process.resolved_spans == [window()]
+
+    def test_immediate_success(self):
+        process = WindowingProcess(window())
+        process.on_feedback(SUCCESS)
+        assert process.done
+        assert process.transmission_started
+        assert process.slots_spent == 0
+        assert process.resolved_spans == [window()]
+
+    def test_collision_splits_older_first(self):
+        process = WindowingProcess(window(0.0, 8.0), split="older")
+        process.on_feedback(COLLISION)
+        assert process.current_span.pieces == ((0.0, 4.0),)
+
+    def test_collision_splits_newer_first(self):
+        process = WindowingProcess(window(0.0, 8.0), split="newer")
+        process.on_feedback(COLLISION)
+        assert process.current_span.pieces == ((4.0, 8.0),)
+
+    def test_idle_half_hands_over_and_splits_sibling(self):
+        """collision → older half idle → newer half (known >= 2) is split
+        immediately: the next examined span is its older half."""
+        process = WindowingProcess(window(0.0, 8.0), split="older")
+        process.on_feedback(COLLISION)  # examine [0,4]
+        process.on_feedback(IDLE)  # [0,4] empty -> [4,8] split at once
+        assert process.current_span.pieces == ((4.0, 6.0),)
+        assert process.slots_spent == 2
+
+    def test_full_resolution_sequence(self):
+        """collision, collision, success: the classic figure-1 walk."""
+        process = WindowingProcess(window(0.0, 8.0), split="older")
+        process.on_feedback(COLLISION)  # [0,8] -> examine [0,4]
+        process.on_feedback(COLLISION)  # [0,4] -> examine [0,2]
+        process.on_feedback(SUCCESS)  # one station in [0,2]
+        assert process.done
+        assert process.transmission_started
+        assert process.slots_spent == 2
+        resolved = [span.pieces for span in process.resolved_spans]
+        assert resolved == [((0.0, 2.0),)]
+
+    def test_feedback_after_done_rejected(self):
+        process = WindowingProcess(window())
+        process.on_feedback(SUCCESS)
+        with pytest.raises(RuntimeError):
+            process.on_feedback(IDLE)
+
+    def test_resolved_spans_accumulate_idle_pieces(self):
+        process = WindowingProcess(window(0.0, 8.0), split="older")
+        process.on_feedback(COLLISION)  # examine [0,4]
+        process.on_feedback(IDLE)  # [0,4] resolved; split [4,8], examine [4,6]
+        process.on_feedback(SUCCESS)  # success in [4,6]
+        total = sum(span.measure for span in process.resolved_spans)
+        assert total == pytest.approx(6.0)
+
+    def test_random_split_with_rng(self):
+        rng = np.random.default_rng(0)
+        process = WindowingProcess(window(0.0, 8.0), split="random", rng=rng)
+        process.on_feedback(COLLISION)
+        assert process.current_span.measure == pytest.approx(4.0)
+
+    def test_max_depth_raises(self):
+        process = WindowingProcess(window(0.0, 1.0))
+        with pytest.raises(RuntimeError, match="indistinguishable"):
+            for _ in range(100):
+                process.on_feedback(COLLISION)
+
+
+class TestKAryProtocol:
+    def test_ternary_split_sizes(self):
+        process = WindowingProcess(window(0.0, 9.0), arity=3)
+        process.on_feedback(COLLISION)
+        assert process.current_span.pieces == ((0.0, 3.0),)
+
+    def test_ternary_idle_moves_to_next_sibling(self):
+        process = WindowingProcess(window(0.0, 9.0), arity=3)
+        process.on_feedback(COLLISION)  # examine [0,3]
+        process.on_feedback(IDLE)  # move to [3,6] (not split: 2 siblings left)
+        assert process.current_span.pieces == ((3.0, 6.0),)
+
+    def test_ternary_last_sibling_split_immediately(self):
+        process = WindowingProcess(window(0.0, 9.0), arity=3)
+        process.on_feedback(COLLISION)  # examine [0,3]
+        process.on_feedback(IDLE)  # examine [3,6]
+        process.on_feedback(IDLE)  # [6,9] known >= 2: split immediately
+        assert process.current_span.pieces == ((6.0, 7.0),)
+
+    def test_collision_abandons_remaining_siblings(self):
+        process = WindowingProcess(window(0.0, 9.0), arity=3)
+        process.on_feedback(COLLISION)  # examine [0,3]
+        process.on_feedback(COLLISION)  # recurse into [0,3]; [3,9] abandoned
+        process.on_feedback(SUCCESS)  # success in [0,1]
+        total_resolved = sum(span.measure for span in process.resolved_spans)
+        assert total_resolved == pytest.approx(1.0)  # only the success span

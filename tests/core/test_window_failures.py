@@ -1,0 +1,98 @@
+"""Failure-injection tests: inconsistent feedback must fail loudly.
+
+The windowing state machine encodes protocol *knowledge* (e.g. "the last
+sibling holds at least two arrivals").  A channel that reports
+physically impossible feedback — possible only through a bug in the
+driving simulator — must be detected rather than silently corrupting the
+time-axis bookkeeping.
+"""
+
+import pytest
+
+from repro.core import ChannelFeedback, Span, WindowingProcess
+
+IDLE = ChannelFeedback.IDLE
+SUCCESS = ChannelFeedback.SUCCESS
+COLLISION = ChannelFeedback.COLLISION
+
+
+def window(width=8.0):
+    return Span(((0.0, width),))
+
+
+class TestInconsistentFeedback:
+    def test_feedback_after_completion(self):
+        process = WindowingProcess(window())
+        process.on_feedback(IDLE)
+        with pytest.raises(RuntimeError):
+            process.on_feedback(SUCCESS)
+
+    def test_all_halves_idle_is_impossible(self):
+        """After a collision, both halves idle contradicts n >= 2: the
+        machine splits the 'known-occupied' sibling forever, eventually
+        hitting the depth guard."""
+        process = WindowingProcess(window())
+        process.on_feedback(COLLISION)
+        with pytest.raises(RuntimeError, match="indistinguishable"):
+            for _ in range(200):
+                process.on_feedback(IDLE)
+
+    def test_endless_collisions_hit_depth_guard(self):
+        process = WindowingProcess(window())
+        with pytest.raises(RuntimeError, match="indistinguishable"):
+            for _ in range(200):
+                process.on_feedback(COLLISION)
+
+    def test_slots_accounting_stops_at_done(self):
+        process = WindowingProcess(window())
+        process.on_feedback(COLLISION)
+        process.on_feedback(SUCCESS)
+        slots_at_done = process.slots_spent
+        assert process.done
+        assert slots_at_done == 1  # only the collision slot
+
+
+class TestResolvedBookkeeping:
+    def test_resolution_never_exceeds_window(self):
+        """However the feedback walk goes, resolved measure ≤ window."""
+        import numpy as np
+
+        rng = np.random.default_rng(8)
+        for _ in range(50):
+            process = WindowingProcess(window(16.0))
+            while not process.done:
+                roll = rng.random()
+                try:
+                    if roll < 0.3:
+                        process.on_feedback(SUCCESS)
+                    elif roll < 0.65:
+                        process.on_feedback(IDLE)
+                    else:
+                        process.on_feedback(COLLISION)
+                except RuntimeError:
+                    break
+            resolved = sum(span.measure for span in process.resolved_spans)
+            assert resolved <= 16.0 + 1e-9
+
+    def test_resolved_spans_disjoint(self):
+        import numpy as np
+
+        rng = np.random.default_rng(9)
+        for _ in range(50):
+            process = WindowingProcess(window(16.0), arity=3)
+            while not process.done:
+                roll = rng.random()
+                try:
+                    if roll < 0.3:
+                        process.on_feedback(SUCCESS)
+                    elif roll < 0.7:
+                        process.on_feedback(IDLE)
+                    else:
+                        process.on_feedback(COLLISION)
+                except RuntimeError:
+                    break
+            pieces = sorted(
+                piece for span in process.resolved_spans for piece in span.pieces
+            )
+            for (a1, b1), (a2, b2) in zip(pieces, pieces[1:]):
+                assert b1 <= a2 + 1e-9

@@ -1,0 +1,63 @@
+"""Tests for the protocol-capacity analysis."""
+
+import pytest
+
+from repro.core import ControlPolicy
+from repro.crp import (
+    max_stable_throughput,
+    mean_scheduling_slots,
+    optimal_window_occupancy,
+    utilization_bound,
+)
+from repro.mac import WindowMACSimulator
+
+
+class TestFormulas:
+    def test_invalid_transmission(self):
+        with pytest.raises(ValueError):
+            max_stable_throughput(0.0)
+
+    def test_report_fields_consistent(self):
+        report = max_stable_throughput(25)
+        assert report.max_throughput == pytest.approx(
+            1.0 / (report.scheduling_overhead + 25)
+        )
+        assert report.utilization_bound == pytest.approx(25 * report.max_throughput)
+
+    def test_overhead_is_mu_star_value(self):
+        report = max_stable_throughput(25)
+        assert report.scheduling_overhead == pytest.approx(
+            mean_scheduling_slots(optimal_window_occupancy())
+        )
+
+    def test_utilization_grows_with_message_length(self):
+        bounds = [utilization_bound(m) for m in (1, 5, 25, 100)]
+        assert all(b > a for a, b in zip(bounds, bounds[1:]))
+        assert bounds[-1] > 0.98  # overhead amortises away
+
+    def test_custom_occupancy_weaker(self):
+        """A non-optimal occupancy cannot beat μ*'s capacity."""
+        best = max_stable_throughput(25).max_throughput
+        worse = max_stable_throughput(25, occupancy=4.0).max_throughput
+        assert worse < best
+
+
+class TestAgainstSimulation:
+    def test_below_capacity_stable_above_sheds(self):
+        """Simulate the uncontrolled protocol just below and well above
+        the capacity bound: below, (almost) everything is delivered;
+        above, a large backlog accumulates."""
+        m = 25
+        lam_star = max_stable_throughput(m).max_throughput
+
+        def run(lam):
+            policy = ControlPolicy.uncontrolled_fcfs(lam)
+            sim = WindowMACSimulator(
+                policy, lam, m, deadline=1e9, seed=23
+            )
+            return sim.run(60_000.0, warmup_slots=6_000.0)
+
+        below = run(0.9 * lam_star)
+        above = run(1.3 * lam_star)
+        assert below.unresolved < 30
+        assert above.unresolved > 5 * max(1, below.unresolved)

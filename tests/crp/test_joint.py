@@ -1,0 +1,95 @@
+"""Tests for the joint (duration, resolved, success-locus) law."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crp import mean_scheduling_slots, windowing_process_outcomes
+from repro.crp.joint import _resolve
+
+
+class TestResolveRecursion:
+    def test_requires_collision(self):
+        with pytest.raises(ValueError):
+            _resolve(1, 5)
+
+    def test_depth_zero_forced_terminal(self):
+        outcomes = _resolve(3, 0)
+        assert outcomes == (((0, 1.0, 1.0), 1.0),)
+
+    def test_probabilities_sum_to_one(self):
+        for n in (2, 3, 5, 9):
+            total = sum(p for _, p in _resolve(n, 12))
+            assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_n2_depth1_cases(self):
+        """n = 2, one split allowed: older half has j ∈ {0, 1, 2}.
+
+        j=1 (p=1/2): success, (t=0, f=1/2, s=1/2); j=0 or j=2 (p=1/4
+        each): descend and hit forced termination."""
+        outcomes = dict(_resolve(2, 1))
+        assert outcomes[(0, 0.5, 0.5)] == pytest.approx(0.5)
+        # j=0: idle slot then forced terminal on newer half: f = 1/2+1/2 = 1
+        assert outcomes[(1, 1.0, 0.5)] == pytest.approx(0.25)
+        # j=2: collision slot then forced terminal on older half: f = 1/2
+        assert outcomes[(1, 0.5, 0.5)] == pytest.approx(0.25)
+
+    def test_slots_bounded_by_depth(self):
+        for (t, _f, _s), _p in _resolve(6, 9):
+            assert t <= 9
+
+    def test_fractions_dyadic_and_in_range(self):
+        for (t, f, s), _p in _resolve(5, 10):
+            assert 0.0 < f <= 1.0
+            assert 0.0 < s <= f + 1e-15
+            # dyadic with denominator 2^10
+            assert (f * 2**10) == pytest.approx(round(f * 2**10), abs=1e-9)
+
+
+class TestWindowProcessOutcomes:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            windowing_process_outcomes(-1.0)
+        with pytest.raises(ValueError):
+            windowing_process_outcomes(1.0, depth=0)
+
+    def test_empty_plus_success_accounts_for_all_mass(self):
+        law = windowing_process_outcomes(1.2, depth=12)
+        assert law.truncated_mass() < 1e-9
+
+    def test_mean_slots_consistent_with_scheduling_module(self):
+        """E[T] per windowing process relates to the per-message E[T]:
+        E[T_sched] = E[#empty windows]·1 + E[T | success-window]."""
+        mu = 1.2
+        law = windowing_process_outcomes(mu, depth=14)
+        p_empty = law.empty_probability
+        per_process = law.mean_slots_given_success()
+        empties_per_message = p_empty / (1.0 - p_empty)
+        assert empties_per_message + per_process == pytest.approx(
+            mean_scheduling_slots(mu), rel=1e-4
+        )
+
+    def test_single_arrival_outcome_present(self):
+        import math
+
+        law = windowing_process_outcomes(0.8)
+        outcomes = dict(law.success_outcomes)
+        # exactly-one-arrival: no slots, everything resolved by the window
+        assert outcomes[(0, 1.0, 1.0)] == pytest.approx(0.8 * math.exp(-0.8), rel=1e-9)
+
+    def test_resolved_fraction_decreases_with_occupancy(self):
+        """Busier windows resolve a smaller fraction per success."""
+        low = windowing_process_outcomes(0.5).mean_resolved_given_success()
+        high = windowing_process_outcomes(3.0).mean_resolved_given_success()
+        assert high < low
+
+    def test_zero_occupancy_all_empty(self):
+        law = windowing_process_outcomes(0.0)
+        assert law.empty_probability == pytest.approx(1.0)
+        assert law.success_probability() == pytest.approx(0.0, abs=1e-12)
+
+    @given(mu=st.floats(0.1, 4.0))
+    def test_mass_conservation_property(self, mu):
+        law = windowing_process_outcomes(mu, depth=10)
+        total = law.empty_probability + law.success_probability()
+        assert total == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,118 @@
+"""Tests for the scheduling-time distribution and service models."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crp import (
+    ExactSchedulingModel,
+    GeometricSchedulingModel,
+    mean_scheduling_slots,
+    scheduling_time_pmf,
+)
+from repro.crp.scheduling_time import (
+    poisson_window_probabilities,
+    transmission_only_service,
+)
+
+
+class TestPoissonWindow:
+    def test_sums_to_nearly_one(self):
+        p = poisson_window_probabilities(2.0, 40)
+        assert p.sum() == pytest.approx(1.0, abs=1e-10)
+
+    def test_zero_occupancy(self):
+        p = poisson_window_probabilities(0.0, 5)
+        assert p[0] == 1.0
+        assert p[1:].sum() == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_window_probabilities(-1.0, 5)
+
+
+class TestMeanSchedulingSlots:
+    def test_positive_occupancy_required(self):
+        with pytest.raises(ValueError):
+            mean_scheduling_slots(0.0)
+
+    def test_small_occupancy_dominated_by_idle_windows(self):
+        """As μ → 0, E[T] ≈ P0/(1−P0) ≈ 1/μ (idle windows per message)."""
+        mu = 0.01
+        assert mean_scheduling_slots(mu) == pytest.approx(1.0 / mu, rel=0.02)
+
+    def test_large_occupancy_grows(self):
+        assert mean_scheduling_slots(8.0) > mean_scheduling_slots(2.0)
+
+    def test_unimodal_around_optimum(self):
+        """E[T](μ) decreases then increases — the heuristic's premise."""
+        grid = np.linspace(0.2, 6.0, 40)
+        values = [mean_scheduling_slots(m) for m in grid]
+        arg = int(np.argmin(values))
+        assert 0 < arg < len(grid) - 1
+        assert all(b <= a + 1e-12 for a, b in zip(values[:arg], values[1 : arg + 1]))
+        assert all(b >= a - 1e-12 for a, b in zip(values[arg:], values[arg + 1 :]))
+
+
+class TestSchedulingPmf:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            scheduling_time_pmf(0.0)
+        with pytest.raises(ValueError):
+            scheduling_time_pmf(1.0, t_max=0)
+
+    def test_mean_matches_closed_form(self):
+        """The pmf and the closed-form mean are independent computations."""
+        for mu in (0.3, 1.0886, 2.5):
+            pmf = scheduling_time_pmf(mu, t_max=600)
+            assert pmf.truncation_deficit < 1e-6
+            assert pmf.mean() == pytest.approx(mean_scheduling_slots(mu), rel=1e-4)
+
+    def test_zero_scheduling_probability(self):
+        """P(T = 0) = P(no empty window AND one arrival) = μ·e^{−μ}:
+        the geometric zero term (1 − p₀) cancels the conditional's
+        denominator."""
+        mu = 1.0
+        pmf = scheduling_time_pmf(mu)
+        assert pmf.p[0] == pytest.approx(mu * np.exp(-mu), rel=1e-9)
+
+    def test_truncation_reported(self):
+        pmf = scheduling_time_pmf(1.0, t_max=3)
+        assert pmf.truncation_deficit > 0.0
+
+
+class TestServiceModels:
+    def test_exact_service_mean(self):
+        model = ExactSchedulingModel(transmission_slots=25, window_occupancy=1.0886)
+        service = model.service_pmf()
+        assert service.mean() == pytest.approx(25 + model.mean_scheduling(), rel=1e-3)
+        assert service.p.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_exact_service_minimum_is_transmission(self):
+        model = ExactSchedulingModel(transmission_slots=10, window_occupancy=1.0)
+        service = model.service_pmf()
+        assert np.all(service.p[:10] == 0.0)
+        assert service.p[10] > 0.0
+
+    def test_geometric_matches_exact_mean(self):
+        exact = ExactSchedulingModel(25, 1.0886)
+        geo = GeometricSchedulingModel(25, 1.0886)
+        assert geo.service_pmf().mean() == pytest.approx(
+            exact.service_pmf().mean(), rel=1e-3
+        )
+
+    def test_geometric_has_heavier_variance_than_deterministic_component(self):
+        geo = GeometricSchedulingModel(25, 1.0886).service_pmf()
+        assert geo.variance() > 0.0
+
+    def test_transmission_only_service(self):
+        service = transmission_only_service(25)
+        assert service.mean() == 25.0
+        assert service.variance() == pytest.approx(0.0, abs=1e-12)
+
+    @given(mu=st.floats(0.2, 4.0))
+    def test_service_proper_distribution_property(self, mu):
+        service = ExactSchedulingModel(5, mu, t_max=500).service_pmf()
+        assert service.p.sum() == pytest.approx(1.0, abs=1e-9)
+        assert service.mean() >= 5.0

@@ -1,0 +1,48 @@
+"""Tests for the [Kurose 83] two-endpoint scheduling-time fit."""
+
+import pytest
+
+from repro.crp import TwoPointFit, fit_two_point, mean_scheduling_slots
+
+
+class TestFitConstruction:
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ValueError):
+            fit_two_point(2.0, 1.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            fit_two_point(1.0, 2.0, kind="spline")
+
+    def test_endpoints_exact(self):
+        for kind in ("linear", "exponential"):
+            fit = fit_two_point(0.5, 3.0, kind=kind)
+            assert fit.mean_scheduling(0.5) == pytest.approx(
+                mean_scheduling_slots(0.5), rel=1e-12
+            )
+            assert fit.mean_scheduling(3.0) == pytest.approx(
+                mean_scheduling_slots(3.0), rel=1e-12
+            )
+
+
+class TestFitQuality:
+    def test_interior_error_bounded(self):
+        """Between sensible endpoints the fit should be a rough but usable
+        approximation (the paper reports close agreement)."""
+        fit = fit_two_point(0.5, 3.0, kind="linear")
+        for mu in (1.0, 1.5, 2.0):
+            assert fit.relative_error(mu) < 0.5
+
+    def test_exact_recursion_beats_fit_somewhere(self):
+        """The exact recursion is the reference: the fit has nonzero error
+        at interior points (quantifying what [Kurose 83] traded away)."""
+        fit = fit_two_point(0.25, 4.0, kind="linear")
+        assert max(fit.relative_error(mu) for mu in (0.7, 1.1, 2.0)) > 0.01
+
+    def test_degenerate_linear_midpoint(self):
+        fit = TwoPointFit(1.0, 2.0, 3.0, 5.0, "linear")
+        assert fit.mean_scheduling(1.5) == pytest.approx(4.0)
+
+    def test_exponential_interpolates_geometrically(self):
+        fit = TwoPointFit(0.0, 2.0, 1.0, 4.0, "exponential")
+        assert fit.mean_scheduling(1.0) == pytest.approx(2.0)

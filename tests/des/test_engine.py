@@ -1,0 +1,185 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.des import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(3.5)
+    sim.run()
+    assert sim.now == 3.5
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_process_sequencing():
+    sim = Simulator()
+    log = []
+
+    def proc(sim, log):
+        for step in range(3):
+            yield sim.timeout(1.0)
+            log.append((step, sim.now))
+
+    sim.process(proc(sim, log))
+    sim.run()
+    assert log == [(0, 1.0), (1, 2.0), (2, 3.0)]
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def ticker(sim, name, period):
+        while sim.now < 5.0:
+            yield sim.timeout(period)
+            log.append((name, sim.now))
+
+    sim.process(ticker(sim, "fast", 1.0))
+    sim.process(ticker(sim, "slow", 2.0))
+    sim.run()
+    fast = [t for name, t in log if name == "fast"]
+    slow = [t for name, t in log if name == "slow"]
+    assert fast == [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert slow == [2.0, 4.0, 6.0]
+
+
+def test_run_until_time_stops_early():
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(10.0)
+        fired.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.now == 5.0
+    sim.run(until=20.0)
+    assert fired == [10.0]
+
+
+def test_run_until_backwards_raises():
+    sim = Simulator()
+    sim.run(until=5.0)
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(2.0)
+        return "payload"
+
+    done = sim.process(proc(sim))
+    assert sim.run(until=done) == "payload"
+    assert sim.now == 2.0
+
+
+def test_run_until_event_propagates_failure():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("boom")
+
+    done = sim.process(bad(sim))
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run(until=done)
+
+
+def test_run_until_unreachable_event_raises():
+    sim = Simulator()
+    orphan = sim.event()  # never triggered
+    sim.timeout(1.0)
+    with pytest.raises(RuntimeError, match="ran out of events"):
+        sim.run(until=orphan)
+
+
+def test_event_ordering_is_fifo_within_same_time():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, name):
+        yield sim.timeout(1.0)
+        order.append(name)
+
+    for name in ("a", "b", "c"):
+        sim.process(proc(sim, name))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    sim.timeout(4.0)
+    sim.timeout(2.0)
+    assert sim.peek() == 2.0
+    sim.run()
+    assert sim.peek() == float("inf")
+
+
+def test_step_on_empty_queue_raises():
+    sim = Simulator()
+    with pytest.raises(IndexError):
+        sim.step()
+
+
+def test_process_return_value_via_yield():
+    sim = Simulator()
+    collected = []
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    def parent(sim):
+        value = yield sim.process(child(sim))
+        collected.append(value)
+
+    sim.process(parent(sim))
+    sim.run()
+    assert collected == [42]
+
+
+def test_yielding_non_event_raises():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 17
+
+    sim.process(bad(sim))
+    with pytest.raises(TypeError, match="must\\s+yield Event"):
+        sim.run()
+
+
+def test_waiting_on_already_processed_event():
+    sim = Simulator()
+    log = []
+    stale = sim.timeout(1.0, value="old")
+
+    def late(sim):
+        yield sim.timeout(5.0)
+        value = yield stale  # fired long ago
+        log.append((sim.now, value))
+
+    sim.process(late(sim))
+    sim.run()
+    assert log == [(5.0, "old")]

@@ -1,0 +1,206 @@
+"""Unit tests for event primitives: conditions, interrupts, failure."""
+
+import pytest
+
+from repro.des import AllOf, AnyOf, Interrupt, Simulator
+
+
+def test_event_succeed_carries_value():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed("hello")
+    results = []
+
+    def waiter(sim):
+        value = yield event
+        results.append(value)
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert results == ["hello"]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(RuntimeError):
+        event.succeed()
+    with pytest.raises(RuntimeError):
+        event.fail(ValueError("x"))
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_failed_event_raises_in_waiter():
+    sim = Simulator()
+    event = sim.event()
+    event.fail(KeyError("gone"), delay=1.0)
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield event
+        except KeyError as exc:
+            caught.append(exc.args[0])
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert caught == ["gone"]
+
+
+def test_all_of_collects_all_values():
+    sim = Simulator()
+    results = []
+
+    def waiter(sim):
+        t1 = sim.timeout(1.0, value="one")
+        t2 = sim.timeout(2.0, value="two")
+        values = yield sim.all_of([t1, t2])
+        results.append(sorted(values.values()))
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert results == [["one", "two"]]
+    assert sim.now == 2.0
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    results = []
+
+    def waiter(sim):
+        slow = sim.timeout(10.0, value="slow")
+        fast = sim.timeout(1.0, value="fast")
+        values = yield sim.any_of([slow, fast])
+        results.append(list(values.values()))
+
+    sim.process(waiter(sim))
+    sim.run(until=2.0)
+    assert results == [["fast"]]
+
+
+def test_any_of_empty_fires_immediately():
+    sim = Simulator()
+    done = []
+
+    def waiter(sim):
+        yield sim.any_of([])
+        done.append(sim.now)
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert done == [0.0]
+
+
+def test_all_of_fails_fast_on_child_failure():
+    sim = Simulator()
+    caught = []
+
+    def waiter(sim):
+        ok = sim.timeout(5.0)
+        bad = sim.event()
+        bad.fail(RuntimeError("child failed"), delay=1.0)
+        try:
+            yield sim.all_of([ok, bad])
+        except RuntimeError as exc:
+            caught.append((sim.now, str(exc)))
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert caught == [(1.0, "child failed")]
+
+
+def test_interrupt_reaches_waiting_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            log.append((sim.now, interrupt.cause))
+
+    def interrupter(sim, victim):
+        yield sim.timeout(3.0)
+        victim.interrupt(cause="wake up")
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert log == [(3.0, "wake up")]
+
+
+def test_interrupting_finished_process_raises():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(RuntimeError):
+        proc.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            pass
+        yield sim.timeout(1.0)
+        log.append(sim.now)
+
+    def interrupter(sim, victim):
+        yield sim.timeout(2.0)
+        victim.interrupt()
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert log == [3.0]
+
+
+def test_process_is_alive_lifecycle():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(2.0)
+
+    p = sim.process(proc(sim))
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_condition_mixed_simulators_rejected():
+    sim_a, sim_b = Simulator(), Simulator()
+    event_b = sim_b.event()
+    with pytest.raises(ValueError):
+        AllOf(sim_a, [event_b])
+
+
+def test_any_of_with_failed_first_child():
+    sim = Simulator()
+    caught = []
+
+    def waiter(sim):
+        bad = sim.event()
+        bad.fail(ValueError("first"), delay=1.0)
+        ok = sim.timeout(5.0)
+        try:
+            yield AnyOf(sim, [bad, ok])
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert caught == ["first"]

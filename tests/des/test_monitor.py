@@ -1,0 +1,108 @@
+"""Unit tests for measurement probes (Counter, TimeSeries, Tally)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.des import Counter, Tally, TimeSeries
+
+
+class TestCounter:
+    def test_default_zero(self):
+        assert Counter()["missing"] == 0
+
+    def test_increment(self):
+        counter = Counter()
+        counter.increment("tx")
+        counter.increment("tx", 4)
+        assert counter["tx"] == 5
+
+    def test_as_dict_snapshot(self):
+        counter = Counter()
+        counter.increment("a")
+        snapshot = counter.as_dict()
+        counter.increment("a")
+        assert snapshot == {"a": 1}
+
+
+class TestTimeSeries:
+    def test_time_average_piecewise_constant(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        series.record(2.0, 3.0)
+        series.record(4.0, 0.0)
+        # value 1 for 2 units, 3 for 2 units, then end at t=4
+        assert series.time_average() == pytest.approx(2.0)
+
+    def test_time_average_with_horizon(self):
+        series = TimeSeries()
+        series.record(0.0, 2.0)
+        assert series.time_average(until=10.0) == pytest.approx(2.0)
+
+    def test_out_of_order_rejected(self):
+        series = TimeSeries()
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 1.0)
+
+    def test_empty_average_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries().time_average()
+
+    def test_as_arrays(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        series.record(1.0, 2.0)
+        times, values = series.as_arrays()
+        assert times.tolist() == [0.0, 1.0]
+        assert values.tolist() == [1.0, 2.0]
+        assert len(series) == 2
+
+
+class TestTally:
+    def test_moments_match_numpy(self):
+        data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        tally = Tally()
+        tally.observe_many(data)
+        assert tally.count == len(data)
+        assert tally.mean == pytest.approx(np.mean(data))
+        assert tally.variance == pytest.approx(np.var(data, ddof=1))
+        assert tally.std == pytest.approx(np.std(data, ddof=1))
+        assert tally.minimum == 1.0
+        assert tally.maximum == 9.0
+
+    def test_empty_tally_nan(self):
+        tally = Tally()
+        assert math.isnan(tally.mean)
+        assert math.isnan(tally.variance)
+
+    def test_single_observation_variance_nan(self):
+        tally = Tally()
+        tally.observe(1.0)
+        assert math.isnan(tally.variance)
+
+    def test_quantile_requires_samples(self):
+        tally = Tally()
+        tally.observe(1.0)
+        with pytest.raises(RuntimeError):
+            tally.quantile(0.5)
+
+    def test_quantile_and_fraction_above(self):
+        tally = Tally(keep_samples=True)
+        tally.observe_many(range(101))  # 0..100
+        assert tally.quantile(0.5) == pytest.approx(50.0)
+        assert tally.fraction_above(89.5) == pytest.approx(11 / 101)
+
+    def test_fraction_above_empty_raises(self):
+        with pytest.raises(ValueError):
+            Tally(keep_samples=True).fraction_above(0.0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+    def test_welford_matches_numpy_property(self, data):
+        tally = Tally()
+        tally.observe_many(data)
+        assert tally.mean == pytest.approx(np.mean(data), rel=1e-9, abs=1e-6)
+        assert tally.variance == pytest.approx(np.var(data, ddof=1), rel=1e-6, abs=1e-6)

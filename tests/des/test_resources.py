@@ -1,0 +1,181 @@
+"""Unit tests for Resource, PriorityResource and Store."""
+
+import pytest
+
+from repro.des import PriorityResource, Resource, Simulator, Store
+
+
+def test_resource_serialises_holders():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    log = []
+
+    def user(sim, resource, name, hold):
+        with resource.request() as req:
+            yield req
+            log.append((name, "start", sim.now))
+            yield sim.timeout(hold)
+            log.append((name, "stop", sim.now))
+
+    sim.process(user(sim, resource, "a", 2.0))
+    sim.process(user(sim, resource, "b", 1.0))
+    sim.run()
+    assert log == [
+        ("a", "start", 0.0),
+        ("a", "stop", 2.0),
+        ("b", "start", 2.0),
+        ("b", "stop", 3.0),
+    ]
+
+
+def test_resource_capacity_two_runs_concurrently():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    starts = []
+
+    def user(sim, resource):
+        with resource.request() as req:
+            yield req
+            starts.append(sim.now)
+            yield sim.timeout(1.0)
+
+    for _ in range(3):
+        sim.process(user(sim, resource))
+    sim.run()
+    assert starts == [0.0, 0.0, 1.0]
+
+
+def test_resource_invalid_capacity():
+    with pytest.raises(ValueError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_resource_counts_and_queue_length():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    req1 = resource.request()
+    req2 = resource.request()
+    sim.run()
+    assert resource.count == 1
+    assert resource.queue_length == 1
+    resource.release(req1)
+    sim.run()
+    assert req2.processed
+    assert resource.queue_length == 0
+
+
+def test_releasing_nonholder_raises():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    req1 = resource.request()
+    sim.run()
+    stranger = resource.request()  # waits in queue
+    stranger.cancel()
+    assert req1.processed
+    with pytest.raises(RuntimeError):
+        resource._release(stranger)
+
+
+def test_cancel_waiting_request_dequeues():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    resource.request()
+    waiting = resource.request()
+    sim.run()
+    assert resource.queue_length == 1
+    waiting.cancel()
+    assert resource.queue_length == 0
+
+
+def test_priority_resource_orders_by_priority():
+    sim = Simulator()
+    resource = PriorityResource(sim, capacity=1)
+    order = []
+
+    def user(sim, resource, name, priority, delay):
+        yield sim.timeout(delay)
+        with resource.request(priority=priority) as req:
+            yield req
+            order.append(name)
+            yield sim.timeout(10.0)
+
+    # First user grabs the resource; the others queue with priorities.
+    sim.process(user(sim, resource, "holder", 0, 0.0))
+    sim.process(user(sim, resource, "low", 5, 1.0))
+    sim.process(user(sim, resource, "high", 1, 2.0))
+    sim.run(until=15.0)
+    assert order == ["holder", "high"]
+
+
+def test_priority_ties_are_fifo():
+    sim = Simulator()
+    resource = PriorityResource(sim, capacity=1)
+    order = []
+
+    def user(sim, resource, name):
+        with resource.request(priority=1.0) as req:
+            yield req
+            order.append(name)
+            yield sim.timeout(1.0)
+
+    for name in ("first", "second", "third"):
+        sim.process(user(sim, resource, name))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_store_put_get_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def consumer(sim, store):
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    sim.process(consumer(sim, store))
+    for item in ("x", "y", "z"):
+        store.put(item)
+    sim.run()
+    assert received == ["x", "y", "z"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def consumer(sim, store):
+        item = yield store.get()
+        received.append((sim.now, item))
+
+    def producer(sim, store):
+        yield sim.timeout(4.0)
+        store.put("late")
+
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert received == [(4.0, "late")]
+
+
+def test_store_capacity_overflow():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    store.put(1)
+    with pytest.raises(OverflowError):
+        store.put(2)
+
+
+def test_store_len_tracks_items():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("a")
+    store.put("b")
+    assert len(store) == 2
+
+
+def test_store_invalid_capacity():
+    with pytest.raises(ValueError):
+        Store(Simulator(), capacity=0)

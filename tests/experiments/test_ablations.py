@@ -1,0 +1,67 @@
+"""Tests for the ablation experiments (fast configurations)."""
+
+import pytest
+
+from repro.experiments import (
+    ablation_table,
+    arity_ablation,
+    element4_ablation,
+    split_rule_ablation,
+    twopoint_fit_errors,
+    window_length_ablation,
+)
+
+
+class TestElement4:
+    def test_discard_helps_under_pressure(self):
+        arms = element4_ablation(
+            rho_prime=0.75, message_length=25, deadline=50.0,
+            horizon=60_000.0, warmup=8_000.0,
+        )
+        by_name = {arm.label: arm.loss for arm in arms}
+        assert set(by_name) == {"controlled", "no_discard"}
+        assert by_name["controlled"] < by_name["no_discard"]
+
+
+class TestWindowLength:
+    def test_analytic_heuristic_optimum_wins(self):
+        arms = window_length_ablation(
+            occupancies=(0.25, 1.0886, 4.0), simulate=False
+        )
+        losses = [arm.loss for arm in arms]
+        assert losses[1] < losses[0]
+        assert losses[1] < losses[2]
+
+    def test_simulated_arm_runs(self):
+        arms = window_length_ablation(
+            occupancies=(1.0886,), simulate=True, horizon=20_000.0, warmup=2_000.0
+        )
+        assert arms[0].stderr is not None
+
+
+class TestSplitRule:
+    def test_all_rules_run(self):
+        arms = split_rule_ablation(horizon=30_000.0, warmup=4_000.0)
+        assert {arm.label for arm in arms} == {"older", "newer", "random"}
+        for arm in arms:
+            assert 0.0 <= arm.loss <= 1.0
+
+
+class TestArity:
+    def test_arities_run(self):
+        arms = arity_ablation(arities=(2, 3), horizon=30_000.0, warmup=4_000.0)
+        assert len(arms) == 2
+
+
+class TestTwoPointFit:
+    def test_table_renders(self):
+        table = twopoint_fit_errors()
+        assert "rel. error" in table
+        assert "linear" in table and "exponential" in table
+
+
+class TestTableRendering:
+    def test_ablation_table(self):
+        arms = window_length_ablation(occupancies=(1.0,), simulate=False)
+        table = ablation_table(arms, "demo")
+        assert table.startswith("demo")

@@ -1,0 +1,101 @@
+"""Tests for experiment result records and rendering."""
+
+import pytest
+
+from repro.experiments import PanelResult, Series, ascii_table
+
+
+class TestSeries:
+    def test_add_and_access(self):
+        s = Series("test")
+        s.add(10.0, 0.5)
+        s.add(20.0, 0.25, stderr=0.01)
+        assert s.deadlines() == [10.0, 20.0]
+        assert s.losses() == [0.5, 0.25]
+        assert s.loss_at(20.0) == 0.25
+
+    def test_loss_at_missing_raises(self):
+        s = Series("test")
+        s.add(10.0, 0.5)
+        with pytest.raises(KeyError):
+            s.loss_at(99.0)
+
+
+class TestPanelResult:
+    def build(self):
+        panel = PanelResult(rho_prime=0.5, message_length=25)
+        a = Series("analytic")
+        a.add(10.0, 0.4)
+        a.add(20.0, 0.2)
+        b = Series("sim")
+        b.add(10.0, 0.38, stderr=0.01)
+        b.add(20.0, 0.21, stderr=0.01)
+        panel.add_series(a)
+        panel.add_series(b)
+        return panel
+
+    def test_title(self):
+        assert self.build().title == "rho' = 0.50, M = 25"
+
+    def test_duplicate_series_rejected(self):
+        panel = self.build()
+        with pytest.raises(ValueError):
+            panel.add_series(Series("analytic"))
+
+    def test_table_contains_all_cells(self):
+        table = self.build().to_table()
+        assert "analytic" in table
+        assert "0.4000" in table
+        assert "±" in table  # stderr rendered
+
+    def test_csv_round_trip(self):
+        csv = self.build().to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == "deadline,analytic,sim"
+        assert len(lines) == 3
+        assert lines[1].startswith("10,")
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        table = ascii_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.split("\n")
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])
+
+    def test_title_prepended(self):
+        table = ascii_table(["x"], [["1"]], title="My Table")
+        assert table.startswith("My Table")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [["only one"]])
+
+
+class TestMixedGrids:
+    def test_sparse_series_renders_blank_cells(self):
+        panel = PanelResult(rho_prime=0.75, message_length=25)
+        dense = Series("dense")
+        dense.add(10.0, 0.4)
+        dense.add(20.0, 0.2)
+        dense.add(40.0, 0.1)
+        sparse = Series("sparse")
+        sparse.add(20.0, 0.25, stderr=0.01)
+        panel.add_series(dense)
+        panel.add_series(sparse)
+        table = panel.to_table()
+        assert table.count("\n") == 5  # title + header + rule + 3 rows
+        csv = panel.to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[1] == "10,0.4,"
+        assert lines[2] == "20,0.2,0.25"
+
+    def test_union_grid_sorted(self):
+        panel = PanelResult(rho_prime=0.5, message_length=25)
+        a = Series("a")
+        a.add(30.0, 0.1)
+        b = Series("b")
+        b.add(10.0, 0.5)
+        panel.add_series(a)
+        panel.add_series(b)
+        assert panel._deadline_grid() == [10.0, 30.0]

@@ -1,0 +1,26 @@
+"""Tests for the replication runner."""
+
+import pytest
+
+from repro.experiments import replicate
+
+
+class TestReplicate:
+    def test_needs_two_replications(self):
+        with pytest.raises(ValueError):
+            replicate(lambda seed: 1.0, n_replications=1)
+
+    def test_deterministic_run_zero_width(self):
+        result = replicate(lambda seed: 0.5, n_replications=4)
+        assert result.mean == 0.5
+        assert result.interval.half_width == pytest.approx(0.0)
+
+    def test_seeds_are_distinct(self):
+        seen = []
+        replicate(lambda seed: seen.append(seed) or 0.0, n_replications=5)
+        assert len(set(seen)) == 5
+
+    def test_seed_dependent_values_recorded(self):
+        result = replicate(lambda seed: float(seed % 7), n_replications=3)
+        assert len(result.values) == 3
+        assert result.interval.n == 3

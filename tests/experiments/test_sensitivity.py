@@ -1,0 +1,57 @@
+"""Tests for the robustness-sweep experiments (fast configurations)."""
+
+import pytest
+
+from repro.experiments import (
+    burstiness_sensitivity,
+    scheduling_model_sensitivity,
+    station_count_sensitivity,
+)
+
+
+class TestSchedulingModelSensitivity:
+    def test_rows_cover_requested_deadlines(self):
+        rows = scheduling_model_sensitivity(deadlines=(25.0, 100.0))
+        assert [row[0] for row in rows] == ["25", "100"]
+
+    def test_geometric_close_to_exact(self):
+        for row in scheduling_model_sensitivity():
+            exact, geo = float(row[1]), float(row[2])
+            assert geo == pytest.approx(exact, rel=0.05)
+
+    def test_loss_decreases_with_deadline(self):
+        rows = scheduling_model_sensitivity(deadlines=(25.0, 50.0, 100.0))
+        exact = [float(row[1]) for row in rows]
+        assert exact[0] > exact[1] > exact[2]
+
+
+class TestStationCountSensitivity:
+    def test_small_run(self):
+        arms = station_count_sensitivity(
+            station_counts=(8, 64), horizon=15_000.0, warmup=2_000.0
+        )
+        assert len(arms) == 2
+        for arm in arms:
+            assert 0.0 <= arm.loss <= 1.0
+            assert arm.stderr is not None
+
+    def test_tiny_population_aggregation_effect(self):
+        """With very few stations, same-station aggregation (one message
+        per station per window) delays siblings and raises loss."""
+        arms = station_count_sensitivity(
+            station_counts=(2, 256), horizon=60_000.0, warmup=8_000.0
+        )
+        assert arms[0].loss > arms[1].loss
+
+
+class TestBurstinessSensitivity:
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            burstiness_sensitivity(burst_ratios=(0.5,), horizon=5_000.0)
+
+    def test_ratio_one_is_poisson(self):
+        arms = burstiness_sensitivity(
+            burst_ratios=(1.0,), horizon=20_000.0, warmup=2_000.0
+        )
+        assert arms[0].label == "peak/mean 1"
+        assert 0.0 <= arms[0].loss <= 1.0

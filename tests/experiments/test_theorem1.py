@@ -1,0 +1,87 @@
+"""Tests for the Theorem 1 verification experiment."""
+
+import pytest
+
+from repro.experiments import (
+    Theorem1Config,
+    enumerate_policy_family,
+    run_theorem1_experiment,
+)
+from repro.smdp import build_protocol_smdp
+
+
+@pytest.fixture(scope="module")
+def report():
+    config = Theorem1Config(
+        arrival_rate=0.15, deadline=8, transmission=3, window_length=3, depth=6
+    )
+    return run_theorem1_experiment(config)
+
+
+class TestExhaustiveSweep:
+    def test_six_family_members(self, report):
+        assert len(report.family) == 6
+
+    def test_minimum_slack_wins(self, report):
+        assert report.minimum_slack_is_best()
+
+    def test_oldest_placement_dominates_split_choice(self, report):
+        """Both oldest-placement variants beat every newest-placement one
+        (element 1 matters more than element 3 at these parameters)."""
+        by_key = {(r.placement, r.split): r.loss for r in report.family}
+        worst_oldest = max(by_key["oldest", "older"], by_key["oldest", "newer"])
+        best_newest = min(by_key["newest", "older"], by_key["newest", "newer"])
+        assert worst_oldest < best_newest
+
+    def test_older_split_beats_newer_at_fixed_placement(self, report):
+        by_key = {(r.placement, r.split): r.loss for r in report.family}
+        assert by_key["oldest", "older"] <= by_key["oldest", "newer"] + 1e-12
+
+
+class TestPolicyIteration:
+    def test_iteration_reaches_theorem_elements(self, report):
+        assert report.iteration_uses_theorem_elements()
+
+    def test_iteration_gain_at_most_family_best(self, report):
+        """Policy iteration optimises over all lengths in the family too,
+        so its loss cannot exceed the best fixed-family member."""
+        assert report.optimal_gain_loss <= report.best_variant.loss + 1e-9
+
+
+class TestRendering:
+    def test_table_renders(self, report):
+        table = report.to_table()
+        assert "placement" in table
+        assert "oldest" in table
+
+    def test_family_sorted_by_loss(self, report):
+        losses = [r.loss for r in report.family]
+        assert losses == sorted(losses)
+
+
+class TestFamilyEnumeration:
+    def test_family_on_custom_model(self):
+        config = Theorem1Config(
+            arrival_rate=0.2, deadline=6, transmission=2, window_length=2, depth=5
+        )
+        model = build_protocol_smdp(
+            config.arrival_rate,
+            config.deadline,
+            config.transmission,
+            window_lengths=lambda i: [min(config.window_length, i)],
+            positions="endpoints",
+            depth=config.depth,
+        )
+        family = enumerate_policy_family(model, config)
+        assert family[0].placement == "oldest"
+        assert family[0].split == "older"
+
+
+class TestSimulatedCrossCheck:
+    def test_simulation_agrees_with_ranking(self):
+        config = Theorem1Config(
+            arrival_rate=0.15, deadline=8, transmission=3, window_length=3, depth=6
+        )
+        report = run_theorem1_experiment(config, simulate=True, sim_horizon=120_000.0)
+        sim = {(r.placement, r.split): r.loss for r in report.simulated}
+        assert sim["oldest", "older"] < sim["newest", "newer"]

@@ -1,0 +1,69 @@
+"""Tests for the slotted-ALOHA extension baseline."""
+
+import pytest
+
+from repro.mac import SlottedAlohaSimulator
+
+
+class TestValidation:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            SlottedAlohaSimulator(0.0, 25, 100.0)
+
+    def test_invalid_frame(self):
+        with pytest.raises(ValueError):
+            SlottedAlohaSimulator(0.01, 0, 100.0)
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            SlottedAlohaSimulator(0.01, 25, 0.0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            SlottedAlohaSimulator(0.01, 25, 100.0, retransmission_probability=0.0)
+
+
+class TestBehaviour:
+    def test_counts_consistent(self):
+        sim = SlottedAlohaSimulator(0.005, 25, 200.0, seed=1)
+        result = sim.run(60_000.0, warmup_slots=5_000.0)
+        accounted = (
+            result.delivered_on_time
+            + result.delivered_late
+            + result.discarded
+            + result.unresolved
+        )
+        assert accounted == result.arrivals
+        assert 0.0 <= result.loss_fraction <= 1.0
+
+    def test_light_load_mostly_on_time(self):
+        sim = SlottedAlohaSimulator(0.002, 25, 500.0, seed=2)
+        result = sim.run(80_000.0, warmup_slots=5_000.0)
+        assert result.loss_fraction < 0.1
+
+    def test_throughput_below_offered_load(self):
+        """Overloaded ALOHA sheds traffic: served < offered (ρ′ = 0.75).
+
+        Note the classic 1/e bound applies only at large backlogs; with
+        deadline shedding the backlog stays small and p = 1/n succeeds
+        more often, so throughput may exceed 1/e but never the offer.
+        """
+        sim = SlottedAlohaSimulator(0.03, 25, 200.0, seed=3, adaptive=True)
+        result = sim.run(60_000.0)
+        assert result.throughput < 0.75
+        assert result.loss_fraction > 0.2  # heavy shedding under overload
+
+    def test_adaptive_beats_badly_tuned_fixed_p(self):
+        adaptive = SlottedAlohaSimulator(0.012, 25, 300.0, seed=4, adaptive=True)
+        fixed = SlottedAlohaSimulator(
+            0.012, 25, 300.0, seed=4, adaptive=False,
+            retransmission_probability=0.9,
+        )
+        a = adaptive.run(60_000.0, warmup_slots=5_000.0)
+        b = fixed.run(60_000.0, warmup_slots=5_000.0)
+        assert a.loss_fraction < b.loss_fraction
+
+    def test_discard_stale_off_keeps_backlog(self):
+        sim = SlottedAlohaSimulator(0.02, 25, 100.0, seed=5, discard_stale=False)
+        result = sim.run(30_000.0)
+        assert result.discarded == 0

@@ -1,0 +1,82 @@
+"""Tests for the slotted broadcast channel."""
+
+import pytest
+
+from repro.core import ChannelFeedback, Span
+from repro.mac import Message, SlottedChannel, StationRegistry
+
+
+def setup_channel(m=4):
+    registry = StationRegistry(8)
+    channel = SlottedChannel(registry, transmission_slots=m)
+    return registry, channel
+
+
+class TestChannel:
+    def test_invalid_transmission(self):
+        with pytest.raises(ValueError):
+            SlottedChannel(StationRegistry(2), transmission_slots=0)
+
+    def test_idle_examination(self):
+        registry, channel = setup_channel()
+        feedback, message = channel.examine(Span(((-4.0, 0.0),)))
+        assert feedback is ChannelFeedback.IDLE
+        assert message is None
+        assert channel.now == 1.0
+        assert channel.stats.idle_slots == 1.0
+
+    def test_success_examination(self):
+        registry, channel = setup_channel(m=4)
+        registry.ingest(Message(arrival=-2.0, station=3, uid=0))
+        channel.now = 0.0
+        feedback, message = channel.examine(Span(((-4.0, 0.0),)))
+        assert feedback is ChannelFeedback.SUCCESS
+        assert message.uid == 0
+        assert message.tx_start == 0.0
+        assert channel.now == 4.0
+        assert channel.stats.transmission_slots == 4.0
+
+    def test_collision_examination(self):
+        registry, channel = setup_channel()
+        registry.ingest(Message(arrival=-3.0, station=1, uid=0))
+        registry.ingest(Message(arrival=-2.0, station=2, uid=1))
+        feedback, message = channel.examine(Span(((-4.0, 0.0),)))
+        assert feedback is ChannelFeedback.COLLISION
+        assert message is None
+        assert channel.stats.collision_slots == 1.0
+
+    def test_same_station_messages_do_not_collide(self):
+        registry, channel = setup_channel()
+        registry.ingest(Message(arrival=-3.0, station=1, uid=0))
+        registry.ingest(Message(arrival=-2.0, station=1, uid=1))
+        feedback, message = channel.examine(Span(((-4.0, 0.0),)))
+        assert feedback is ChannelFeedback.SUCCESS
+        assert message.uid == 0  # the station's oldest in-window message
+
+    def test_future_window_rejected(self):
+        _, channel = setup_channel()
+        with pytest.raises(ValueError):
+            channel.examine(Span(((0.0, 5.0),)))
+
+    def test_wait_slot(self):
+        _, channel = setup_channel()
+        channel.wait_slot()
+        assert channel.now == 1.0
+        assert channel.stats.wait_slots == 1.0
+
+    def test_utilization(self):
+        registry, channel = setup_channel(m=3)
+        registry.ingest(Message(arrival=-1.0, station=0, uid=0))
+        channel.examine(Span(((-2.0, 0.0),)))  # success: 3 slots
+        channel.wait_slot()
+        assert channel.stats.utilization() == pytest.approx(3.0 / 4.0)
+
+    def test_stats_total(self):
+        _, channel = setup_channel()
+        channel.wait_slot()
+        channel.examine(Span(((-1.0, 0.0),)))
+        assert channel.stats.total_slots == pytest.approx(2.0)
+
+    def test_empty_stats_utilization_zero(self):
+        _, channel = setup_channel()
+        assert channel.stats.utilization() == 0.0

@@ -1,0 +1,90 @@
+"""Cross-validation of the two MAC simulation engines.
+
+The slot-count loop (`WindowMACSimulator`) and the event-driven
+implementation (`DESWindowMACSimulator`) share the protocol code but not
+the time-advance machinery; statistical agreement between them validates
+both.
+"""
+
+import pytest
+
+from repro.core import ControlPolicy
+from repro.mac import DESWindowMACSimulator, MessageFate, WindowMACSimulator
+
+
+def run_both(policy_factory, lam=0.03, m=25, deadline=75.0, horizon=80_000.0,
+             seed=3):
+    des = DESWindowMACSimulator(
+        policy_factory(), lam, m, deadline=deadline, seed=seed
+    )
+    slot = WindowMACSimulator(
+        policy_factory(), lam, m, deadline=deadline, seed=seed
+    )
+    return (
+        des.run(horizon, warmup_slots=horizon * 0.1),
+        slot.run(horizon, warmup_slots=horizon * 0.1),
+    )
+
+
+class TestValidation:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            DESWindowMACSimulator(
+                ControlPolicy.uncontrolled_fcfs(0.02), 0.0, 25
+            )
+
+    def test_invalid_loss_definition(self):
+        with pytest.raises(ValueError):
+            DESWindowMACSimulator(
+                ControlPolicy.uncontrolled_fcfs(0.02), 0.02, 25,
+                loss_definition="vibes",
+            )
+
+    def test_invalid_horizon(self):
+        des = DESWindowMACSimulator(
+            ControlPolicy.uncontrolled_fcfs(0.02), 0.02, 25
+        )
+        with pytest.raises(ValueError):
+            des.run(0.0)
+
+
+class TestEngineAgreement:
+    def test_controlled_protocol(self):
+        lam = 0.03
+        des, slot = run_both(lambda: ControlPolicy.optimal(75.0, lam), lam=lam)
+        tolerance = 5 * (des.loss_stderr() + slot.loss_stderr())
+        assert abs(des.loss_fraction - slot.loss_fraction) <= tolerance
+        assert des.channel.utilization() == pytest.approx(
+            slot.channel.utilization(), abs=0.02
+        )
+        assert des.mean_true_wait == pytest.approx(slot.mean_true_wait, rel=0.15)
+
+    def test_uncontrolled_fcfs(self):
+        lam = 0.02
+        des, slot = run_both(
+            lambda: ControlPolicy.uncontrolled_fcfs(lam),
+            lam=lam, deadline=150.0,
+        )
+        tolerance = max(0.01, 5 * (des.loss_stderr() + slot.loss_stderr()))
+        assert abs(des.loss_fraction - slot.loss_fraction) <= tolerance
+
+    def test_counts_conserved_in_des_engine(self):
+        lam = 0.03
+        des, _ = run_both(lambda: ControlPolicy.optimal(75.0, lam), lam=lam,
+                          horizon=30_000.0)
+        accounted = (
+            des.delivered_on_time + des.delivered_late + des.discarded
+            + des.unresolved
+        )
+        assert accounted == des.arrivals
+
+    def test_des_engine_reproducible(self):
+        lam = 0.03
+        a = DESWindowMACSimulator(
+            ControlPolicy.optimal(75.0, lam), lam, 25, deadline=75.0, seed=9
+        ).run(20_000.0)
+        b = DESWindowMACSimulator(
+            ControlPolicy.optimal(75.0, lam), lam, 25, deadline=75.0, seed=9
+        ).run(20_000.0)
+        assert a.loss_fraction == b.loss_fraction
+        assert a.arrivals == b.arrivals

@@ -1,0 +1,57 @@
+"""Tests for message records and waiting-time definitions."""
+
+import pytest
+
+from repro.mac import Message, MessageFate
+
+
+class TestWaits:
+    def make(self):
+        message = Message(arrival=10.0, station=3, uid=7)
+        message.process_start = 25.0
+        message.tx_start = 31.0
+        return message
+
+    def test_true_wait(self):
+        assert self.make().true_wait == pytest.approx(21.0)
+
+    def test_paper_wait_excludes_own_scheduling(self):
+        message = self.make()
+        assert message.paper_wait == pytest.approx(15.0)
+        assert message.paper_wait < message.true_wait
+
+    def test_paper_wait_clamped_nonnegative(self):
+        """A message arriving *during* someone else's windowing process
+        can have process_start < arrival; its paper wait is 0."""
+        message = Message(arrival=10.0, station=0, uid=0)
+        message.process_start = 8.0
+        message.tx_start = 12.0
+        assert message.paper_wait == 0.0
+
+    def test_untransmitted_wait_raises(self):
+        message = Message(arrival=1.0, station=0, uid=0)
+        with pytest.raises(ValueError):
+            message.true_wait
+        with pytest.raises(ValueError):
+            message.paper_wait
+
+    def test_wait_dispatch(self):
+        message = self.make()
+        assert message.wait("true") == message.true_wait
+        assert message.wait("paper") == message.paper_wait
+        with pytest.raises(ValueError):
+            message.wait("wishful")
+
+
+class TestFate:
+    def test_default_pending(self):
+        assert Message(arrival=0.0, station=0, uid=0).fate is MessageFate.PENDING
+
+    def test_fates_enumerated(self):
+        names = {fate.value for fate in MessageFate}
+        assert names == {
+            "pending",
+            "delivered_on_time",
+            "delivered_late",
+            "discarded_at_sender",
+        }

@@ -1,0 +1,145 @@
+"""Integration tests for the window-MAC simulator."""
+
+import math
+
+import pytest
+
+from repro.core import ControlPolicy
+from repro.mac import MessageFate, WindowMACSimulator
+from repro.workloads import PoissonWorkload
+
+
+def run_sim(policy, lam=0.02, m=25, K=150.0, horizon=40_000.0, seed=9, **kwargs):
+    sim = WindowMACSimulator(
+        policy, arrival_rate=lam, transmission_slots=m, deadline=K, seed=seed, **kwargs
+    )
+    return sim.run(horizon, warmup_slots=4_000.0)
+
+
+class TestValidation:
+    def test_invalid_arrival_rate(self):
+        with pytest.raises(ValueError):
+            WindowMACSimulator(
+                ControlPolicy.uncontrolled_fcfs(0.02), 0.0, 25
+            )
+
+    def test_invalid_loss_definition(self):
+        with pytest.raises(ValueError):
+            WindowMACSimulator(
+                ControlPolicy.uncontrolled_fcfs(0.02), 0.02, 25,
+                loss_definition="fuzzy",
+            )
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            WindowMACSimulator(
+                ControlPolicy.uncontrolled_fcfs(0.02), 0.02, 25, deadline=0.0
+            )
+
+    def test_invalid_horizon(self):
+        sim = WindowMACSimulator(ControlPolicy.uncontrolled_fcfs(0.02), 0.02, 25)
+        with pytest.raises(ValueError):
+            sim.run(0.0)
+
+
+class TestConservation:
+    def test_message_conservation(self):
+        result = run_sim(ControlPolicy.optimal(150.0, 0.02))
+        accounted = (
+            result.delivered_on_time
+            + result.delivered_late
+            + result.discarded
+            + result.unresolved
+        )
+        assert accounted == result.arrivals
+
+    def test_loss_fraction_in_unit_interval(self):
+        result = run_sim(ControlPolicy.uncontrolled_lcfs(0.02))
+        assert 0.0 <= result.loss_fraction <= 1.0
+
+    def test_uncontrolled_never_discards(self):
+        result = run_sim(ControlPolicy.uncontrolled_fcfs(0.02))
+        assert result.discarded == 0
+
+    def test_controlled_discards_under_pressure(self):
+        result = run_sim(
+            ControlPolicy.optimal(30.0, 0.036), lam=0.036, K=30.0
+        )
+        assert result.discarded > 0
+
+    def test_reproducible_given_seed(self):
+        a = run_sim(ControlPolicy.optimal(100.0, 0.02), K=100.0, seed=5)
+        b = run_sim(ControlPolicy.optimal(100.0, 0.02), K=100.0, seed=5)
+        assert a.loss_fraction == b.loss_fraction
+        assert a.arrivals == b.arrivals
+
+
+class TestWaitDefinitions:
+    def test_paper_wait_below_true_wait(self):
+        result = run_sim(ControlPolicy.uncontrolled_fcfs(0.02))
+        assert result.mean_paper_wait <= result.mean_true_wait + 1e-9
+
+    def test_controlled_paper_losses_stay_bounded(self):
+        """With element 4 active and the 'paper' definition, no delivered
+        message can exceed the deadline: the protocol never schedules
+        one (Theorem 1 + element 4)."""
+        policy = ControlPolicy.optimal(60.0, 0.02)
+        sim = WindowMACSimulator(
+            policy, 0.02, 25, deadline=60.0, loss_definition="paper", seed=2
+        )
+        result = sim.run(40_000.0, warmup_slots=4_000.0)
+        assert result.delivered_late == 0
+
+    def test_true_definition_allows_some_late(self):
+        """Scored by true waiting time, a few deliveries exceed K by the
+        message's own scheduling time (§4.2's approximation gap)."""
+        policy = ControlPolicy.optimal(30.0, 0.036)
+        sim = WindowMACSimulator(
+            policy, 0.036, 25, deadline=30.0, loss_definition="true", seed=2
+        )
+        result = sim.run(60_000.0, warmup_slots=5_000.0)
+        assert result.delivered_late >= 0  # usually small but nonzero
+
+
+class TestUtilization:
+    def test_utilization_close_to_offered_load(self):
+        lam, m = 0.02, 25  # rho' = 0.5, stable
+        result = run_sim(ControlPolicy.uncontrolled_fcfs(lam), lam=lam, m=m)
+        assert result.channel.utilization() == pytest.approx(0.5, abs=0.05)
+
+    def test_controlled_utilization_never_wasted_on_late(self):
+        """§4.2: the controlled channel transmits only messages accepted
+        at the receiver (scored by the paper definition)."""
+        policy = ControlPolicy.optimal(40.0, 0.036)
+        sim = WindowMACSimulator(
+            policy, 0.036, 25, deadline=40.0, loss_definition="paper", seed=3
+        )
+        result = sim.run(50_000.0, warmup_slots=5_000.0)
+        assert result.delivered_late == 0
+
+
+class TestProtocolOrdering:
+    def test_controlled_beats_lcfs_at_moderate_k(self):
+        lam, K = 0.03, 75.0
+        controlled = run_sim(
+            ControlPolicy.optimal(K, lam), lam=lam, K=K, horizon=80_000.0
+        )
+        lcfs = run_sim(
+            ControlPolicy.uncontrolled_lcfs(lam), lam=lam, K=K, horizon=80_000.0
+        )
+        assert controlled.loss_fraction < lcfs.loss_fraction
+
+    def test_random_discipline_runs(self):
+        result = run_sim(ControlPolicy.uncontrolled_random(0.02), horizon=20_000.0)
+        assert result.arrivals > 0
+
+
+class TestWorkloadInjection:
+    def test_explicit_workload_used(self):
+        workload = PoissonWorkload(rate=0.02)
+        sim = WindowMACSimulator(
+            ControlPolicy.uncontrolled_fcfs(0.02), 0.02, 25,
+            deadline=150.0, seed=4, workload=workload,
+        )
+        result = sim.run(20_000.0)
+        assert result.arrivals > 200

@@ -1,0 +1,113 @@
+"""Tests for stations and the global backlog registry."""
+
+import pytest
+
+from repro.core import Span
+from repro.mac import Message, Station, StationRegistry
+
+
+def msg(arrival, station=0, uid=0):
+    return Message(arrival=arrival, station=station, uid=uid)
+
+
+class TestStation:
+    def test_valid_scale(self):
+        Station(0, window_scale=0.5)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            Station(0, window_scale=0.0)
+        with pytest.raises(ValueError):
+            Station(0, window_scale=1.5)
+
+
+class TestRegistry:
+    def test_needs_stations(self):
+        with pytest.raises(ValueError):
+            StationRegistry(0)
+
+    def test_ingest_in_order(self):
+        registry = StationRegistry(4)
+        registry.ingest(msg(1.0, uid=1))
+        registry.ingest(msg(2.0, uid=2))
+        assert len(registry) == 2
+
+    def test_ingest_out_of_order_rejected(self):
+        registry = StationRegistry(4)
+        registry.ingest(msg(2.0))
+        with pytest.raises(ValueError):
+            registry.ingest(msg(1.0))
+
+    def test_messages_in_span(self):
+        registry = StationRegistry(4)
+        for i, t in enumerate((0.5, 1.5, 2.5, 3.5)):
+            registry.ingest(msg(t, uid=i))
+        found = registry.messages_in_span(Span(((1.0, 3.0),)))
+        assert [m.arrival for m in found] == [1.5, 2.5]
+
+    def test_messages_in_gapped_span(self):
+        registry = StationRegistry(4)
+        for i, t in enumerate((0.5, 1.5, 2.5, 3.5)):
+            registry.ingest(msg(t, uid=i))
+        found = registry.messages_in_span(Span(((0.0, 1.0), (3.0, 4.0))))
+        assert [m.arrival for m in found] == [0.5, 3.5]
+
+    def test_enabled_stations_one_per_station(self):
+        registry = StationRegistry(4)
+        registry.ingest(msg(1.0, station=2, uid=1))
+        registry.ingest(msg(2.0, station=2, uid=2))
+        registry.ingest(msg(3.0, station=1, uid=3))
+        enabled = registry.enabled_stations(Span(((0.0, 5.0),)))
+        assert set(enabled) == {1, 2}
+        assert enabled[2].arrival == 1.0  # station sends its oldest message
+
+    def test_remove(self):
+        registry = StationRegistry(4)
+        a, b = msg(1.0, uid=1), msg(2.0, uid=2)
+        registry.ingest(a)
+        registry.ingest(b)
+        registry.remove(a)
+        assert len(registry) == 1
+        with pytest.raises(ValueError):
+            registry.remove(a)
+
+    def test_drop_older_than(self):
+        registry = StationRegistry(4)
+        for i, t in enumerate((0.5, 1.5, 2.5)):
+            registry.ingest(msg(t, uid=i))
+        dropped = registry.drop_older_than(2.0)
+        assert [m.arrival for m in dropped] == [0.5, 1.5]
+        assert len(registry) == 1
+
+    def test_oldest_pending(self):
+        registry = StationRegistry(4)
+        assert registry.oldest_pending() is None
+        registry.ingest(msg(1.0, uid=1))
+        registry.ingest(msg(2.0, uid=2))
+        assert registry.oldest_pending().arrival == 1.0
+
+    def test_priority_scale_excludes_young_prefix(self):
+        """A half-scale station only joins for the oldest half of the
+        initial window (eligibility decided once per process)."""
+        registry = StationRegistry(2)
+        registry.set_window_scale(1, 0.5)
+        assert registry.has_scaled_stations
+        registry.ingest(msg(1.0, station=0, uid=1))  # old, full-scale
+        registry.ingest(msg(9.0, station=1, uid=2))  # young, half-scale
+        eligible = registry.eligible_for_window(Span(((0.0, 10.0),)))
+        # station 1's message sits in the youngest half: not eligible
+        assert set(eligible) == {0}
+
+    def test_priority_scale_includes_old_messages(self):
+        registry = StationRegistry(2)
+        registry.set_window_scale(1, 0.5)
+        registry.ingest(msg(1.0, station=1, uid=1))  # old: inside prefix
+        eligible = registry.eligible_for_window(Span(((0.0, 10.0),)))
+        assert set(eligible) == {1}
+
+    def test_unscaled_registry_fast_path(self):
+        registry = StationRegistry(2)
+        assert not registry.has_scaled_stations
+        registry.ingest(msg(1.0, station=0, uid=1))
+        eligible = registry.eligible_for_window(Span(((0.0, 10.0),)))
+        assert set(eligible) == {0}

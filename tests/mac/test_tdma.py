@@ -1,0 +1,62 @@
+"""Tests for the TDMA extension baseline."""
+
+import pytest
+
+from repro.mac import TDMASimulator, tdma_loss_probability
+
+
+class TestAnalytic:
+    def test_needs_station(self):
+        with pytest.raises(ValueError):
+            tdma_loss_probability(0.01, 25, 0, 100.0)
+
+    def test_saturated_returns_one(self):
+        # per-station rho = (0.05/2)·(2·25) = 1.25 >= 1
+        assert tdma_loss_probability(0.05, 25, 2, 500.0) == 1.0
+
+    def test_loss_decreases_with_deadline(self):
+        losses = [
+            tdma_loss_probability(0.002, 25, 4, K) for K in (50, 200, 800, 3200)
+        ]
+        assert all(b <= a + 1e-12 for a, b in zip(losses, losses[1:]))
+
+    def test_more_stations_worse_latency(self):
+        few = tdma_loss_probability(0.002, 25, 2, 300.0)
+        many = tdma_loss_probability(0.002, 25, 8, 300.0)
+        assert many >= few
+
+
+class TestSimulator:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            TDMASimulator(0.0, 25, 4, 100.0)
+        with pytest.raises(ValueError):
+            TDMASimulator(0.01, 25, 0, 100.0)
+        with pytest.raises(ValueError):
+            TDMASimulator(0.01, 25, 4, 0.0)
+
+    def test_counts_consistent(self):
+        sim = TDMASimulator(0.004, 25, 4, 400.0, seed=1)
+        result = sim.run(60_000.0, warmup_slots=5_000.0)
+        accounted = (
+            result.delivered_on_time + result.delivered_late + result.unresolved
+        )
+        assert accounted == result.arrivals
+
+    def test_light_load_low_loss(self):
+        sim = TDMASimulator(0.002, 25, 4, 800.0, seed=2)
+        result = sim.run(80_000.0, warmup_slots=5_000.0)
+        assert result.loss_fraction < 0.05
+
+    def test_sim_matches_analytic_roughly(self):
+        lam, m, n, K = 0.004, 25, 4, 600.0
+        sim = TDMASimulator(lam, m, n, K, seed=3)
+        result = sim.run(200_000.0, warmup_slots=10_000.0)
+        analytic = tdma_loss_probability(lam, m, n, K)
+        assert result.loss_fraction == pytest.approx(analytic, abs=0.05)
+
+    def test_tight_deadline_heavy_loss(self):
+        """A deadline below the TDMA cycle dooms most messages."""
+        sim = TDMASimulator(0.004, 25, 8, 30.0, seed=4)
+        result = sim.run(40_000.0, warmup_slots=4_000.0)
+        assert result.loss_fraction > 0.5

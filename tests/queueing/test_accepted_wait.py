@@ -1,0 +1,75 @@
+"""Tests for the accepted-customer waiting-time distribution."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    accepted_wait_pmf,
+    accepted_wait_pmf_from_chain,
+    deterministic_pmf,
+    simulate_impatient_mg1,
+)
+
+
+class TestValidation:
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            accepted_wait_pmf(0.05, deterministic_pmf(10.0), -1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            accepted_wait_pmf(-0.05, deterministic_pmf(10.0), 10.0)
+
+    def test_zero_rate_all_mass_at_zero(self):
+        pmf = accepted_wait_pmf(0.0, deterministic_pmf(10.0), 10.0)
+        assert pmf.p[0] == pytest.approx(1.0)
+
+
+class TestAgreement:
+    def test_series_vs_chain(self):
+        """Two independent algorithms, same conditional distribution."""
+        lam, m, deadline = 0.03, 25.0, 60.0
+        service = deterministic_pmf(m).refine(2)
+        series = accepted_wait_pmf(lam, service, deadline)
+        chain = accepted_wait_pmf_from_chain(lam, service, deadline)
+        assert series.mean() == pytest.approx(chain.mean(), rel=0.05)
+        for w in (10.0, 30.0, 50.0):
+            assert series.cdf_at(w) == pytest.approx(chain.cdf_at(w), abs=0.03)
+
+    def test_against_monte_carlo(self, rng):
+        lam, m, deadline = 0.03, 25.0, 60.0
+        service = deterministic_pmf(m)
+        sim = simulate_impatient_mg1(lam, service, deadline, 400_000, rng)
+        analytic = accepted_wait_pmf(lam, service, deadline)
+        assert analytic.mean() == pytest.approx(sim.mean_accepted_wait, rel=0.05)
+
+
+class TestShape:
+    def test_proper_distribution(self):
+        pmf = accepted_wait_pmf(0.03, deterministic_pmf(25.0), 60.0)
+        assert pmf.p.sum() == pytest.approx(1.0)
+        assert np.all(pmf.p >= 0.0)
+
+    def test_support_within_deadline(self):
+        deadline = 60.0
+        pmf = accepted_wait_pmf(0.03, deterministic_pmf(25.0), deadline)
+        assert pmf.support_max <= deadline + 1e-9
+
+    def test_mass_at_zero_positive(self):
+        """Accepted customers include those arriving to an idle server."""
+        pmf = accepted_wait_pmf(0.03, deterministic_pmf(25.0), 60.0)
+        assert pmf.p[0] > 0.1
+
+    def test_tighter_deadline_smaller_mean_wait(self):
+        service = deterministic_pmf(25.0)
+        tight = accepted_wait_pmf(0.03, service, 30.0)
+        loose = accepted_wait_pmf(0.03, service, 120.0)
+        assert tight.mean() < loose.mean()
+
+    def test_overloaded_queue_still_conditional(self):
+        """At ρ > 1 the conditional distribution below K exists (only the
+        chain route is guaranteed; the series may diverge pointwise)."""
+        service = deterministic_pmf(25.0)
+        pmf = accepted_wait_pmf_from_chain(0.06, service, 40.0)  # rho = 1.5
+        assert pmf.p.sum() == pytest.approx(1.0)
+        assert pmf.support_max <= 40.0 + 1e-9

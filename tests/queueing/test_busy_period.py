@@ -1,0 +1,86 @@
+"""Tests for the discrete M/G/1 busy-period computation."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    busy_period_pmf,
+    delay_busy_period_pmf,
+    deterministic_pmf,
+    geometric_pmf,
+)
+
+
+class TestBusyPeriod:
+    def test_service_mass_at_zero_rejected(self):
+        from repro.queueing import LatticePMF
+
+        with pytest.raises(ValueError):
+            busy_period_pmf(LatticePMF([0.3, 0.7]), 0.1, horizon=50.0)
+
+    def test_zero_arrivals_busy_period_is_service(self):
+        service = deterministic_pmf(5.0)
+        bp = busy_period_pmf(service, arrival_rate=0.0, horizon=50.0)
+        assert bp.p[5] == pytest.approx(1.0)
+        assert bp.p.sum() == pytest.approx(1.0)
+
+    def test_mean_matches_closed_form(self):
+        """E[busy period] = x̄ / (1 − ρ)."""
+        service = deterministic_pmf(4.0)
+        lam = 0.1  # rho = 0.4
+        bp = busy_period_pmf(service, lam, horizon=3000.0, tol=1e-12)
+        mass = bp.p.sum()
+        assert mass > 0.999  # horizon captures nearly everything
+        mean = bp.mean() / mass
+        # The slotted Bernoulli chain approximates the continuous formula.
+        assert mean == pytest.approx(4.0 / (1.0 - 0.4), rel=0.05)
+
+    def test_mass_within_horizon_increases(self):
+        service = deterministic_pmf(4.0)
+        short = busy_period_pmf(service, 0.1, horizon=20.0)
+        long = busy_period_pmf(service, 0.1, horizon=200.0)
+        assert long.p.sum() >= short.p.sum()
+
+    def test_busy_period_no_shorter_than_service(self):
+        service = deterministic_pmf(6.0)
+        bp = busy_period_pmf(service, 0.05, horizon=100.0)
+        assert np.all(bp.p[:6] == 0.0)
+
+    def test_heavier_load_longer_busy_period(self):
+        service = deterministic_pmf(4.0)
+        light = busy_period_pmf(service, 0.02, horizon=2000.0)
+        heavy = busy_period_pmf(service, 0.15, horizon=2000.0)
+        assert heavy.mean() / heavy.p.sum() > light.mean() / light.p.sum()
+
+
+class TestDelayBusyPeriod:
+    def test_delta_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            delay_busy_period_pmf(
+                deterministic_pmf(2.0, delta=0.5),
+                deterministic_pmf(4.0, delta=1.0),
+                0.1,
+                horizon=50.0,
+            )
+
+    def test_zero_initial_delay_is_instant(self):
+        from repro.queueing import LatticePMF
+
+        initial = LatticePMF([1.0])  # all mass at zero
+        out = delay_busy_period_pmf(initial, deterministic_pmf(4.0), 0.1, horizon=50.0)
+        assert out.p[0] == pytest.approx(1.0)
+
+    def test_no_arrivals_reduces_to_initial_delay(self):
+        initial = deterministic_pmf(7.0)
+        out = delay_busy_period_pmf(initial, deterministic_pmf(4.0), 0.0, horizon=50.0)
+        assert out.p[7] == pytest.approx(1.0)
+
+    def test_mean_matches_delay_cycle_formula(self):
+        """E[delay busy period] = E[R] / (1 − ρ)."""
+        service = deterministic_pmf(4.0)
+        lam = 0.1
+        initial = geometric_pmf(3.0, start=1.0)
+        out = delay_busy_period_pmf(initial, service, lam, horizon=4000.0)
+        mass = out.p.sum()
+        assert mass > 0.995
+        assert out.mean() / mass == pytest.approx(3.0 / (1 - 0.4), rel=0.06)

@@ -1,0 +1,106 @@
+"""Tests for the convolution-series machinery (z(K, ρ) of eq. 4.7)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.queueing import deterministic_pmf, exponential_pmf, geometric_pmf
+from repro.queueing.convolve import convolution_series, waiting_series_pmf
+
+
+def residual_of(service):
+    return service.residual()
+
+
+class TestConvolutionSeries:
+    def test_rho_zero_gives_unity(self):
+        res = convolution_series(residual_of(deterministic_pmf(5.0)), 10.0, 0.0)
+        assert res.z == 1.0
+        assert res.converged
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            convolution_series(residual_of(deterministic_pmf(5.0)), -1.0, 0.5)
+
+    def test_negative_rho_rejected(self):
+        with pytest.raises(ValueError):
+            convolution_series(residual_of(deterministic_pmf(5.0)), 1.0, -0.5)
+
+    def test_k_infinity_limit_matches_geometric_sum(self):
+        """For K far beyond all mass, z → 1/(1−ρ) (all q_i = 1)."""
+        service = deterministic_pmf(5.0)
+        rho = 0.6
+        res = convolution_series(service.residual(), 100_000.0, rho, tol=1e-14)
+        assert res.z == pytest.approx(1.0 / (1.0 - rho), rel=1e-6)
+
+    def test_k_zero_keeps_only_first_term(self):
+        res = convolution_series(residual_of(deterministic_pmf(5.0)), 0.0, 0.9)
+        # with the midpoint convention every i >= 1 term needs sum >= 1/2 slot
+        assert res.z == pytest.approx(1.0)
+
+    def test_transformed_is_accept_probability(self):
+        res = convolution_series(residual_of(deterministic_pmf(5.0)), 20.0, 0.5)
+        kernel = res.transformed(0.5)
+        assert 0.0 < kernel <= 1.0
+
+    def test_converges_for_rho_above_one(self):
+        service = deterministic_pmf(10.0)
+        res = convolution_series(service.residual(), 50.0, 1.5)
+        assert res.converged
+        assert math.isfinite(res.z)
+
+    def test_terms_increase_with_horizon(self):
+        service = deterministic_pmf(10.0)
+        short = convolution_series(service.residual(), 10.0, 0.8)
+        long = convolution_series(service.residual(), 200.0, 0.8)
+        assert long.terms >= short.terms
+
+    def test_partial_integrals_monotone_decreasing(self):
+        """q_i = P(sum of i residuals <= K) decreases in i."""
+        service = geometric_pmf(8.0, start=1.0)
+        res = convolution_series(service.residual(), 40.0, 0.7)
+        partials = res.partial_integrals
+        assert all(b <= a + 1e-12 for a, b in zip(partials, partials[1:]))
+
+    def test_midpoint_flag_changes_value(self):
+        service = deterministic_pmf(25.0)
+        mid = convolution_series(service.residual(), 60.0, 0.75, midpoint=True)
+        naive = convolution_series(service.residual(), 60.0, 0.75, midpoint=False)
+        assert naive.z > mid.z  # left-aligned cells overstate in-horizon mass
+
+    @given(rho=st.floats(0.05, 0.95), horizon=st.floats(1.0, 200.0))
+    def test_z_bounds_property(self, rho, horizon):
+        """1 <= z <= 1/(1−ρ) for any horizon when ρ < 1."""
+        service = deterministic_pmf(10.0)
+        res = convolution_series(service.residual(), horizon, rho)
+        assert 1.0 - 1e-12 <= res.z <= 1.0 / (1.0 - rho) + 1e-9
+
+
+class TestWaitingSeriesPmf:
+    def test_total_mass_matches_mg1_cdf(self):
+        """(1−ρ)·Σ ρ^i β^{(i)} integrates to the waiting cdf at the horizon."""
+        service = deterministic_pmf(5.0)
+        rho_target = 0.5
+        lam = rho_target / service.mean()
+        kernel = waiting_series_pmf(service.residual(), rho_target, horizon=1000.0)
+        cdf_at_horizon = (1.0 - rho_target) * kernel.p.sum()
+        assert cdf_at_horizon == pytest.approx(1.0, rel=1e-6)
+        del lam
+
+    def test_diverges_for_saturated_queue(self):
+        service = deterministic_pmf(5.0)
+        with pytest.raises(ValueError):
+            waiting_series_pmf(service.residual(), 1.2, horizon=30.0)
+
+    def test_negative_rho_rejected(self):
+        service = deterministic_pmf(5.0)
+        with pytest.raises(ValueError):
+            waiting_series_pmf(service.residual(), -0.1, horizon=10.0)
+
+    def test_kernel_nonnegative(self):
+        service = exponential_pmf(5.0, delta=0.5)
+        kernel = waiting_series_pmf(service.residual(), 0.6, horizon=50.0)
+        assert np.all(kernel.p >= 0.0)

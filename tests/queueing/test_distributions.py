@@ -1,0 +1,251 @@
+"""Unit and property tests for lattice distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.queueing import (
+    LatticePMF,
+    deterministic_pmf,
+    exponential_pmf,
+    geometric_pmf,
+    mixture,
+    poisson_pmf,
+    uniform_pmf,
+)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LatticePMF([])
+
+    def test_rejects_negative_mass(self):
+        with pytest.raises(ValueError):
+            LatticePMF([0.5, -0.1, 0.6])
+
+    def test_rejects_supercritical_mass(self):
+        with pytest.raises(ValueError):
+            LatticePMF([0.7, 0.7])
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ValueError):
+            LatticePMF([1.0], delta=0.0)
+
+    def test_from_values(self):
+        pmf = LatticePMF.from_values([2.0, 6.0], [0.25, 0.75], delta=2.0)
+        assert pmf.mean() == pytest.approx(0.25 * 2 + 0.75 * 6)
+
+    def test_from_values_off_lattice_rejected(self):
+        with pytest.raises(ValueError):
+            LatticePMF.from_values([1.5], [1.0], delta=1.0)
+
+    def test_from_values_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatticePMF.from_values([-1.0], [1.0], delta=1.0)
+
+    def test_from_values_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LatticePMF.from_values([1.0], [0.5, 0.5])
+
+
+class TestMoments:
+    def test_deterministic_moments(self):
+        pmf = deterministic_pmf(25.0)
+        assert pmf.mean() == 25.0
+        assert pmf.variance() == pytest.approx(0.0, abs=1e-9)
+        assert pmf.moment(2) == pytest.approx(625.0)
+
+    def test_geometric_mean_matches_request(self):
+        for mean in (0.5, 1.47, 10.0):
+            pmf = geometric_pmf(mean, start=0.0)
+            assert pmf.mean() == pytest.approx(mean, rel=1e-6)
+
+    def test_geometric_with_start_offset(self):
+        pmf = geometric_pmf(5.0, start=2.0)
+        assert pmf.mean() == pytest.approx(5.0, rel=1e-6)
+        assert pmf.p[0] == 0.0 and pmf.p[1] == 0.0
+
+    def test_geometric_mean_below_start_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_pmf(1.0, start=2.0)
+
+    def test_poisson_mean_and_variance(self):
+        pmf = poisson_pmf(4.2)
+        assert pmf.mean() == pytest.approx(4.2, rel=1e-9)
+        assert pmf.variance() == pytest.approx(4.2, rel=1e-6)
+
+    def test_poisson_zero(self):
+        pmf = poisson_pmf(0.0)
+        assert pmf.p[0] == 1.0
+
+    def test_uniform_moments(self):
+        pmf = uniform_pmf(2.0, 6.0, delta=1.0)
+        assert pmf.mean() == pytest.approx(4.0)
+
+    def test_exponential_mean_converges(self):
+        pmf = exponential_pmf(10.0, delta=0.05)
+        assert pmf.mean() == pytest.approx(10.0, rel=0.01)
+
+    def test_moment_negative_order_rejected(self):
+        with pytest.raises(ValueError):
+            deterministic_pmf(1.0).moment(-1)
+
+
+class TestCdf:
+    def test_cdf_at_boundaries(self):
+        pmf = LatticePMF([0.2, 0.3, 0.5])
+        assert pmf.cdf_at(-1.0) == 0.0
+        assert pmf.cdf_at(0.0) == pytest.approx(0.2)
+        assert pmf.cdf_at(1.0) == pytest.approx(0.5)
+        assert pmf.cdf_at(100.0) == pytest.approx(1.0)
+
+    def test_sf_complements_cdf(self):
+        pmf = LatticePMF([0.2, 0.3, 0.5])
+        for x in (0.0, 1.0, 2.0, 5.0):
+            assert pmf.sf_at(x) == pytest.approx(1.0 - pmf.cdf_at(x))
+
+    def test_cdf_array_is_monotone(self):
+        pmf = poisson_pmf(3.0)
+        cdf = pmf.cdf()
+        assert np.all(np.diff(cdf) >= -1e-15)
+
+
+class TestTransforms:
+    def test_convolution_of_deterministics(self):
+        a = deterministic_pmf(3.0)
+        b = deterministic_pmf(4.0)
+        assert a.convolve(b).mean() == pytest.approx(7.0)
+
+    def test_convolution_means_add(self):
+        a = poisson_pmf(2.0)
+        b = geometric_pmf(3.0)
+        c = a.convolve(b)
+        assert c.mean() == pytest.approx(a.mean() + b.mean(), rel=1e-6)
+
+    def test_convolution_lattice_mismatch(self):
+        with pytest.raises(ValueError):
+            deterministic_pmf(1.0, delta=1.0).convolve(deterministic_pmf(1.0, delta=0.5))
+
+    def test_convolution_truncation_keeps_prefix_exact(self):
+        a = geometric_pmf(2.0)
+        full = a.convolve(a)
+        truncated = a.convolve(a, limit=5)
+        assert np.allclose(full.p[:5], truncated.p)
+
+    def test_shift(self):
+        pmf = deterministic_pmf(2.0).shift(3.0)
+        assert pmf.mean() == pytest.approx(5.0)
+
+    def test_shift_off_lattice_rejected(self):
+        with pytest.raises(ValueError):
+            deterministic_pmf(2.0).shift(0.5)
+
+    def test_shift_negative_rejected(self):
+        with pytest.raises(ValueError):
+            deterministic_pmf(2.0).shift(-1.0)
+
+    def test_residual_of_deterministic_is_uniform(self):
+        pmf = deterministic_pmf(4.0)
+        residual = pmf.residual()
+        assert np.allclose(residual.p, [0.25, 0.25, 0.25, 0.25])
+        assert residual.p.sum() == pytest.approx(1.0)
+
+    def test_residual_mean_formula(self):
+        """E[residual] on the lattice equals Σ_j j·P(X>j)/E[X]·δ²."""
+        pmf = poisson_pmf(3.0).shift(1.0)  # service >= 1
+        residual = pmf.residual()
+        assert residual.p.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_residual_requires_positive_mean(self):
+        with pytest.raises(ValueError):
+            LatticePMF([1.0]).residual()
+
+    def test_refine_preserves_values_exactly(self):
+        pmf = LatticePMF([0.0, 0.5, 0.5])
+        fine = pmf.refine(4)
+        assert fine.delta == 0.25
+        assert fine.mean() == pytest.approx(pmf.mean())
+        assert fine.cdf_at(1.0) == pytest.approx(pmf.cdf_at(1.0))
+
+    def test_refine_identity(self):
+        pmf = poisson_pmf(2.0)
+        assert np.allclose(pmf.refine(1).p, pmf.p)
+
+    def test_refine_invalid_factor(self):
+        with pytest.raises(ValueError):
+            deterministic_pmf(1.0).refine(0)
+
+    def test_rebin_inverse_of_refine(self):
+        pmf = poisson_pmf(5.0)
+        round_trip = pmf.refine(3).rebin(1.0)
+        assert np.allclose(round_trip.p, pmf.p)
+
+    def test_rebin_invalid_step(self):
+        with pytest.raises(ValueError):
+            poisson_pmf(1.0).rebin(0.3)
+
+    def test_sample_distribution(self, rng):
+        pmf = LatticePMF([0.5, 0.0, 0.5], delta=2.0)
+        samples = pmf.sample(rng, size=20_000)
+        assert set(np.unique(samples)) <= {0.0, 4.0}
+        assert np.mean(samples) == pytest.approx(2.0, abs=0.1)
+
+    def test_sample_truncated_rejected(self, rng):
+        truncated = LatticePMF([0.5])  # half the mass missing
+        with pytest.raises(ValueError):
+            truncated.sample(rng)
+
+
+class TestMixture:
+    def test_mixture_mean(self):
+        mix = mixture([deterministic_pmf(2.0), deterministic_pmf(10.0)], [0.75, 0.25])
+        assert mix.mean() == pytest.approx(4.0)
+
+    def test_mixture_weight_validation(self):
+        with pytest.raises(ValueError):
+            mixture([deterministic_pmf(1.0)], [0.5])
+
+    def test_mixture_lattice_mismatch(self):
+        with pytest.raises(ValueError):
+            mixture(
+                [deterministic_pmf(1.0, delta=1.0), deterministic_pmf(1.0, delta=0.5)],
+                [0.5, 0.5],
+            )
+
+    def test_mixture_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mixture([], [])
+
+
+@given(
+    probs=st.lists(st.floats(0.001, 1.0), min_size=1, max_size=30),
+    delta=st.sampled_from([0.25, 0.5, 1.0, 2.0]),
+)
+def test_normalised_pmf_properties(probs, delta):
+    """Any normalised pmf: cdf ends at 1, mean within support, residual proper."""
+    p = np.asarray(probs)
+    p = p / p.sum()
+    pmf = LatticePMF(p, delta=delta)
+    assert pmf.cdf()[-1] == pytest.approx(1.0)
+    assert 0.0 <= pmf.mean() <= pmf.support_max + 1e-12
+    if pmf.mean() > 0:
+        residual = pmf.residual()
+        assert residual.p.sum() == pytest.approx(1.0, abs=1e-9)
+        assert residual.delta == delta
+
+
+@given(
+    a_mean=st.floats(0.5, 20.0),
+    b_mean=st.floats(0.5, 20.0),
+)
+def test_convolution_commutes(a_mean, b_mean):
+    a = geometric_pmf(a_mean)
+    b = geometric_pmf(b_mean)
+    ab = a.convolve(b)
+    ba = b.convolve(a)
+    n = min(ab.p.size, ba.p.size)
+    assert np.allclose(ab.p[:n], ba.p[:n])

@@ -1,0 +1,178 @@
+"""Tests for the impatient-customer M/G/1 solver (eq. 4.7)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.queueing import (
+    ImpatientMG1,
+    deterministic_pmf,
+    exponential_pmf,
+    geometric_pmf,
+    loss_curve,
+)
+
+
+class TestSolve:
+    def test_zero_rate_no_loss(self):
+        sol = ImpatientMG1(0.0, deterministic_pmf(5.0), 10.0).solve()
+        assert sol.loss_probability == 0.0
+        assert sol.idle_probability == 1.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ImpatientMG1(-0.1, deterministic_pmf(5.0), 10.0)
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            ImpatientMG1(0.1, deterministic_pmf(5.0), -1.0)
+
+    def test_k_zero_is_erlang_loss(self):
+        """At K = 0 a customer enters only an empty system: the paper's
+        check says p(loss) → 1 − P(0), and the system is the M/G/1 loss
+        system with blocking ρ/(1+ρ)."""
+        service = deterministic_pmf(10.0)
+        for lam in (0.02, 0.05, 0.15):
+            rho = lam * 10.0
+            sol = ImpatientMG1(lam, service, 0.0).solve()
+            assert sol.loss_probability == pytest.approx(rho / (1 + rho), rel=1e-9)
+            assert sol.loss_probability == pytest.approx(
+                1.0 - sol.idle_probability, rel=1e-9
+            )
+
+    def test_k_infinite_no_loss_idle_matches(self):
+        """As K → ∞ (paper's check): loss → 0, P(0) → 1 − ρ."""
+        sol = ImpatientMG1(0.05, deterministic_pmf(10.0), math.inf).solve()
+        assert sol.loss_probability == 0.0
+        assert sol.idle_probability == pytest.approx(0.5, rel=1e-9)
+
+    def test_k_infinite_saturated_rejected(self):
+        with pytest.raises(ValueError):
+            ImpatientMG1(0.2, deterministic_pmf(10.0), math.inf).solve()
+
+    def test_large_finite_k_approaches_zero_loss(self):
+        sol = ImpatientMG1(0.05, deterministic_pmf(10.0), 2000.0).solve()
+        assert sol.loss_probability < 1e-8
+
+    def test_saturated_loss_approaches_overload_fraction(self):
+        """For ρ > 1 with a generous deadline, loss → 1 − 1/ρ (the queue
+        serves at capacity; the excess is shed)."""
+        lam, m = 0.06, 25.0  # rho = 1.5
+        sol = ImpatientMG1(lam, deterministic_pmf(m), 2000.0).solve()
+        assert sol.loss_probability == pytest.approx(1 - 1 / 1.5, abs=0.01)
+
+    def test_loss_monotone_decreasing_in_deadline(self):
+        service = geometric_pmf(8.0, start=1.0)
+        losses = [
+            ImpatientMG1(0.1, service, K).loss_probability()
+            for K in (0, 5, 10, 20, 40, 80, 160)
+        ]
+        assert all(b <= a + 1e-12 for a, b in zip(losses, losses[1:]))
+
+    def test_loss_monotone_increasing_in_rate(self):
+        service = deterministic_pmf(10.0)
+        losses = [
+            ImpatientMG1(lam, service, 30.0).loss_probability()
+            for lam in (0.02, 0.05, 0.08, 0.12)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(losses, losses[1:]))
+
+    def test_accepted_rate_consistency(self):
+        queue = ImpatientMG1(0.08, deterministic_pmf(10.0), 25.0)
+        sol = queue.solve()
+        assert sol.accepted_rate == pytest.approx(
+            0.08 * (1 - sol.loss_probability)
+        )
+
+    def test_flow_conservation_identity(self):
+        """eq. 4.6: p(accept)·ρ = 1 − P(0)."""
+        queue = ImpatientMG1(0.07, geometric_pmf(12.0, start=1.0), 40.0)
+        sol = queue.solve()
+        assert (1 - sol.loss_probability) * sol.rho == pytest.approx(
+            1 - sol.idle_probability, rel=1e-9
+        )
+
+    @given(lam=st.floats(0.01, 0.2), deadline=st.floats(0.0, 300.0))
+    def test_loss_in_unit_interval_property(self, lam, deadline):
+        sol = ImpatientMG1(lam, deterministic_pmf(10.0), deadline).solve()
+        assert 0.0 <= sol.loss_probability <= 1.0
+        assert 0.0 < sol.idle_probability <= 1.0
+
+
+class TestLossCurve:
+    def test_requires_model_or_transmission(self):
+        with pytest.raises(ValueError):
+            loss_curve(0.05, [10.0])
+
+    def test_decreasing_deadlines_rejected(self):
+        with pytest.raises(ValueError):
+            loss_curve(0.05, [10.0, 5.0], transmission_time=10.0)
+
+    def test_constant_service_matches_direct_solver(self):
+        points = loss_curve(0.05, [0.0, 10.0, 30.0], transmission_time=10.0)
+        for point in points:
+            direct = ImpatientMG1(
+                0.05, deterministic_pmf(10.0), point.deadline
+            ).loss_probability()
+            assert point.loss_probability == pytest.approx(direct, rel=1e-9)
+
+    def test_curve_monotone_decreasing(self):
+        points = loss_curve(
+            0.06, [0, 5, 10, 20, 40, 80], transmission_time=10.0
+        )
+        losses = [p.loss_probability for p in points]
+        assert all(b <= a + 1e-12 for a, b in zip(losses, losses[1:]))
+
+    def test_coupled_service_model_uses_accepted_rate(self):
+        """A service model depending on the accepted rate reaches a
+        fixed point: heavier acceptance → longer service → more loss."""
+        calls = []
+
+        def service_model(accepted_rate):
+            calls.append(accepted_rate)
+            overhead = 2.0 + 20.0 * accepted_rate  # grows with traffic
+            return geometric_pmf(overhead, start=1.0).shift(10.0)
+
+        points = loss_curve(0.05, [20.0, 60.0], service_model=service_model)
+        assert len(points) == 2
+        assert len(calls) > 2  # fixed-point iterations happened
+        assert points[1].loss_probability <= points[0].loss_probability
+
+    def test_fixed_point_off_follows_paper_iteration(self):
+        def service_model(accepted_rate):
+            return deterministic_pmf(10.0)
+
+        once = loss_curve(0.05, [10.0, 30.0], service_model=service_model,
+                          fixed_point=False)
+        assert len(once) == 2
+
+    def test_point_metadata(self):
+        points = loss_curve(0.05, [25.0], transmission_time=10.0)
+        point = points[0]
+        assert point.deadline == 25.0
+        assert point.rho == pytest.approx(0.5)
+        assert point.mean_service == pytest.approx(10.0)
+        assert point.accepted_rate <= 0.05
+
+
+class TestAgainstMM1ClosedForm:
+    def test_exponential_service_loss_against_workload_formula(self):
+        """M/M/1 + balking-at-K has a known workload density
+        f(w) = P(0)·λ·e^{−(μ−λ)w} on (0, K]; check our series against it."""
+        mean_service = 10.0
+        lam = 0.06  # rho = 0.6
+        mu = 1.0 / mean_service
+        K = 30.0
+        service = exponential_pmf(mean_service, delta=0.1)
+        sol = ImpatientMG1(lam, service, K).solve()
+        # closed form: F(K) = P0·(1 + ρ(1−e^{−(μ−λ)K})·μ/(μ−λ)·(1/ρ)…)
+        # Derive via accept probability: p_acc = F(K) and flow balance.
+        # Workload cdf: F(w) = P0·(1 + λ/(μ−λ)·(1−e^{−(μ−λ)w}))
+        delta_rate = mu - lam
+        accept_over_p0 = 1.0 + lam / delta_rate * (1.0 - math.exp(-delta_rate * K))
+        # p_acc·rho = 1 − P0 and p_acc = P0·accept_over_p0:
+        p0 = 1.0 / (1.0 + lam * mean_service * accept_over_p0)
+        expected_loss = 1.0 - p0 * accept_over_p0
+        assert sol.loss_probability == pytest.approx(expected_loss, rel=0.02)

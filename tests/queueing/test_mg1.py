@@ -1,0 +1,109 @@
+"""Tests for classic M/G/1 results against closed forms."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.queueing import (
+    MG1,
+    deterministic_pmf,
+    exponential_pmf,
+    geometric_pmf,
+    pollaczek_khinchine_wait,
+)
+
+
+class TestPollaczekKhinchine:
+    def test_md1_mean_wait_closed_form(self):
+        """M/D/1: W = ρ·x̄ / (2(1−ρ))."""
+        service = deterministic_pmf(10.0)
+        lam = 0.05  # rho = 0.5
+        expected = 0.5 * 10.0 / (2 * (1 - 0.5))
+        assert pollaczek_khinchine_wait(lam, service) == pytest.approx(expected)
+
+    def test_mm1_mean_wait_closed_form(self):
+        """M/M/1: W = ρ/(μ−λ)."""
+        mean_service = 4.0
+        lam = 0.15  # rho = 0.6
+        service = exponential_pmf(mean_service, delta=0.02)
+        expected = 0.6 / (1.0 / mean_service - lam)
+        assert pollaczek_khinchine_wait(lam, service) == pytest.approx(expected, rel=0.01)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            pollaczek_khinchine_wait(0.2, deterministic_pmf(10.0))
+
+    @given(rho=st.floats(0.05, 0.9))
+    def test_md1_vs_mm1_wait_ratio(self, rho):
+        """Deterministic service halves the waiting time of exponential."""
+        mean_service = 8.0
+        lam = rho / mean_service
+        d_wait = pollaczek_khinchine_wait(lam, deterministic_pmf(mean_service))
+        m_wait = pollaczek_khinchine_wait(
+            lam, exponential_pmf(mean_service, delta=0.05)
+        )
+        assert d_wait == pytest.approx(m_wait / 2, rel=0.05)
+
+
+class TestMG1Queue:
+    def test_rho_property(self):
+        queue = MG1(0.04, deterministic_pmf(10.0))
+        assert queue.rho == pytest.approx(0.4)
+
+    def test_utilization_unstable_raises(self):
+        with pytest.raises(ValueError):
+            MG1(0.2, deterministic_pmf(10.0)).utilization
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            MG1(-0.1, deterministic_pmf(1.0))
+
+    def test_sojourn_and_littles_law(self):
+        queue = MG1(0.04, deterministic_pmf(10.0))
+        assert queue.mean_sojourn() == pytest.approx(queue.mean_wait() + 10.0)
+        assert queue.mean_queue_length() == pytest.approx(0.04 * queue.mean_wait())
+
+    def test_mm1_wait_distribution_closed_form(self):
+        """M/M/1 FCFS: P(W > t) = ρ·e^{−(μ−λ)t}."""
+        mean_service = 5.0
+        lam = 0.12  # rho = 0.6
+        service = exponential_pmf(mean_service, delta=0.05)
+        queue = MG1(lam, service)
+        mu = 1.0 / mean_service
+        for t in (0.0, 5.0, 20.0, 50.0):
+            expected = 0.6 * math.exp(-(mu - lam) * t)
+            # tolerance grows into the tail with the service discretisation
+            assert queue.wait_survival_at(t) == pytest.approx(expected, rel=0.05, abs=1e-4)
+
+    def test_wait_cdf_monotone_in_t(self):
+        queue = MG1(0.06, deterministic_pmf(10.0))
+        values = [queue.wait_cdf_at(t) for t in (0, 5, 10, 20, 40, 80)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_wait_cdf_negative_time_zero(self):
+        queue = MG1(0.05, deterministic_pmf(10.0))
+        assert queue.wait_cdf_at(-3.0) == 0.0
+
+    def test_wait_cdf_unstable_raises(self):
+        queue = MG1(0.2, deterministic_pmf(10.0))
+        with pytest.raises(ValueError):
+            queue.wait_cdf_at(10.0)
+
+    def test_loss_beyond_deadline_limits(self):
+        queue = MG1(0.05, deterministic_pmf(10.0))
+        assert queue.loss_beyond_deadline(math.inf) == 0.0
+        # at K = 0 the loss is P(W > 0) = probability of waiting = ρ for M/D/1?
+        # For M/G/1, P(W = 0) = 1 − ρ, so P(W > 0) = ρ.
+        assert queue.loss_beyond_deadline(0.0) == pytest.approx(0.5, abs=0.02)
+
+    def test_loss_negative_deadline_rejected(self):
+        queue = MG1(0.05, deterministic_pmf(10.0))
+        with pytest.raises(ValueError):
+            queue.loss_beyond_deadline(-1.0)
+
+    def test_geometric_service_loss_decreases_with_deadline(self):
+        queue = MG1(0.08, geometric_pmf(8.0, start=1.0))
+        losses = [queue.loss_beyond_deadline(K) for K in (0, 10, 25, 60, 150)]
+        assert all(b <= a + 1e-12 for a, b in zip(losses, losses[1:]))

@@ -1,0 +1,118 @@
+"""Tests for the Monte-Carlo queue simulators."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    MG1,
+    ImpatientMG1,
+    deterministic_pmf,
+    geometric_pmf,
+    simulate_impatient_mg1,
+    simulate_mg1_waits,
+)
+
+
+class TestImpatientSim:
+    def test_invalid_args_rejected(self, rng):
+        with pytest.raises(ValueError):
+            simulate_impatient_mg1(0.0, deterministic_pmf(5.0), 10.0, 100, rng)
+        with pytest.raises(ValueError):
+            simulate_impatient_mg1(0.1, deterministic_pmf(5.0), 10.0, 0, rng)
+
+    def test_callable_sampler_supported(self, rng):
+        result = simulate_impatient_mg1(
+            0.05,
+            lambda rng, size: np.full(size, 10.0),
+            30.0,
+            20_000,
+            rng,
+        )
+        assert 0.0 <= result.loss_probability <= 1.0
+
+    def test_unsupported_sampler_rejected(self, rng):
+        with pytest.raises(TypeError):
+            simulate_impatient_mg1(0.05, object(), 30.0, 100, rng)
+
+    def test_huge_deadline_never_loses(self, rng):
+        result = simulate_impatient_mg1(
+            0.05, deterministic_pmf(10.0), 1e9, 20_000, rng
+        )
+        assert result.loss_probability == 0.0
+
+    def test_matches_series_solver(self, rng):
+        lam, m, K = 0.03, 25.0, 60.0
+        sim = simulate_impatient_mg1(lam, deterministic_pmf(m), K, 400_000, rng)
+        analytic = ImpatientMG1(lam, deterministic_pmf(m).refine(4), K).solve()
+        assert sim.loss_probability == pytest.approx(
+            analytic.loss_probability, rel=0.08
+        )
+
+    def test_stderr_reasonable(self, rng):
+        result = simulate_impatient_mg1(
+            0.05, deterministic_pmf(10.0), 20.0, 50_000, rng
+        )
+        assert 0 < result.loss_stderr() < 0.01
+
+    def test_counts_add_up(self, rng):
+        result = simulate_impatient_mg1(
+            0.08, deterministic_pmf(10.0), 15.0, 30_000, rng
+        )
+        assert result.n_lost <= result.n_customers
+        assert result.loss_probability == pytest.approx(
+            result.n_lost / result.n_customers
+        )
+
+    def test_accepted_wait_below_deadline(self, rng):
+        K = 12.0
+        result = simulate_impatient_mg1(
+            0.08, deterministic_pmf(10.0), K, 30_000, rng
+        )
+        assert 0.0 <= result.mean_accepted_wait <= K
+
+
+class TestWaitSim:
+    def test_unknown_discipline_rejected(self, rng):
+        with pytest.raises(ValueError):
+            simulate_mg1_waits(0.05, deterministic_pmf(10.0), 100, rng, "siro")
+
+    def test_fcfs_mean_matches_pollaczek_khinchine(self, rng):
+        lam = 0.05
+        service = deterministic_pmf(10.0)
+        sim = simulate_mg1_waits(lam, service, 300_000, rng, "fcfs")
+        assert sim.mean_wait == pytest.approx(MG1(lam, service).mean_wait(), rel=0.05)
+
+    def test_lcfs_mean_matches_fcfs_mean(self, rng):
+        """Work conservation in the simulator itself."""
+        lam = 0.06
+        service = geometric_pmf(8.0, start=1.0)
+        fcfs = simulate_mg1_waits(lam, service, 200_000, rng, "fcfs")
+        lcfs = simulate_mg1_waits(
+            lam, service, 200_000, np.random.default_rng(999), "lcfs"
+        )
+        assert fcfs.mean_wait == pytest.approx(lcfs.mean_wait, rel=0.08)
+
+    def test_fcfs_tail_matches_benes_series(self, rng):
+        lam = 0.05
+        service = deterministic_pmf(10.0)
+        sim = simulate_mg1_waits(lam, service, 300_000, rng, "fcfs")
+        queue = MG1(lam, service)
+        for t in (5.0, 20.0, 60.0):
+            assert sim.fraction_late(t) == pytest.approx(
+                queue.wait_survival_at(t), rel=0.1, abs=0.003
+            )
+
+    def test_max_queue_guard_triggers_when_unstable(self, rng):
+        with pytest.raises(RuntimeError):
+            simulate_mg1_waits(
+                0.5,  # rho = 5: wildly unstable
+                deterministic_pmf(10.0),
+                50_000,
+                rng,
+                "fcfs",
+                max_queue=1000,
+            )
+
+    def test_waits_nonnegative(self, rng):
+        sim = simulate_mg1_waits(0.05, deterministic_pmf(10.0), 20_000, rng)
+        assert np.all(sim.waits >= 0.0)

@@ -1,0 +1,107 @@
+"""Tests for the transient workload evolution."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    deterministic_pmf,
+    solve_workload_chain,
+    transient_workload,
+)
+
+
+class TestValidation:
+    def test_bad_service(self):
+        from repro.queueing import LatticePMF
+
+        with pytest.raises(ValueError):
+            transient_workload(0.03, LatticePMF([0.5, 0.5]), 10.0, 100)
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            transient_workload(0.03, deterministic_pmf(10.0), 10.0, 0)
+
+    def test_bad_deadline(self):
+        with pytest.raises(ValueError):
+            transient_workload(0.03, deterministic_pmf(10.0), -1.0, 10)
+
+    def test_bad_snapshot(self):
+        with pytest.raises(ValueError):
+            transient_workload(
+                0.03, deterministic_pmf(10.0), 10.0, 10, snapshot_every=0
+            )
+
+
+class TestDynamics:
+    def test_distribution_stays_normalised(self):
+        result = transient_workload(
+            0.03, deterministic_pmf(25.0), 60.0, 500, initial_workload=100.0
+        )
+        assert result.final_pi.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(result.final_pi >= -1e-12)
+
+    def test_empty_start_low_initial_loss(self):
+        result = transient_workload(0.03, deterministic_pmf(25.0), 60.0, 50)
+        assert result.loss_probability[0] == 0.0
+
+    def test_burst_start_high_initial_loss(self):
+        result = transient_workload(
+            0.03, deterministic_pmf(25.0), 60.0, 50, initial_workload=200.0
+        )
+        assert result.loss_probability[0] == 1.0
+
+    def test_converges_to_stationary_chain(self):
+        """The transient limit must agree with the stationary solver —
+        two very different algorithms."""
+        lam, m, deadline = 0.03, 25.0, 60.0
+        service = deterministic_pmf(m)
+        transient = transient_workload(
+            lam, service, deadline, 6000, initial_workload=150.0
+        )
+        stationary = solve_workload_chain(lam, service, deadline)
+        assert transient.loss_probability[-1] == pytest.approx(
+            stationary.loss_probability, rel=1e-3
+        )
+        assert transient.mean_workload[-1] == pytest.approx(
+            stationary.mean_workload, rel=1e-2
+        )
+
+    def test_convergence_from_both_sides(self):
+        """Loss relaxes downward from a burst and upward from empty."""
+        lam, m, deadline = 0.03, 25.0, 60.0
+        service = deterministic_pmf(m)
+        from_burst = transient_workload(
+            lam, service, deadline, 4000, initial_workload=150.0
+        )
+        from_empty = transient_workload(lam, service, deadline, 4000)
+        stationary = solve_workload_chain(lam, service, deadline).loss_probability
+        assert from_burst.loss_probability[1] > stationary
+        assert from_empty.loss_probability[1] < stationary
+        assert from_burst.loss_probability[-1] == pytest.approx(
+            from_empty.loss_probability[-1], rel=0.01
+        )
+
+    def test_settling_time_finite_and_ordered(self):
+        lam, m, deadline = 0.03, 25.0, 60.0
+        service = deterministic_pmf(m)
+        stationary = solve_workload_chain(lam, service, deadline).loss_probability
+        result = transient_workload(
+            lam, service, deadline, 4000, initial_workload=150.0, snapshot_every=10
+        )
+        settle = result.settling_time(stationary, tolerance=0.2)
+        assert math.isfinite(settle)
+        assert settle > 0.0
+
+    def test_settling_time_unreachable_is_inf(self):
+        result = transient_workload(0.03, deterministic_pmf(25.0), 60.0, 10)
+        assert result.settling_time(0.5, tolerance=0.01) == math.inf
+
+    def test_initial_pi_override(self):
+        pi0 = np.zeros(10)
+        pi0[3] = 1.0
+        result = transient_workload(
+            0.03, deterministic_pmf(25.0), 60.0, 5, initial_pi=pi0
+        )
+        assert result.mean_workload[0] == pytest.approx(3.0)

@@ -1,0 +1,89 @@
+"""Tests for the true-waiting-time correction."""
+
+import pytest
+
+from repro.core import ControlPolicy
+from repro.crp import ExactSchedulingModel, optimal_window_occupancy
+from repro.mac import WindowMACSimulator
+from repro.queueing import true_wait_correction
+
+
+def scheduling_pmf(m=25):
+    return ExactSchedulingModel(m, optimal_window_occupancy()).scheduling_pmf()
+
+
+class TestValidation:
+    def test_invalid_transmission(self):
+        with pytest.raises(ValueError):
+            true_wait_correction(0.03, scheduling_pmf(), 0.0, 60.0)
+
+    def test_empty_scheduling_rejected(self):
+        from repro.queueing import LatticePMF
+        import numpy as np
+
+        empty = LatticePMF.__new__(LatticePMF)
+        empty.p = np.zeros(3)
+        empty.delta = 1.0
+        with pytest.raises(ValueError):
+            true_wait_correction(0.03, empty, 25.0, 60.0)
+
+
+class TestStructure:
+    def test_total_exceeds_sender_loss(self):
+        c = true_wait_correction(0.03, scheduling_pmf(), 25.0, 60.0)
+        assert c.total_loss >= c.sender_loss
+        assert c.correction == pytest.approx(
+            (1 - c.sender_loss) * c.late_given_accepted
+        )
+
+    def test_correction_shrinks_with_deadline(self):
+        """The own-scheduling overhang matters less as K grows."""
+        sched = scheduling_pmf()
+        tight = true_wait_correction(0.03, sched, 25.0, 40.0)
+        loose = true_wait_correction(0.03, sched, 25.0, 160.0)
+        assert loose.late_given_accepted < tight.late_given_accepted
+
+    def test_true_wait_distribution_proper(self):
+        c = true_wait_correction(0.03, scheduling_pmf(), 25.0, 60.0)
+        assert c.true_wait.p.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestAgainstSimulation:
+    def test_predicts_receiver_late_fraction(self):
+        """The correction should explain the simulator's delivered-late
+        counts for the controlled protocol (scored by true wait)."""
+        lam, m, deadline = 0.03, 25, 60.0
+        c = true_wait_correction(lam, scheduling_pmf(m), m, deadline)
+
+        late = accepted = 0
+        for seed in (1, 2, 3):
+            sim = WindowMACSimulator(
+                ControlPolicy.optimal(deadline, lam), lam, m,
+                deadline=deadline, seed=seed,
+            )
+            result = sim.run(100_000.0, warmup_slots=12_000.0)
+            late += result.delivered_late
+            accepted += result.delivered_late + result.delivered_on_time
+        observed = late / accepted
+        assert observed == pytest.approx(
+            c.late_given_accepted, rel=0.6, abs=0.01
+        )
+
+    def test_simulated_loss_bracketed_by_definitions(self):
+        """The slot-level true-wait loss should fall between eq. 4.7
+        (which ignores the message's own scheduling time) and the
+        corrected prediction (which adds it in full, slightly
+        over-counting because a discarded message can't also be late)."""
+        lam, m, deadline = 0.03, 25, 40.0
+        c = true_wait_correction(lam, scheduling_pmf(m), m, deadline)
+        losses = []
+        for seed in (1, 2, 3):
+            sim = WindowMACSimulator(
+                ControlPolicy.optimal(deadline, lam), lam, m,
+                deadline=deadline, seed=seed,
+            )
+            losses.append(
+                sim.run(100_000.0, warmup_slots=12_000.0).loss_fraction
+            )
+        mean_loss = sum(losses) / len(losses)
+        assert c.sender_loss - 0.02 <= mean_loss <= c.total_loss + 0.02

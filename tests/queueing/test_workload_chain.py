@@ -1,0 +1,109 @@
+"""Tests for the exact discrete workload chain (balking M/G/1 validator)."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    ImpatientMG1,
+    deterministic_pmf,
+    geometric_pmf,
+    solve_workload_chain,
+)
+
+
+class TestValidation:
+    def test_service_mass_at_zero_rejected(self):
+        from repro.queueing import LatticePMF
+
+        with pytest.raises(ValueError):
+            solve_workload_chain(0.1, LatticePMF([0.5, 0.5]), 10.0)
+
+    def test_truncated_service_rejected(self):
+        from repro.queueing import LatticePMF
+
+        with pytest.raises(ValueError):
+            solve_workload_chain(0.1, LatticePMF([0.0, 0.5]), 10.0)
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            solve_workload_chain(0.1, deterministic_pmf(5.0), -1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            solve_workload_chain(-0.1, deterministic_pmf(5.0), 10.0)
+
+    def test_unknown_discretization_rejected(self):
+        with pytest.raises(ValueError):
+            solve_workload_chain(
+                0.1, deterministic_pmf(5.0), 10.0, arrival_discretization="weird"
+            )
+
+    def test_linear_discretization_requires_fine_lattice(self):
+        with pytest.raises(ValueError):
+            solve_workload_chain(
+                1.5, deterministic_pmf(5.0), 10.0, arrival_discretization="linear"
+            )
+
+
+class TestSolution:
+    def test_zero_rate_trivial(self):
+        sol = solve_workload_chain(0.0, deterministic_pmf(5.0), 10.0)
+        assert sol.loss_probability == 0.0
+        assert sol.idle_probability == 1.0
+        assert sol.mean_workload == 0.0
+
+    def test_stationary_distribution_sums_to_one(self):
+        sol = solve_workload_chain(0.05, deterministic_pmf(8.0), 24.0)
+        assert sol.pi.sum() == pytest.approx(1.0)
+        assert np.all(sol.pi >= 0.0)
+
+    def test_loss_between_zero_and_one(self):
+        sol = solve_workload_chain(0.2, deterministic_pmf(8.0), 16.0)
+        assert 0.0 < sol.loss_probability < 1.0
+
+    def test_loss_monotone_in_deadline(self):
+        losses = [
+            solve_workload_chain(0.08, deterministic_pmf(10.0), K).loss_probability
+            for K in (0.0, 10.0, 30.0, 60.0)
+        ]
+        assert all(b <= a + 1e-12 for a, b in zip(losses, losses[1:]))
+
+    def test_linear_vs_exponential_arrivals_agree_on_fine_lattice(self):
+        service = deterministic_pmf(10.0).refine(4)
+        a = solve_workload_chain(0.05, service, 30.0, "exponential")
+        b = solve_workload_chain(0.05, service, 30.0, "linear")
+        assert a.loss_probability == pytest.approx(b.loss_probability, rel=0.05)
+
+    def test_refinement_converges_to_series_solver(self):
+        """The chain (δ → 0) and the eq. 4.7 series agree — the paper's
+        model solved two independent ways."""
+        lam, m, K = 0.03, 25.0, 60.0
+        series = ImpatientMG1(lam, deterministic_pmf(m).refine(4), K).solve()
+        chain = solve_workload_chain(lam, deterministic_pmf(m).refine(8), K)
+        assert chain.loss_probability == pytest.approx(
+            series.loss_probability, rel=0.02
+        )
+
+    def test_geometric_service_agreement_with_series(self):
+        lam, K = 0.05, 40.0
+        service = geometric_pmf(12.0, start=1.0)
+        series = ImpatientMG1(lam, service.refine(4), K).solve()
+        chain = solve_workload_chain(lam, service.refine(4), K)
+        assert chain.loss_probability == pytest.approx(
+            series.loss_probability, rel=0.03
+        )
+
+    def test_idle_probability_against_flow_balance(self):
+        """π(0) ≈ P(0) from eq. 4.6 on a fine lattice."""
+        lam, m, K = 0.04, 10.0, 30.0
+        chain = solve_workload_chain(lam, deterministic_pmf(m).refine(8), K)
+        series = ImpatientMG1(lam, deterministic_pmf(m).refine(8), K).solve()
+        # chain pi[0] is the per-slot idle probability; as δ→0 it tends to
+        # the continuous P(workload = 0).
+        assert chain.idle_probability == pytest.approx(
+            series.idle_probability, rel=0.05
+        )
+
+    def test_mean_workload_positive_under_load(self):
+        sol = solve_workload_chain(0.06, deterministic_pmf(10.0), 40.0)
+        assert sol.mean_workload > 0.0

@@ -1,0 +1,66 @@
+"""Tests for the generic SMDP container."""
+
+import pytest
+
+from repro.smdp import SMDP
+from repro.smdp.model import ActionData
+
+
+class TestActionData:
+    def test_valid(self):
+        ActionData({"a": 0.5, "b": 0.5}, sojourn=1.0, cost=0.0).validate()
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ActionData({"a": 0.5}, sojourn=1.0, cost=0.0).validate()
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            ActionData({"a": 1.5, "b": -0.5}, sojourn=1.0, cost=0.0).validate()
+
+    def test_nonpositive_sojourn_rejected(self):
+        with pytest.raises(ValueError):
+            ActionData({"a": 1.0}, sojourn=0.0, cost=0.0).validate()
+
+
+class TestSMDP:
+    def build(self):
+        model = SMDP()
+        model.add_action("s0", "stay", {"s0": 1.0}, sojourn=1.0, cost=1.0)
+        model.add_action("s0", "hop", {"s1": 1.0}, sojourn=2.0, cost=0.0)
+        model.add_action("s1", "back", {"s0": 1.0}, sojourn=1.0, cost=3.0)
+        return model
+
+    def test_states_in_insertion_order(self):
+        assert self.build().states() == ["s0", "s1"]
+
+    def test_duplicate_action_rejected(self):
+        model = self.build()
+        with pytest.raises(ValueError):
+            model.add_action("s0", "stay", {"s0": 1.0}, sojourn=1.0, cost=0.0)
+
+    def test_unknown_state_lookup(self):
+        with pytest.raises(KeyError):
+            self.build().actions("nowhere")
+
+    def test_unknown_action_lookup(self):
+        with pytest.raises(KeyError):
+            self.build().action("s0", "teleport")
+
+    def test_validate_detects_dangling_target(self):
+        model = SMDP()
+        model.add_action("s0", "leap", {"limbo": 1.0}, sojourn=1.0, cost=0.0)
+        with pytest.raises(ValueError, match="unknown state"):
+            model.validate()
+
+    def test_validate_empty_model(self):
+        with pytest.raises(ValueError):
+            SMDP().validate()
+
+    def test_policy_from_chooser(self):
+        model = self.build()
+        policy = model.policy_from(lambda state, actions: sorted(actions)[0])
+        assert policy == {"s0": "hop", "s1": "back"}
+
+    def test_sojourn_bounds(self):
+        assert self.build().uniform_sojourn_bound() == (1.0, 2.0)

@@ -1,0 +1,135 @@
+"""Tests for the pseudo-time protocol SMDP (§3 model)."""
+
+import pytest
+
+from repro.smdp import (
+    NEWER,
+    OLDER,
+    WAIT,
+    build_protocol_smdp,
+    evaluate_policy,
+    lcfs_like_policy,
+    minimum_slack_policy,
+    policy_iteration,
+    pseudo_loss_fraction,
+    relative_value_iteration,
+)
+
+
+SMALL = dict(arrival_rate=0.15, deadline=6, transmission=3, depth=6)
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    return build_protocol_smdp(**SMALL)
+
+
+class TestConstruction:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            build_protocol_smdp(0.1, 0, 3)
+        with pytest.raises(ValueError):
+            build_protocol_smdp(0.1, 5, 0)
+        with pytest.raises(ValueError):
+            build_protocol_smdp(0.0, 5, 3)
+        with pytest.raises(ValueError):
+            build_protocol_smdp(0.1, 5, 3, positions="corners")
+        with pytest.raises(ValueError):
+            build_protocol_smdp(0.1, 5, 3, splits=("sideways",))
+
+    def test_states_cover_deadline_range(self, small_model):
+        assert small_model.states() == list(range(SMALL["deadline"] + 1))
+
+    def test_state_zero_only_waits(self, small_model):
+        assert list(small_model.actions(0)) == [WAIT]
+
+    def test_model_validates(self, small_model):
+        small_model.validate()  # raises on malformed transitions
+
+    def test_transition_probabilities_normalised(self, small_model):
+        for state in small_model.states():
+            for label, data in small_model.actions(state).items():
+                assert sum(data.transitions.values()) == pytest.approx(1.0)
+                assert data.sojourn > 0
+
+    def test_costs_nonnegative(self, small_model):
+        for state in small_model.states():
+            for data in small_model.actions(state).values():
+                assert data.cost >= -1e-12
+
+    def test_window_length_restriction(self):
+        model = build_protocol_smdp(
+            0.15, 5, 3, window_lengths=lambda i: [2], depth=5
+        )
+        for state in range(1, 6):
+            windows = [a for a in model.actions(state) if a != WAIT]
+            lengths = {label[1] for label in windows}
+            assert lengths == {min(2, state)}
+
+    def test_positions_all_enumerates_offsets(self):
+        model = build_protocol_smdp(0.15, 4, 3, positions="all", depth=5)
+        offsets = {
+            label[2]
+            for label in model.actions(4)
+            if label != WAIT and label[1] == 2
+        }
+        assert offsets == {0, 1, 2}
+
+
+class TestPolicies:
+    def test_minimum_slack_policy_shape(self, small_model):
+        policy = minimum_slack_policy(small_model)
+        assert policy[0] == WAIT
+        for state in range(1, SMALL["deadline"] + 1):
+            _, length, offset, split = policy[state]
+            assert offset + length == state
+            assert split == OLDER
+
+    def test_lcfs_like_policy_shape(self, small_model):
+        policy = lcfs_like_policy(small_model)
+        for state in range(1, SMALL["deadline"] + 1):
+            _, _length, offset, split = policy[state]
+            assert offset == 0
+            assert split == NEWER
+
+    def test_minimum_slack_beats_lcfs_like(self, small_model):
+        ms = evaluate_policy(small_model, minimum_slack_policy(small_model))
+        lc = evaluate_policy(small_model, lcfs_like_policy(small_model))
+        assert ms.gain < lc.gain
+
+    def test_policy_iteration_reaches_theorem_elements(self, small_model):
+        result = policy_iteration(small_model, lcfs_like_policy(small_model))
+        for state, label in result.policy.items():
+            if label == WAIT:
+                continue
+            _, length, offset, split = label
+            assert offset + length == state  # element 1: oldest placement
+            if length < state:
+                assert split == OLDER  # element 3 (ties possible otherwise)
+
+    def test_wait_is_dominated_under_load(self, small_model):
+        result = policy_iteration(small_model)
+        for state in range(1, SMALL["deadline"] + 1):
+            assert result.policy[state] != WAIT
+
+    def test_value_iteration_agrees(self, small_model):
+        pi = policy_iteration(small_model)
+        vi = relative_value_iteration(small_model, tol=1e-9)
+        assert vi.gain == pytest.approx(pi.gain, abs=1e-6)
+
+    def test_loss_fraction_conversion(self):
+        assert pseudo_loss_fraction(0.03, 0.15) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            pseudo_loss_fraction(0.03, 0.0)
+
+    def test_gain_increases_with_load(self):
+        light = build_protocol_smdp(0.05, 6, 3, depth=6)
+        heavy = build_protocol_smdp(0.30, 6, 3, depth=6)
+        g_light = policy_iteration(light).gain / 0.05
+        g_heavy = policy_iteration(heavy).gain / 0.30
+        assert g_heavy > g_light
+
+    def test_gain_decreases_with_deadline(self):
+        tight = build_protocol_smdp(0.15, 4, 3, depth=6)
+        loose = build_protocol_smdp(0.15, 10, 3, depth=6)
+        assert policy_iteration(loose).gain < policy_iteration(tight).gain

@@ -1,0 +1,143 @@
+"""Tests for the Monte-Carlo pseudo-time protocol simulator."""
+
+import numpy as np
+import pytest
+
+from repro.smdp import make_window_policy, simulate_pseudo_protocol
+from repro.smdp.pseudo_sim import _run_windowing
+
+
+class TestWindowingOnSamplePaths:
+    def test_empty_window(self):
+        slots, lo, hi, idx = _run_windowing([], 0.0, 4.0, "older")
+        assert (slots, lo, hi, idx) == (1, 0.0, 4.0, None)
+
+    def test_single_message(self):
+        slots, lo, hi, idx = _run_windowing([2.0], 0.0, 4.0, "older")
+        assert slots == 0
+        assert (lo, hi) == (0.0, 4.0)
+        assert idx == 0
+
+    def test_two_messages_split_older_first(self):
+        """Messages at delays 1 and 3 in window [0, 4]: collision, split →
+        older half [2, 4] holds delay-3 only → success; resolved [2, 4]."""
+        slots, lo, hi, idx = _run_windowing([1.0, 3.0], 0.0, 4.0, "older")
+        assert slots == 1
+        assert (lo, hi) == (2.0, 4.0)
+        assert idx == 1  # the older message (delay 3) transmits first
+
+    def test_two_messages_split_newer_first(self):
+        slots, lo, hi, idx = _run_windowing([1.0, 3.0], 0.0, 4.0, "newer")
+        assert slots == 1
+        assert (lo, hi) == (0.0, 2.0)
+        assert idx == 0  # the newer message goes first
+
+    def test_clustered_messages_resolve(self):
+        messages = [1.0, 1.1, 1.2, 3.9]
+        slots, lo, hi, idx = _run_windowing(messages, 0.0, 4.0, "older")
+        assert idx == 3  # oldest (largest delay) isolated first
+        assert slots >= 1
+
+    def test_message_outside_window_ignored(self):
+        slots, _lo, _hi, idx = _run_windowing([10.0], 0.0, 4.0, "older")
+        assert idx is None
+        assert slots == 1
+
+
+class TestPolicyFactory:
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError):
+            make_window_policy(4.0, placement="sideways")
+
+    def test_unknown_split_rejected(self):
+        with pytest.raises(ValueError):
+            make_window_policy(4.0, split="diagonal")
+
+    def test_random_needs_rng(self):
+        with pytest.raises(ValueError):
+            make_window_policy(4.0, placement="random")
+
+    def test_zero_backlog_waits(self):
+        policy = make_window_policy(4.0)
+        assert policy(0.0) is None
+
+    def test_oldest_placement_geometry(self):
+        policy = make_window_policy(4.0, placement="oldest")
+        w, offset, split = policy(10.0)
+        assert (w, offset, split) == (4.0, 6.0, "older")
+
+    def test_window_clipped_to_backlog(self):
+        policy = make_window_policy(4.0)
+        w, offset, _ = policy(2.5)
+        assert w == 2.5 and offset == 0.0
+
+
+class TestSimulation:
+    def test_invalid_args(self, rng):
+        policy = make_window_policy(4.0)
+        with pytest.raises(ValueError):
+            simulate_pseudo_protocol(0.1, 0.0, 3, policy, 100.0, rng)
+        with pytest.raises(ValueError):
+            simulate_pseudo_protocol(0.1, 10.0, 3, policy, 0.0, rng)
+
+    def test_counts_consistent(self, rng):
+        policy = make_window_policy(8.0)
+        result = simulate_pseudo_protocol(0.1, 20.0, 3, policy, 20_000.0, rng)
+        assert result.arrivals > 0
+        assert result.losses + result.transmissions <= result.arrivals + 50
+        assert 0.0 <= result.loss_fraction <= 1.0
+
+    def test_light_load_low_loss(self, rng):
+        policy = make_window_policy(20.0)
+        result = simulate_pseudo_protocol(0.01, 60.0, 3, policy, 30_000.0, rng)
+        assert result.loss_fraction < 0.02
+
+    def test_theorem1_ranking_on_sample_paths(self, rng_factory):
+        """Oldest placement + older split has the lowest *actual* loss —
+        Theorem 1 on exact sample paths (no Assumption 1)."""
+        losses = {}
+        for placement, split in [("oldest", "older"), ("newest", "newer")]:
+            policy = make_window_policy(6.0, placement=placement, split=split)
+            result = simulate_pseudo_protocol(
+                0.12, 15.0, 4, policy, 150_000.0, rng_factory(7),
+                warmup_slots=5_000.0,
+            )
+            losses[(placement, split)] = result.loss_fraction
+        assert losses[("oldest", "older")] < losses[("newest", "newer")]
+
+    def test_lemma2_minimum_slack_pseudo_equals_actual(self, rng_factory):
+        """Under the minimum-slack elements, resolution always removes the
+        oldest backlog prefix, so pseudo delay = actual delay and no
+        message is ever transmitted late (Lemma 2)."""
+        policy = make_window_policy(6.0, placement="oldest", split="older")
+        result = simulate_pseudo_protocol(
+            0.12, 15.0, 4, policy, 100_000.0, rng_factory(3),
+            warmup_slots=2_000.0,
+        )
+        assert result.late_transmissions == 0
+        assert result.loss_fraction == result.pseudo_loss_fraction
+
+    def test_lemma1_pseudo_loss_lower_bounds_actual(self, rng_factory):
+        """For a non-optimal policy the pseudo loss understates the actual
+        loss (Lemma 1): compression shrinks pseudo delays while actual
+        age keeps growing."""
+        policy = make_window_policy(6.0, placement="newest", split="newer")
+        result = simulate_pseudo_protocol(
+            0.12, 15.0, 4, policy, 150_000.0, rng_factory(5),
+            warmup_slots=2_000.0,
+        )
+        assert result.late_transmissions > 0
+        assert result.pseudo_loss_fraction < result.loss_fraction
+
+    def test_throughput_bounded_by_channel(self, rng):
+        policy = make_window_policy(5.0)
+        result = simulate_pseudo_protocol(0.5, 30.0, 4, policy, 20_000.0, rng)
+        # one message needs at least M slots
+        assert result.throughput <= 1.0 / 4 + 0.01
+
+    def test_policy_window_exceeding_backlog_raises(self, rng):
+        def bad_policy(extent):
+            return (extent + 5.0, 0.0, "older")
+
+        with pytest.raises(ValueError):
+            simulate_pseudo_protocol(0.1, 10.0, 3, bad_policy, 1_000.0, rng)

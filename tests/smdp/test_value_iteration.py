@@ -1,0 +1,51 @@
+"""Tests for relative value iteration (the policy-iteration cross-check)."""
+
+import pytest
+
+from repro.smdp import SMDP, policy_iteration, relative_value_iteration
+
+
+def build_maintenance():
+    model = SMDP()
+    model.add_action("good", "run", {"good": 0.7, "bad": 0.3}, sojourn=1.0, cost=0.0)
+    model.add_action("good", "service", {"good": 1.0}, sojourn=1.0, cost=0.4)
+    model.add_action("bad", "repair", {"good": 1.0}, sojourn=2.0, cost=3.0)
+    return model
+
+
+class TestValueIteration:
+    def test_matches_policy_iteration_gain(self):
+        model = build_maintenance()
+        vi = relative_value_iteration(model, tol=1e-11)
+        pi = policy_iteration(model)
+        assert vi.gain == pytest.approx(pi.gain, abs=1e-8)
+
+    def test_matches_policy_iteration_policy(self):
+        model = build_maintenance()
+        vi = relative_value_iteration(model)
+        pi = policy_iteration(model)
+        assert vi.policy == pi.policy
+
+    def test_converged_span_small(self):
+        vi = relative_value_iteration(build_maintenance(), tol=1e-10)
+        assert vi.span < 1e-10
+
+    def test_single_state(self):
+        model = SMDP()
+        model.add_action("s", "a", {"s": 1.0}, sojourn=2.0, cost=1.0)
+        vi = relative_value_iteration(model)
+        assert vi.gain == pytest.approx(0.5)
+
+    def test_picks_cheapest_of_many_self_loops(self):
+        model = SMDP()
+        model.add_action("s", "pricey", {"s": 1.0}, sojourn=1.0, cost=1.0)
+        model.add_action("s", "cheap", {"s": 1.0}, sojourn=2.0, cost=1.0)
+        model.add_action("s", "dear", {"s": 1.0}, sojourn=0.5, cost=1.0)
+        vi = relative_value_iteration(model)
+        assert vi.policy["s"] == "cheap"
+        assert vi.gain == pytest.approx(0.5)
+
+    def test_iteration_limit_raises(self):
+        model = build_maintenance()
+        with pytest.raises(RuntimeError):
+            relative_value_iteration(model, tol=0.0, max_iterations=5)

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure7_defaults(self):
+        args = build_parser().parse_args(["figure7"])
+        assert args.rho == 0.5
+        assert args.m == 25
+        assert not args.simulate
+
+    def test_simulate_protocol_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--protocol", "psychic"])
+
+
+class TestCommands:
+    def test_capacity_output(self, capsys):
+        assert main(["capacity", "--m", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "max offered load" in out
+        assert "25" in out
+
+    def test_figure7_table(self, capsys):
+        assert main(["figure7", "--rho", "0.5", "--m", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "controlled_analytic" in out
+        assert "fcfs_analytic" in out
+
+    def test_figure7_csv(self, capsys):
+        assert main(["figure7", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("deadline,")
+
+    def test_simulate_runs(self, capsys):
+        code = main([
+            "simulate", "--protocol", "controlled", "--rho", "0.5",
+            "--m", "25", "--deadline", "100", "--horizon", "20000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loss fraction" in out
+
+    def test_theorem1_verifies(self, capsys):
+        code = main(["theorem1", "--deadline", "6", "--m", "3", "--window", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1 verified: True" in out
+
+    def test_ablations_run(self, capsys):
+        assert main(["ablations"]) == 0
+        out = capsys.readouterr().out
+        assert "occupancy" in out

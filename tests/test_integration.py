@@ -1,0 +1,218 @@
+"""Cross-module integration tests: the paper's claims, end to end.
+
+Each test ties at least two independent implementations together —
+analytic model vs exact chain vs Monte Carlo vs slot-level protocol
+simulation — so a bug in any one layer breaks an agreement check rather
+than hiding inside a single implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ControlPolicy
+from repro.crp import (
+    ExactSchedulingModel,
+    optimal_window_occupancy,
+    windowing_process_outcomes,
+    mean_scheduling_slots,
+)
+from repro.mac import WindowMACSimulator
+from repro.queueing import (
+    ImpatientMG1,
+    deterministic_pmf,
+    simulate_impatient_mg1,
+    solve_workload_chain,
+)
+from repro.smdp import (
+    build_protocol_smdp,
+    make_window_policy,
+    policy_iteration,
+    pseudo_loss_fraction,
+    simulate_pseudo_protocol,
+)
+
+
+class TestThreeWayQueueAgreement:
+    """Eq. 4.7 series ≡ workload chain ≡ Monte Carlo (Figure 5b model)."""
+
+    @pytest.mark.parametrize("lam,m,deadline", [(0.02, 25, 50.0), (0.03, 25, 60.0)])
+    def test_agreement(self, lam, m, deadline, rng):
+        service = deterministic_pmf(m)
+        series = ImpatientMG1(lam, service.refine(4), deadline).solve()
+        chain = solve_workload_chain(lam, service.refine(4), deadline)
+        mc = simulate_impatient_mg1(lam, service, deadline, 300_000, rng)
+        assert series.loss_probability == pytest.approx(
+            chain.loss_probability, rel=0.05
+        )
+        assert series.loss_probability == pytest.approx(
+            mc.loss_probability, rel=0.08, abs=0.002
+        )
+
+
+class TestSchedulingModelVsMACSim:
+    """The CRP scheduling-time law predicts the MAC simulator's overhead."""
+
+    def test_mean_scheduling_overhead(self):
+        lam, m = 0.02, 25  # rho' = 0.5
+        policy = ControlPolicy.uncontrolled_fcfs(lam)
+        sim = WindowMACSimulator(policy, lam, m, deadline=10_000.0, seed=21)
+        result = sim.run(120_000.0, warmup_slots=15_000.0)
+        # channel slots not transmitting and not waiting = scheduling work
+        sched_slots = result.channel.idle_slots + result.channel.collision_slots
+        per_message = sched_slots / max(
+            1, result.delivered_on_time + result.delivered_late
+        )
+        predicted = mean_scheduling_slots(optimal_window_occupancy())
+        # The saturated-model prediction is only exercised while backlog
+        # exists; light-traffic scanning adds idle slots, so allow slack
+        # in one direction only.
+        assert per_message >= 0.6 * predicted
+
+
+class TestQueueingModelVsProtocolSim:
+    """The §4 analytic loss matches the §2 protocol simulated at slot level."""
+
+    @pytest.mark.parametrize("deadline", [40.0, 80.0])
+    def test_controlled_loss(self, deadline):
+        lam, m = 0.03, 25  # rho' = 0.75
+        mu = optimal_window_occupancy()
+        service = ExactSchedulingModel(m, mu).service_pmf()
+        analytic = ImpatientMG1(lam, service, deadline).loss_probability()
+
+        # Loss events are bursty, so single-run variance exceeds the
+        # binomial stderr; average a few replications.
+        losses = []
+        for seed in (1, 2, 3):
+            policy = ControlPolicy.optimal(deadline, lam)
+            sim = WindowMACSimulator(policy, lam, m, deadline=deadline, seed=seed)
+            losses.append(sim.run(120_000.0, warmup_slots=15_000.0).loss_fraction)
+        mean_loss = float(np.mean(losses))
+        # Paper-level agreement: the analysis makes the waiting-time and
+        # iid-service approximations (§4.2), so demand coarse agreement.
+        assert mean_loss == pytest.approx(analytic, rel=0.3, abs=0.01)
+
+
+class TestSMDPVsPseudoSim:
+    """Appendix-A policy evaluation versus Monte-Carlo pseudo-time runs.
+
+    The SMDP invokes Assumption 1 (backlog content at uniform density λ),
+    which *under-counts* deaths: an abandoned collision sibling is known
+    to hold a message, and near the K boundary that message dies with
+    probability ≈ 1 while the model charges only λ·length.  The analytic
+    gain is therefore a lower bound on the simulated loss, and the gap
+    shrinks as K grows relative to the transmission time (boundary
+    collisions become rarer).
+    """
+
+    def test_analytic_is_lower_bound(self, rng):
+        lam, K, M, w = 0.15, 10, 4, 4
+        model = build_protocol_smdp(
+            lam, K, M, window_lengths=lambda i: [min(w, i)], depth=8
+        )
+        result = policy_iteration(model)
+        analytic_loss = pseudo_loss_fraction(result.gain, lam)
+
+        policy = make_window_policy(float(w), placement="oldest", split="older")
+        sim = simulate_pseudo_protocol(
+            lam, float(K), M, policy, 300_000.0, rng, warmup_slots=10_000.0
+        )
+        assert analytic_loss <= sim.loss_fraction + 0.002
+
+    def test_smdp_ranking_matches_simulation(self, rng_factory):
+        """What the decision model *is* reliable for (and how the paper
+        uses it): ordering policies.  Its absolute loss is biased low by
+        Assumption 1 — the paper computed performance from the §4
+        queueing model instead — but the (placement, split) ranking it
+        produces matches exact sample paths."""
+        lam, K, M, w = 0.15, 10, 4, 4
+        model = build_protocol_smdp(
+            lam, K, M, window_lengths=lambda i: [min(w, i)],
+            positions="endpoints", depth=8,
+        )
+        from repro.smdp import evaluate_policy, WAIT
+
+        def family_policy(placement, split):
+            policy = {}
+            for state in model.states():
+                if state == 0:
+                    policy[state] = WAIT
+                    continue
+                length = min(w, state)
+                offset = (state - length) if placement == "oldest" else 0
+                policy[state] = ("win", length, offset, split)
+            return policy
+
+        analytic = {}
+        simulated = {}
+        for placement, split in [("oldest", "older"), ("newest", "newer")]:
+            evaluation = evaluate_policy(model, family_policy(placement, split))
+            analytic[placement, split] = evaluation.gain
+            policy = make_window_policy(float(w), placement=placement, split=split)
+            run = simulate_pseudo_protocol(
+                lam, float(K), M, policy, 250_000.0, rng_factory(42),
+                warmup_slots=8_000.0,
+            )
+            simulated[placement, split] = run.loss_fraction
+        assert (
+            analytic["oldest", "older"] < analytic["newest", "newer"]
+        ) == (
+            simulated["oldest", "older"] < simulated["newest", "newer"]
+        )
+
+
+class TestJointLawVsSampleWindows:
+    """The (T, F) law of crp.joint matches windows simulated directly."""
+
+    def test_empirical_moments(self, rng):
+        mu = 1.2
+        law = windowing_process_outcomes(mu, depth=14)
+        # simulate many single windows of unit length at occupancy mu
+        slots = []
+        resolved = []
+        from repro.smdp.pseudo_sim import _run_windowing
+
+        n_trials = 4000
+        successes = 0
+        for _ in range(n_trials):
+            n = rng.poisson(mu)
+            delays = sorted(rng.uniform(0.0, 1.0, size=n))
+            t, lo, hi, idx = _run_windowing(list(delays), 0.0, 1.0, "older")
+            if idx is not None:
+                successes += 1
+                slots.append(t)
+                resolved.append(hi - lo)
+        assert successes / n_trials == pytest.approx(
+            law.success_probability(), abs=0.02
+        )
+        assert np.mean(slots) == pytest.approx(
+            law.mean_slots_given_success(), rel=0.08
+        )
+        assert np.mean(resolved) == pytest.approx(
+            law.mean_resolved_given_success(), rel=0.05
+        )
+
+
+class TestProtocolOrderingEndToEnd:
+    """Figure 7's qualitative story on the slot-level simulator."""
+
+    def test_controlled_beats_uncontrolled_at_tight_k(self):
+        lam, m, K = 0.03, 25, 50.0
+        results = {}
+        for name, policy in [
+            ("controlled", ControlPolicy.optimal(K, lam)),
+            ("fcfs", ControlPolicy.uncontrolled_fcfs(lam)),
+            ("lcfs", ControlPolicy.uncontrolled_lcfs(lam)),
+        ]:
+            sim = WindowMACSimulator(policy, lam, m, deadline=K, seed=17)
+            results[name] = sim.run(100_000.0, warmup_slots=10_000.0).loss_fraction
+        assert results["controlled"] < results["fcfs"]
+        assert results["controlled"] < results["lcfs"]
+
+    def test_loss_decreases_with_k_in_simulation(self):
+        lam, m = 0.03, 25
+        losses = []
+        for K in (25.0, 75.0, 200.0):
+            policy = ControlPolicy.optimal(K, lam)
+            sim = WindowMACSimulator(policy, lam, m, deadline=K, seed=19)
+            losses.append(sim.run(60_000.0, warmup_slots=8_000.0).loss_fraction)
+        assert losses[0] > losses[1] > losses[2]

@@ -1,0 +1,62 @@
+"""Tests for arrival-process generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import MMPPWorkload, PoissonWorkload
+
+
+class TestPoisson:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PoissonWorkload(0.0)
+
+    def test_mean_rate(self):
+        assert PoissonWorkload(0.05).mean_rate == 0.05
+
+    def test_count_matches_rate(self, rng):
+        times, stations = PoissonWorkload(0.05).generate(100_000.0, 10, rng)
+        assert times.size == pytest.approx(5000, rel=0.1)
+
+    def test_sorted_and_in_range(self, rng):
+        times, stations = PoissonWorkload(0.02).generate(10_000.0, 5, rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0.0 and times.max() < 10_000.0
+        assert stations.min() >= 0 and stations.max() < 5
+
+    def test_interarrivals_exponential(self, rng):
+        times, _ = PoissonWorkload(0.1).generate(500_000.0, 4, rng)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(10.0, rel=0.05)
+        assert gaps.std() == pytest.approx(10.0, rel=0.1)  # exponential CV = 1
+
+
+class TestMMPP:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MMPPWorkload(0.1, 0.0, 10.0, 10.0)
+        with pytest.raises(ValueError):
+            MMPPWorkload(0.1, 0.5, 0.0, 10.0)
+
+    def test_mean_rate_weighted(self):
+        w = MMPPWorkload(low_rate=0.0, high_rate=0.2, mean_low=100.0, mean_high=100.0)
+        assert w.mean_rate == pytest.approx(0.1)
+
+    def test_count_matches_mean_rate(self, rng):
+        w = MMPPWorkload(0.01, 0.19, 500.0, 500.0)
+        times, _ = w.generate(200_000.0, 8, rng)
+        assert times.size == pytest.approx(w.mean_rate * 200_000, rel=0.15)
+
+    def test_burstier_than_poisson(self, rng):
+        """MMPP interarrival CV exceeds 1 (the Poisson value)."""
+        w = MMPPWorkload(0.005, 0.2, 2000.0, 2000.0)
+        times, _ = w.generate(400_000.0, 8, rng)
+        gaps = np.diff(times)
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.3
+
+    def test_sorted_output(self, rng):
+        w = MMPPWorkload(0.01, 0.1, 100.0, 100.0)
+        times, stations = w.generate(50_000.0, 4, rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times.size == stations.size

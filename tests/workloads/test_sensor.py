@@ -1,0 +1,72 @@
+"""Tests for the sensor-network workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import SensorWorkload
+
+
+def make(**kwargs):
+    defaults = dict(n_sensors=10, report_period=100.0, report_jitter=1.0)
+    defaults.update(kwargs)
+    return SensorWorkload(**defaults)
+
+
+class TestValidation:
+    def test_needs_sensors(self):
+        with pytest.raises(ValueError):
+            make(n_sensors=0)
+
+    def test_positive_period(self):
+        with pytest.raises(ValueError):
+            make(report_period=0.0)
+
+    def test_jitter_below_period(self):
+        with pytest.raises(ValueError):
+            make(report_jitter=100.0)
+
+    def test_nonnegative_event_rate(self):
+        with pytest.raises(ValueError):
+            make(event_rate=-0.1)
+
+    def test_positive_burst_params(self):
+        with pytest.raises(ValueError):
+            make(event_rate=0.1, burst_spread=0.0)
+
+
+class TestStatistics:
+    def test_mean_rate_periodic_only(self):
+        w = make(n_sensors=5, report_period=50.0)
+        assert w.mean_rate == pytest.approx(0.1)
+
+    def test_mean_rate_with_events(self):
+        w = make(event_rate=0.01, burst_size=5.0)
+        assert w.mean_rate == pytest.approx(10 / 100.0 + 0.05)
+
+    def test_periodic_reports_per_sensor(self, rng):
+        w = make(n_sensors=3, report_period=100.0, report_jitter=0.0)
+        times, stations = w.generate(10_000.0, 3, rng)
+        for sensor in range(3):
+            own = times[stations == sensor]
+            assert own.size == pytest.approx(100, abs=2)
+            gaps = np.diff(own)
+            assert np.allclose(gaps, 100.0, atol=1e-6)
+
+    def test_bursts_add_clustered_arrivals(self, rng):
+        quiet = make(event_rate=0.0)
+        busy = make(event_rate=0.005, burst_size=6.0, burst_spread=4.0)
+        t_quiet, _ = quiet.generate(100_000.0, 10, rng)
+        t_busy, _ = busy.generate(100_000.0, 10, np.random.default_rng(1))
+        assert t_busy.size > t_quiet.size
+
+    def test_sorted_and_bounded(self, rng):
+        w = make(event_rate=0.01)
+        times, stations = w.generate(20_000.0, 10, rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times.max() < 20_000.0
+
+    def test_burst_reporters_distinct(self, rng):
+        """Each event selects distinct sensors (replace=False)."""
+        w = make(n_sensors=4, event_rate=0.01, burst_size=10.0)
+        times, stations = w.generate(5_000.0, 4, rng)
+        assert stations.max() < 4

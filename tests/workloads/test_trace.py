@@ -1,0 +1,104 @@
+"""Tests for the trace-replay workload."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.workloads import TraceWorkload
+
+
+def simple_trace(tile=False):
+    return TraceWorkload.from_arrays([1.0, 3.0, 7.0], [0, 2, 1], tile=tile)
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TraceWorkload.from_arrays([1.0], [0, 1])
+
+    def test_empty_trace(self):
+        with pytest.raises(ValueError):
+            TraceWorkload.from_arrays([], [])
+
+    def test_unsorted(self):
+        with pytest.raises(ValueError):
+            TraceWorkload.from_arrays([3.0, 1.0], [0, 0])
+
+    def test_negative_time(self):
+        with pytest.raises(ValueError):
+            TraceWorkload.from_arrays([-1.0], [0])
+
+    def test_negative_station(self):
+        with pytest.raises(ValueError):
+            TraceWorkload.from_arrays([1.0], [-1])
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self):
+        trace = simple_trace()
+        loaded = TraceWorkload.from_csv(io.StringIO(trace.to_csv()))
+        assert loaded.times == trace.times
+        assert loaded.stations == trace.stations
+
+    def test_header_optional(self):
+        loaded = TraceWorkload.from_csv(io.StringIO("1.5,0\n2.5,1\n"))
+        assert loaded.times == (1.5, 2.5)
+
+    def test_bad_row_rejected(self):
+        with pytest.raises(ValueError):
+            TraceWorkload.from_csv(io.StringIO("time,station\n1.0\n"))
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(simple_trace().to_csv())
+        loaded = TraceWorkload.from_csv(path)
+        assert loaded.times == (1.0, 3.0, 7.0)
+
+
+class TestGeneration:
+    def test_replay_truncates_at_horizon(self, rng):
+        times, stations = simple_trace().generate(5.0, 4, rng)
+        assert times.tolist() == [1.0, 3.0]
+
+    def test_station_wrapping(self, rng):
+        _, stations = simple_trace().generate(10.0, 2, rng)
+        assert stations.tolist() == [0, 0, 1]
+
+    def test_tiling_fills_horizon(self, rng):
+        trace = simple_trace(tile=True)
+        times, _ = trace.generate(30.0, 4, rng)
+        assert times.size > 3
+        assert np.all(np.diff(times) >= 0)
+        assert times.max() < 30.0
+
+    def test_mean_rate(self):
+        trace = simple_trace()
+        assert trace.mean_rate == pytest.approx(3 / trace.duration)
+
+    def test_deterministic_replay(self, rng_factory):
+        trace = simple_trace(tile=True)
+        a = trace.generate(25.0, 4, rng_factory(1))[0]
+        b = trace.generate(25.0, 4, rng_factory(2))[0]
+        assert np.array_equal(a, b)
+
+
+class TestSimulatorIntegration:
+    def test_drives_mac_simulator(self):
+        from repro.core import ControlPolicy
+        from repro.mac import WindowMACSimulator
+
+        rng = np.random.default_rng(0)
+        base = np.sort(rng.uniform(0, 5_000.0, size=150))
+        trace = TraceWorkload.from_arrays(base, rng.integers(0, 8, 150), tile=True)
+        sim = WindowMACSimulator(
+            ControlPolicy.optimal(100.0, trace.mean_rate),
+            arrival_rate=trace.mean_rate,
+            transmission_slots=25,
+            n_stations=8,
+            deadline=100.0,
+            seed=1,
+            workload=trace,
+        )
+        result = sim.run(20_000.0, warmup_slots=2_000.0)
+        assert result.arrivals > 100
