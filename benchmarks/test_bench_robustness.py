@@ -1,0 +1,73 @@
+"""Robustness benches: graceful degradation under injected faults.
+
+Not paper reproductions — the paper assumes perfect feedback.  These
+benches quantify how the protocol leaves that envelope: loss should rise
+*smoothly* with the feedback-error rate (no cliff, no deadlock), and a
+population suffering crashes and deaf periods must still run to
+completion with bounded replica divergence.
+"""
+
+from repro.experiments import (
+    RobustnessConfig,
+    ascii_table,
+    feedback_error_sweep,
+    station_failure_scenario,
+)
+from repro.stats.summaries import monotone_fraction
+
+from .conftest import save_result
+
+
+def test_feedback_error_degradation(benchmark):
+    """Loss grows monotonically (modulo noise) in the feedback-error rate
+    at the paper's central operating point (rho' = 0.5, M = 25, K = 3M)."""
+    report = benchmark.pedantic(feedback_error_sweep, rounds=1, iterations=1)
+    save_result("robustness_feedback_errors", report.to_table())
+    losses = report.losses()
+    # Harsher channels lose strictly more end-to-end...
+    assert losses[-1] > losses[0]
+    # ...and the curve is monotone up to replication noise.
+    assert monotone_fraction(losses, decreasing=False) >= 0.75
+    # Degradation, not collapse: even at 5% symmetric feedback error the
+    # protocol keeps resolving traffic rather than saturating.
+    assert not report.points[-1].saturated
+
+
+def test_station_failure_soak(benchmark):
+    """Crash/restart and deafness cycles never deadlock the protocol: all
+    replications reach the horizon and every restart re-synchronizes."""
+    config = RobustnessConfig()
+    results = benchmark.pedantic(
+        station_failure_scenario, args=(config,), rounds=1, iterations=1
+    )
+    rows = []
+    for i, result in enumerate(results):
+        t = result.faults
+        assert t.crashes > 0
+        assert t.resyncs >= t.restarts + t.deaf_recoveries
+        assert result.loss_fraction < 0.5  # degraded, not collapsed
+        rows.append(
+            [
+                str(config.base_seed + i),
+                f"{result.loss_fraction:.4f}",
+                str(result.lost_to_faults),
+                str(t.crashes),
+                str(t.restarts),
+                str(t.deaf_events),
+                str(t.resyncs),
+                str(t.peak_cohorts),
+            ]
+        )
+    save_result(
+        "robustness_station_failures",
+        ascii_table(
+            ["seed", "loss", "fault-lost", "crashes", "restarts",
+             "deaf", "resyncs", "peak cohorts"],
+            rows,
+            title=(
+                f"Station-failure soak: rho'={config.rho_prime:g}, "
+                f"M={config.message_length}, K={config.deadline:g}, "
+                f"{config.horizon:g} slots"
+            ),
+        ),
+    )

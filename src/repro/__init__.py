@@ -18,6 +18,8 @@ The package implements, from scratch:
   model of eq. 4.7;
 - :mod:`repro.smdp` — the semi-Markov decision model of §3 with Howard
   policy iteration (Appendix A);
+- :mod:`repro.faults` — fault injection (imperfect feedback, station
+  failures) and per-station replica resilience;
 - :mod:`repro.workloads` — Poisson / MMPP / voice / sensor traffic;
 - :mod:`repro.experiments` — the harness regenerating Figure 7,
   the Theorem 1 verification and the ablations;
@@ -36,6 +38,7 @@ True
 
 from .core import ControlPolicy, ProtocolController
 from .crp import WindowSizer, optimal_window_occupancy
+from .faults import FaultModel, FaultTelemetry
 from .experiments import PAPER_PANELS, PanelConfig, generate_panel
 from .mac import MACSimResult, WindowMACSimulator
 from .queueing import ImpatientMG1, LatticePMF, loss_curve
@@ -48,6 +51,8 @@ __all__ = [
     "ProtocolController",
     "WindowMACSimulator",
     "MACSimResult",
+    "FaultModel",
+    "FaultTelemetry",
     "ImpatientMG1",
     "LatticePMF",
     "loss_curve",

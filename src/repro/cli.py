@@ -2,11 +2,17 @@
 
 Commands
 --------
-``figure7``    regenerate one Figure-7 panel (table/CSV to stdout)
-``theorem1``   run the Theorem-1 verification sweep
-``simulate``   one slot-level protocol run with chosen parameters
-``capacity``   print the protocol's capacity figures for a range of M
-``ablations``  run the fast (analytic) ablations
+``figure7``     regenerate one Figure-7 panel (table/CSV to stdout)
+``theorem1``    run the Theorem-1 verification sweep
+``simulate``    one slot-level protocol run with chosen parameters
+``capacity``    print the protocol's capacity figures for a range of M
+``ablations``   run the fast (analytic) ablations
+``robustness``  fault-injection degradation experiments
+
+Every command accepts ``--seed`` (default 1); stochastic commands feed
+it into a :class:`~repro.des.rng.RandomStreams` family so a run is
+exactly reproducible from that single number, and the deterministic
+analytic commands accept it as a no-op for interface uniformity.
 
 Examples
 --------
@@ -15,8 +21,11 @@ Examples
     python -m repro figure7 --rho 0.75 --m 25
     python -m repro figure7 --rho 0.5 --m 25 --simulate --csv
     python -m repro simulate --rho 0.75 --m 25 --deadline 75 --protocol lcfs
+    python -m repro simulate --rho 0.5 --m 25 --feedback-error 0.02
     python -m repro theorem1 --deadline 10
     python -m repro capacity
+    python -m repro robustness --seeds 3
+    python -m repro robustness --scenario failures
 """
 
 from __future__ import annotations
@@ -26,16 +35,22 @@ import sys
 
 from .core import ControlPolicy
 from .crp.capacity import max_stable_throughput
+from .des.rng import RandomStreams
 from .experiments import (
+    DEFAULT_ERROR_RATES,
     PanelConfig,
+    RobustnessConfig,
     Theorem1Config,
     ablation_table,
     ascii_table,
+    feedback_error_sweep,
     generate_panel,
     run_theorem1_experiment,
+    station_failure_scenario,
     twopoint_fit_errors,
     window_length_ablation,
 )
+from .faults import FaultModel
 from .mac import WindowMACSimulator
 
 __all__ = ["main"]
@@ -61,7 +76,9 @@ def _cmd_theorem1(args: argparse.Namespace) -> int:
         transmission=args.m,
         window_length=args.window,
     )
-    report = run_theorem1_experiment(config, simulate=args.simulate)
+    report = run_theorem1_experiment(
+        config, simulate=args.simulate, sim_seed=args.seed
+    )
     print(report.to_table())
     ok = report.minimum_slack_is_best() and report.iteration_uses_theorem_elements()
     print(f"\nTheorem 1 verified: {ok}")
@@ -76,15 +93,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "lcfs": lambda: ControlPolicy.uncontrolled_lcfs(lam),
         "random": lambda: ControlPolicy.uncontrolled_random(lam),
     }
+    fault_model = None
+    if args.feedback_error > 0:
+        fault_model = FaultModel.feedback_noise(args.feedback_error)
     simulator = WindowMACSimulator(
         factories[args.protocol](),
         arrival_rate=lam,
         transmission_slots=args.m,
         n_stations=args.stations,
         deadline=args.deadline,
-        seed=args.seed,
+        fault_model=fault_model,
+        streams=RandomStreams(args.seed),
     )
     result = simulator.run(args.horizon, warmup_slots=args.horizon * 0.125)
+    shares = result.channel.breakdown()
     rows = [
         ["arrivals", str(result.arrivals)],
         ["delivered on time", str(result.delivered_on_time)],
@@ -95,12 +117,73 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ["mean true wait", f"{result.mean_true_wait:.2f}"],
         ["mean paper wait", f"{result.mean_paper_wait:.2f}"],
         ["channel utilization", f"{result.channel.utilization():.3f}"],
+        [
+            "slot shares (idle/coll/tx/wait)",
+            "/".join(
+                f"{shares[k]:.3f}"
+                for k in ("idle", "collision", "transmission", "wait")
+            ),
+        ],
     ]
+    if fault_model is not None:
+        rows.append(["lost to faults", str(result.lost_to_faults)])
+        rows.append(["fault telemetry", result.faults.summary()])
     title = (
         f"{args.protocol} protocol: rho'={args.rho}, M={args.m}, "
         f"K={args.deadline}, {args.horizon:.0f} slots"
     )
     print(ascii_table(["metric", "value"], rows, title=title))
+    if result.saturated:
+        print(
+            f"\nwarning: saturated run — {result.unresolved} of "
+            f"{result.arrivals} arrivals never resolved; the loss figure "
+            "covers only resolved messages (treat it as a lower bound)"
+        )
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    config = RobustnessConfig(
+        rho_prime=args.rho,
+        message_length=args.m,
+        deadline_factor=args.deadline_factor,
+        n_stations=args.stations,
+        horizon=args.horizon,
+        n_seeds=args.seeds,
+        base_seed=args.seed,
+    )
+    if args.scenario == "feedback":
+        report = feedback_error_sweep(config, error_rates=tuple(args.errors))
+        print(report.to_table())
+        return 0
+    results = station_failure_scenario(config)
+    rows = []
+    for i, result in enumerate(results):
+        t = result.faults
+        rows.append(
+            [
+                str(config.base_seed + i),
+                f"{result.loss_fraction:.4f}",
+                str(result.lost_to_faults),
+                str(t.crashes),
+                str(t.restarts),
+                str(t.deaf_events),
+                str(t.resyncs),
+                str(t.peak_cohorts),
+            ]
+        )
+    print(
+        ascii_table(
+            ["seed", "loss", "fault-lost", "crashes", "restarts",
+             "deaf", "resyncs", "peak cohorts"],
+            rows,
+            title=(
+                f"Station-failure soak: rho'={config.rho_prime:g}, "
+                f"M={config.message_length}, K={config.deadline:g}, "
+                f"{config.horizon:g} slots (all runs completed)"
+            ),
+        )
+    )
     return 0
 
 
@@ -154,6 +237,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--m", type=int, default=4)
     p.add_argument("--window", type=int, default=4)
     p.add_argument("--simulate", action="store_true")
+    p.add_argument("--seed", type=int, default=11,
+                   help="master seed for the simulation arms")
     p.set_defaults(func=_cmd_theorem1)
 
     p = sub.add_parser("simulate", help="one slot-level protocol run")
@@ -164,15 +249,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline", type=float, default=100.0)
     p.add_argument("--stations", type=int, default=200)
     p.add_argument("--horizon", type=float, default=100_000.0)
-    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--seed", type=int, default=1,
+                   help="master seed for all random streams")
+    p.add_argument("--feedback-error", type=float, default=0.0,
+                   help="symmetric feedback-error rate (routes the run "
+                        "through the fault-injection layer)")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("capacity", help="protocol capacity vs message length")
     p.add_argument("--m", type=int, nargs="+", default=[1, 5, 25, 100, 400])
+    p.add_argument("--seed", type=int, default=1,
+                   help="accepted for uniformity (analytic, no randomness)")
     p.set_defaults(func=_cmd_capacity)
 
     p = sub.add_parser("ablations", help="fast analytic ablations")
+    p.add_argument("--seed", type=int, default=1,
+                   help="accepted for uniformity (analytic, no randomness)")
     p.set_defaults(func=_cmd_ablations)
+
+    p = sub.add_parser("robustness", help="fault-injection degradation runs")
+    p.add_argument("--scenario", choices=("feedback", "failures"),
+                   default="feedback",
+                   help="feedback = loss vs error-rate sweep; "
+                        "failures = crash/deafness soak")
+    p.add_argument("--rho", type=float, default=0.5)
+    p.add_argument("--m", type=int, default=25)
+    p.add_argument("--deadline-factor", type=float, default=3.0,
+                   help="constraint K as a multiple of M")
+    p.add_argument("--stations", type=int, default=25)
+    p.add_argument("--horizon", type=float, default=60_000.0)
+    p.add_argument("--seeds", type=int, default=3,
+                   help="number of replications per fault setting")
+    p.add_argument("--seed", type=int, default=1,
+                   help="master seed of the first replication")
+    p.add_argument("--errors", type=float, nargs="+",
+                   default=list(DEFAULT_ERROR_RATES),
+                   help="error rates of the feedback sweep")
+    p.set_defaults(func=_cmd_robustness)
 
     return parser
 
@@ -183,6 +296,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ValueError as error:
+        # Domain validation (bad rates, loads, fault probabilities…):
+        # report cleanly instead of dumping a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         try:

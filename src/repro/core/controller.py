@@ -91,6 +91,28 @@ class ProtocolController:
         removed = self.unresolved.clamp_before(horizon)
         return DiscardReport(horizon=horizon, measure_removed=removed)
 
+    def resynchronize(self, now: float, horizon: float) -> None:
+        """Fault-recovery reset: declare ``[now − horizon, now]`` unresolved.
+
+        Used by :mod:`repro.faults` when a station's replica of the
+        shared state has (or may have) diverged from the network's — a
+        detected inconsistency, a crash restart, or recovery from a deaf
+        period.  The reset is *conservative*: it marks the whole recent
+        horizon unresolved again, so windows may re-examine time that was
+        already resolved (those examinations come back idle and cost
+        slots) but no pending message is ever excluded from future
+        windows.  With policy element 4 active, anything older than the
+        constraint ``K`` would be discarded anyway, so resetting to
+        ``[now − K, now]`` loses nothing schedulable.
+        """
+        if horizon <= 0:
+            raise ValueError(f"resync horizon must be positive, got {horizon}")
+        self.unresolved = IntervalSet()
+        start = max(0.0, now - horizon)
+        if now > start:
+            self.unresolved.add(start, now)
+        self.frontier = now
+
     def begin_process(self, now: float) -> Optional[WindowingProcess]:
         """Select an initial window and start a windowing process.
 

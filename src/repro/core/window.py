@@ -104,6 +104,17 @@ class WindowingProcess:
         self.done = False
         self.transmission_started = False
 
+    @property
+    def depth(self) -> int:
+        """Current split depth (how many times the window was subdivided).
+
+        Fault-tolerant drivers (:mod:`repro.faults`) watch this: corrupted
+        feedback can send the state machine into an idle descent on a
+        span it believes occupied, and an abnormal depth is the earliest
+        local symptom of a diverged replica.
+        """
+        return self._depth
+
     # -- feedback handling --------------------------------------------------
 
     def on_feedback(self, feedback: ChannelFeedback) -> None:

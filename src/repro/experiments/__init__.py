@@ -11,6 +11,13 @@ from .ablations import (
 )
 from .figure7 import PAPER_PANELS, PanelConfig, default_deadlines, generate_panel
 from .records import PanelResult, Series, SeriesPoint, ascii_table
+from .robustness import (
+    DEFAULT_ERROR_RATES,
+    RobustnessConfig,
+    RobustnessReport,
+    feedback_error_sweep,
+    station_failure_scenario,
+)
 from .runner import ReplicationResult, replicate
 from .sensitivity import (
     burstiness_sensitivity,
@@ -44,6 +51,11 @@ __all__ = [
     "arity_ablation",
     "twopoint_fit_errors",
     "ablation_table",
+    "RobustnessConfig",
+    "RobustnessReport",
+    "DEFAULT_ERROR_RATES",
+    "feedback_error_sweep",
+    "station_failure_scenario",
     "ReplicationResult",
     "replicate",
     "station_count_sensitivity",

@@ -1,0 +1,250 @@
+"""Graceful-degradation experiments for the fault layer.
+
+The paper assumes perfect ternary feedback; :mod:`repro.faults` removes
+that assumption.  This module measures what the assumption was worth:
+
+* :func:`feedback_error_sweep` — loss versus symmetric feedback-error
+  rate at a fixed operating point (the headline degradation curve; the
+  protocol should degrade smoothly, not cliff);
+* :func:`station_failure_scenario` — a crash/restart + deafness soak
+  that must run to completion (no deadlock, no permanent divergence)
+  and report the resilience telemetry.
+
+Both average over a few replications (distinct master seeds) so the
+degradation trend is not an artifact of one sample path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core import ControlPolicy
+from ..des.rng import RandomStreams
+from ..faults import FaultModel
+from ..mac import MACSimResult, WindowMACSimulator
+from .records import ascii_table
+
+__all__ = [
+    "RobustnessConfig",
+    "RobustnessPoint",
+    "RobustnessReport",
+    "feedback_error_sweep",
+    "station_failure_scenario",
+    "DEFAULT_ERROR_RATES",
+]
+
+#: Symmetric feedback-error rates of the headline degradation sweep.
+DEFAULT_ERROR_RATES = (0.0, 0.005, 0.01, 0.02, 0.05)
+
+
+@dataclass(frozen=True)
+class RobustnessConfig:
+    """Operating point for the robustness experiments.
+
+    Defaults pin the paper's central panel (ρ′ = 0.5, M = 25) with the
+    constraint K = 3M, the regime where Figure 7 shows the controlled
+    protocol clearly ahead of the uncontrolled disciplines.
+    """
+
+    rho_prime: float = 0.5
+    message_length: int = 25
+    deadline_factor: float = 3.0
+    n_stations: int = 25
+    horizon: float = 60_000.0
+    warmup_fraction: float = 0.125
+    n_seeds: int = 3
+    base_seed: int = 1
+
+    def __post_init__(self):
+        if self.rho_prime <= 0:
+            raise ValueError(f"offered load must be positive, got {self.rho_prime}")
+        if self.message_length < 1:
+            raise ValueError(
+                f"message length must be at least 1, got {self.message_length}"
+            )
+        if self.n_seeds < 1:
+            raise ValueError(f"need at least one replication, got {self.n_seeds}")
+
+    @property
+    def arrival_rate(self) -> float:
+        """Message arrival rate λ = ρ′ / M."""
+        return self.rho_prime / self.message_length
+
+    @property
+    def deadline(self) -> float:
+        """The waiting-time constraint K."""
+        return self.deadline_factor * self.message_length
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """Seed-averaged outcome at one fault setting."""
+
+    error_rate: float
+    loss_fraction: float
+    loss_stderr: float
+    lost_to_faults: float
+    unresolved: float
+    utilization: float
+    resyncs: float
+    cohort_splits: float
+    peak_cohorts: float
+    saturated: bool
+
+
+@dataclass
+class RobustnessReport:
+    """The degradation curve plus run metadata."""
+
+    config: RobustnessConfig
+    points: List[RobustnessPoint] = field(default_factory=list)
+
+    @property
+    def title(self) -> str:
+        c = self.config
+        return (
+            f"Graceful degradation: rho'={c.rho_prime:g}, M={c.message_length}, "
+            f"K={c.deadline:g}, {c.n_seeds} seeds x {c.horizon:g} slots"
+        )
+
+    def losses(self) -> List[float]:
+        """The seed-averaged loss at each fault setting, sweep order."""
+        return [p.loss_fraction for p in self.points]
+
+    def to_table(self) -> str:
+        """Render the degradation curve as an aligned text table."""
+        rows = []
+        for p in self.points:
+            rows.append(
+                [
+                    f"{p.error_rate:g}",
+                    f"{p.loss_fraction:.4f}±{2 * p.loss_stderr:.4f}",
+                    f"{p.lost_to_faults:.1f}",
+                    f"{p.unresolved:.1f}",
+                    f"{p.utilization:.3f}",
+                    f"{p.resyncs:.0f}",
+                    f"{p.cohort_splits:.0f}",
+                    f"{p.peak_cohorts:.0f}",
+                    "yes" if p.saturated else "",
+                ]
+            )
+        return ascii_table(
+            [
+                "error rate",
+                "loss fraction",
+                "fault-lost",
+                "unresolved",
+                "util",
+                "resyncs",
+                "splits",
+                "peak cohorts",
+                "saturated",
+            ],
+            rows,
+            title=self.title,
+        )
+
+
+def _run_point(
+    config: RobustnessConfig,
+    fault_model: FaultModel,
+    seed: int,
+    policy: Optional[ControlPolicy] = None,
+) -> MACSimResult:
+    """One replication at one fault setting."""
+    if policy is None:
+        policy = ControlPolicy.optimal(config.deadline, config.arrival_rate)
+    simulator = WindowMACSimulator(
+        policy,
+        arrival_rate=config.arrival_rate,
+        transmission_slots=config.message_length,
+        n_stations=config.n_stations,
+        deadline=config.deadline,
+        fault_model=fault_model,
+        streams=RandomStreams(seed),
+    )
+    return simulator.run(
+        config.horizon, warmup_slots=config.horizon * config.warmup_fraction
+    )
+
+
+def _aggregate(
+    error_rate: float, results: Sequence[MACSimResult]
+) -> RobustnessPoint:
+    losses = np.array([r.loss_fraction for r in results], dtype=float)
+    return RobustnessPoint(
+        error_rate=error_rate,
+        loss_fraction=float(np.mean(losses)),
+        loss_stderr=(
+            float(np.std(losses, ddof=1) / np.sqrt(len(losses)))
+            if len(losses) > 1
+            else float(results[0].loss_stderr())
+        ),
+        lost_to_faults=float(np.mean([r.lost_to_faults for r in results])),
+        unresolved=float(np.mean([r.unresolved for r in results])),
+        utilization=float(np.mean([r.channel.utilization() for r in results])),
+        resyncs=float(np.mean([r.faults.resyncs for r in results])),
+        cohort_splits=float(np.mean([r.faults.cohort_splits for r in results])),
+        peak_cohorts=float(np.mean([r.faults.peak_cohorts for r in results])),
+        saturated=any(r.saturated for r in results),
+    )
+
+
+def feedback_error_sweep(
+    config: Optional[RobustnessConfig] = None,
+    error_rates: Sequence[float] = DEFAULT_ERROR_RATES,
+) -> RobustnessReport:
+    """Loss versus symmetric feedback-error rate (the degradation curve).
+
+    Every fault setting replays the *same* traffic sample paths (the
+    fault stream is independent of the arrival stream), so the curve
+    isolates the marginal damage of mis-observed feedback.
+    """
+    if config is None:
+        config = RobustnessConfig()
+    for error_rate in error_rates:
+        if error_rate < 0:
+            raise ValueError(f"error rate must be non-negative, got {error_rate}")
+    report = RobustnessReport(config)
+    for error_rate in error_rates:
+        model = (
+            FaultModel.feedback_noise(error_rate)
+            if error_rate > 0
+            else FaultModel.none()
+        )
+        results = [
+            _run_point(config, model, config.base_seed + i)
+            for i in range(config.n_seeds)
+        ]
+        report.points.append(_aggregate(error_rate, results))
+    return report
+
+
+def station_failure_scenario(
+    config: Optional[RobustnessConfig] = None,
+    crash_rate: float = 5e-4,
+    mean_downtime: float = 300.0,
+    deaf_rate: float = 3e-4,
+    mean_deaf_slots: float = 80.0,
+) -> List[MACSimResult]:
+    """Crash/restart + deafness soak at the standard operating point.
+
+    The pass criterion is liveness: every replication runs to the full
+    horizon with bounded cohort count and every restarted station
+    re-synchronized (the returned telemetry lets callers assert both).
+    """
+    if config is None:
+        config = RobustnessConfig()
+    model = FaultModel(
+        crash_rate=crash_rate,
+        mean_downtime=mean_downtime,
+        deaf_rate=deaf_rate,
+        mean_deaf_slots=mean_deaf_slots,
+    )
+    return [
+        _run_point(config, model, config.base_seed + i)
+        for i in range(config.n_seeds)
+    ]

@@ -1,0 +1,34 @@
+"""Fault injection and graceful protocol degradation.
+
+The paper's protocol assumes error-free ternary feedback and therefore
+perfectly replicated protocol state.  This package quantifies and
+hardens the reproduction against that assumption breaking:
+
+- :mod:`~repro.faults.model` — the fault taxonomy
+  (:class:`FaultModel`): slot-feedback confusion, station crashes,
+  deaf periods, plus the re-synchronization parameters;
+- :mod:`~repro.faults.injector` — :class:`FaultInjector`, the
+  event-driven fault source;
+- :mod:`~repro.faults.replicas` — :class:`ReplicatedControllerBank`,
+  per-station protocol replicas grouped into agreement cohorts, with
+  divergence detection and bounded re-synchronization.
+
+Pass a :class:`FaultModel` to
+:class:`~repro.mac.simulator.WindowMACSimulator` to route a simulation
+through the replica machinery; ``FaultModel.none()`` reproduces the
+shared-controller results bit-for-bit.  See ``docs/robustness.md``.
+"""
+
+from .injector import FaultEvent, FaultInjector, StationHealth
+from .model import FaultModel, FaultTelemetry
+from .replicas import ReplicaCohort, ReplicatedControllerBank
+
+__all__ = [
+    "FaultModel",
+    "FaultTelemetry",
+    "FaultInjector",
+    "FaultEvent",
+    "StationHealth",
+    "ReplicaCohort",
+    "ReplicatedControllerBank",
+]

@@ -16,7 +16,7 @@ already late).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..core.timeline import Span
 from ..core.window import ChannelFeedback
@@ -49,6 +49,24 @@ class ChannelStats:
         """Fraction of time spent transmitting."""
         total = self.total_slots
         return self.transmission_slots / total if total else 0.0
+
+    def breakdown(self) -> "Dict[str, float]":
+        """Normalized share of slots per category (all zero when empty).
+
+        Unlike reading the per-category counters and dividing by
+        :attr:`total_slots` at the call site, this guards the zero-slot
+        case uniformly, so callers can render fractions without
+        re-implementing the check.
+        """
+        total = self.total_slots
+        if total <= 0:
+            return {"idle": 0.0, "collision": 0.0, "transmission": 0.0, "wait": 0.0}
+        return {
+            "idle": self.idle_slots / total,
+            "collision": self.collision_slots / total,
+            "transmission": self.transmission_slots / total,
+            "wait": self.wait_slots / total,
+        }
 
 
 class SlottedChannel:
@@ -105,6 +123,19 @@ class SlottedChannel:
                 for station, message in eligible.items()
                 if span.contains(message.arrival)
             }
+        return self.resolve_slot(enabled)
+
+    def resolve_slot(
+        self, enabled: "dict"
+    ) -> Tuple[ChannelFeedback, Optional[Message]]:
+        """Resolve one slot given the already-computed enabled map.
+
+        This is the physical-layer half of :meth:`examine`, split out so
+        drivers that compute participation themselves (the fault-injected
+        simulator, whose diverged station replicas may each examine a
+        *different* span in the same slot) can share the outcome rules
+        and the slot accounting.
+        """
         if not enabled:
             self.now += 1.0
             self.stats.idle_slots += 1.0

@@ -27,6 +27,7 @@ class MessageFate(enum.Enum):
     DELIVERED_ON_TIME = "delivered_on_time"
     DELIVERED_LATE = "delivered_late"  # lost at the receiver
     DISCARDED_AT_SENDER = "discarded_at_sender"  # policy element 4
+    LOST_TO_FAULT = "lost_to_fault"  # station crash, or dequeued on phantom success
 
 
 @dataclass

@@ -17,19 +17,26 @@ length, split rule, arity, priorities).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
 from ..core.controller import ProtocolController
 from ..core.policy import ControlPolicy
+from ..core.window import ChannelFeedback
 from ..des.monitor import Tally
+from ..des.rng import RandomStreams
+from ..faults import FaultEvent, FaultModel, FaultTelemetry, ReplicatedControllerBank
 from .channel import ChannelStats, SlottedChannel
 from .messages import Message, MessageFate
 from .station import StationRegistry
 
 __all__ = ["MACSimResult", "WindowMACSimulator"]
+
+#: Sub-seed mixed into the fault stream when no RandomStreams family is
+#: given, keeping fault draws independent of the traffic sample path.
+_FAULT_STREAM_KEY = 0xFA17
 
 
 @dataclass(frozen=True)
@@ -48,14 +55,21 @@ class MACSimResult:
     unresolved:
         Messages still pending when the run ended (excluded from the
         loss denominator; large values signal saturation).
+    lost_to_faults:
+        Messages destroyed by injected faults (station crashes, phantom
+        successes); zero in fault-free runs.
     loss_fraction:
-        (late + discarded) / (arrivals − unresolved).
+        (late + discarded + lost to faults) / (arrivals − unresolved).
     mean_true_wait / mean_paper_wait:
         Mean waits over delivered messages.
     channel:
         Slot-usage breakdown.
     deadline:
         The constraint K the run was scored against (None = no scoring).
+    faults:
+        Fault-layer telemetry when a :class:`FaultModel` drove the run
+        (None on the shared-controller path).  Excluded from equality so
+        zero-fault replica runs compare bit-identical to shared runs.
     """
 
     arrivals: int
@@ -67,6 +81,8 @@ class MACSimResult:
     mean_paper_wait: float
     channel: ChannelStats
     deadline: Optional[float]
+    lost_to_faults: int = 0
+    faults: Optional[FaultTelemetry] = field(default=None, compare=False)
 
     @property
     def resolved(self) -> int:
@@ -78,7 +94,21 @@ class MACSimResult:
         """Fraction of resolved messages that missed the constraint."""
         if self.resolved <= 0:
             return float("nan")
-        return (self.delivered_late + self.discarded) / self.resolved
+        return (
+            self.delivered_late + self.discarded + self.lost_to_faults
+        ) / self.resolved
+
+    @property
+    def saturated(self) -> bool:
+        """Warning flag: more than 10% of arrivals never resolved.
+
+        A saturated run's loss figures describe only the messages the
+        protocol managed to resolve; treat them as lower bounds (the
+        CLI surfaces this as an explicit warning).
+        """
+        if self.arrivals <= 0:
+            return False
+        return self.unresolved / self.arrivals > 0.10
 
     @property
     def on_time_fraction(self) -> float:
@@ -113,6 +143,17 @@ class WindowMACSimulator:
     loss_definition:
         ``"true"`` (the paper's simulation convention, default) or
         ``"paper"`` (the analysis convention).
+    seed / streams:
+        Randomness source.  A :class:`~repro.des.rng.RandomStreams`
+        family (when given) supersedes ``seed`` and draws traffic and
+        fault randomness from independent named substreams.
+    fault_model:
+        ``None`` (default) runs the classic shared-controller path.  A
+        :class:`~repro.faults.FaultModel` — even ``FaultModel.none()`` —
+        routes the run through per-station controller replicas
+        (:mod:`repro.faults.replicas`); the null model reproduces the
+        shared path bit-for-bit, non-null models inject the configured
+        channel and station faults.
     """
 
     def __init__(
@@ -125,6 +166,8 @@ class WindowMACSimulator:
         loss_definition: str = "true",
         seed: int = 0,
         workload=None,
+        fault_model: Optional[FaultModel] = None,
+        streams: Optional[RandomStreams] = None,
     ):
         if arrival_rate <= 0:
             raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
@@ -137,12 +180,33 @@ class WindowMACSimulator:
         self.transmission_slots = transmission_slots
         self.deadline = deadline
         self.loss_definition = loss_definition
-        self.rng = np.random.default_rng(seed)
+        if streams is not None:
+            self.rng = streams.get("mac-simulator")
+            fault_rng = streams.get("faults")
+        else:
+            self.rng = np.random.default_rng(seed)
+            fault_rng = np.random.default_rng(
+                np.random.SeedSequence([abs(int(seed)), _FAULT_STREAM_KEY])
+            )
         self.workload = workload  # None = homogeneous Poisson at arrival_rate
 
         self.registry = StationRegistry(n_stations)
         self.channel = SlottedChannel(self.registry, transmission_slots)
         self.controller = ProtocolController(policy, rng=self.rng)
+        self.fault_model = fault_model
+        self.bank: Optional[ReplicatedControllerBank] = None
+        if fault_model is not None:
+            # The root cohort drives *this* controller with *this* rng, so
+            # a fault-free replicated run consumes randomness draw-for-draw
+            # like the shared path.
+            self.bank = ReplicatedControllerBank(
+                policy,
+                n_stations,
+                self.controller,
+                fault_model,
+                fault_rng,
+                transmission_slots,
+            )
 
     # -- arrival generation ------------------------------------------------------
 
@@ -168,10 +232,18 @@ class WindowMACSimulator:
         """Simulate ``warmup + horizon`` slots and score the horizon part.
 
         Messages arriving during warm-up are simulated but not scored.
+        Dispatches to the shared-controller path (no fault model) or the
+        per-station replica path (fault model given).
         """
         if horizon_slots <= 0:
             raise ValueError(f"horizon must be positive, got {horizon_slots}")
         total_time = warmup_slots + horizon_slots
+        if self.bank is not None:
+            return self._run_replicated(total_time, warmup_slots)
+        return self._run_shared(total_time, warmup_slots)
+
+    def _run_shared(self, total_time: float, warmup_slots: float) -> MACSimResult:
+        """The classic path: one controller shared by every station (§2)."""
         arrivals = self._generate_arrivals(total_time)
         arrival_index = 0
 
@@ -249,6 +321,131 @@ class WindowMACSimulator:
             mean_paper_wait=paper_wait.mean,
             channel=channel.stats,
             deadline=self.deadline,
+        )
+
+    def _run_replicated(self, total_time: float, warmup_slots: float) -> MACSimResult:
+        """The fault-injected path: per-station controller replicas.
+
+        Structurally mirrors :meth:`_run_shared` — same arrival stream,
+        same decision instants, same slot accounting — but every station
+        belongs to a replica *cohort* (:mod:`repro.faults.replicas`)
+        whose view of the protocol state may diverge under injected
+        faults.  Truth (who actually transmitted, what the slot outcome
+        physically was, which message was delivered) is resolved against
+        the union of all cohorts' enabled stations; each replica then
+        observes a possibly corrupted symbol and evolves on its own.
+
+        With ``FaultModel.none()`` exactly one cohort ever exists and
+        this loop replays the shared path decision-for-decision,
+        producing a bit-identical :class:`MACSimResult` — the regression
+        test of the refactor.
+        """
+        fault_model = self.fault_model
+        bank = self.bank
+        injector = bank.injector
+        arrivals = self._generate_arrivals(total_time)
+        arrival_index = 0
+
+        channel = self.channel
+        registry = self.registry
+
+        measured = lambda msg: msg.arrival >= warmup_slots  # noqa: E731
+        counts = {fate: 0 for fate in MessageFate}
+        n_measured = 0
+        true_wait = Tally()
+        paper_wait = Tally()
+
+        def lose_to_fault(message: Message, in_registry: bool = True) -> None:
+            if in_registry:
+                registry.remove(message)
+            message.fate = MessageFate.LOST_TO_FAULT
+            if measured(message):
+                counts[MessageFate.LOST_TO_FAULT] += 1
+
+        while channel.now < total_time:
+            now = channel.now
+
+            # Station-level fault transitions due by now.
+            if fault_model.has_station_faults:
+                for event, station in injector.poll(now):
+                    if event is FaultEvent.CRASH:
+                        bank.telemetry.crashes += 1
+                        bank.remove_station(station)
+                        for message in registry.drop_station(station):
+                            lose_to_fault(message, in_registry=False)
+                    elif event is FaultEvent.RESTART:
+                        bank.telemetry.restarts += 1
+                        bank.restore_station(station, now)
+                    elif event is FaultEvent.DEAF:
+                        bank.telemetry.deaf_events += 1
+                        bank.remove_station(station)
+                    else:  # HEAR
+                        bank.telemetry.deaf_recoveries += 1
+                        bank.restore_station(station, now)
+
+            # Decision boundary: some cohort picks its next action at this
+            # instant — mirror the shared path's outer-iteration bookkeeping
+            # (arrival ingest, begin_process, element-4 backlog drop).
+            if bank.any_boundary(now):
+                while (
+                    arrival_index < len(arrivals)
+                    and arrivals[arrival_index].arrival <= now
+                ):
+                    message = arrivals[arrival_index]
+                    if injector.is_crashed(message.station):
+                        # Arrivals at a down station are lost with it.
+                        lose_to_fault(message, in_registry=False)
+                    else:
+                        registry.ingest(message)
+                    if measured(message):
+                        n_measured += 1
+                    arrival_index += 1
+                bank.begin_processes(now, registry)
+                if self.policy.discard_deadline is not None:
+                    horizon = now - self.policy.discard_deadline
+                    for message in registry.drop_older_than(horizon):
+                        message.fate = MessageFate.DISCARDED_AT_SENDER
+                        if measured(message):
+                            counts[MessageFate.DISCARDED_AT_SENDER] += 1
+
+            if not bank.any_process():
+                # Every replica believes there is nothing to do (or is in a
+                # listen-only resync epoch): the channel idles one slot.
+                channel.wait_slot()
+                if fault_model.has_channel_noise:
+                    bank.apply_feedback(ChannelFeedback.IDLE, now, lose_to_fault)
+                continue
+
+            transmitters = bank.collect_transmitters(now, registry)
+            feedback, transmitted = channel.resolve_slot(transmitters)
+            if transmitted is not None:
+                # Physical delivery is truth, whatever any replica believes.
+                transmitted.process_start = bank.cohort_of(
+                    transmitted.station
+                ).process_start
+                registry.remove(transmitted)
+                self._score_delivery(
+                    transmitted, counts, true_wait, paper_wait, measured
+                )
+            bank.apply_feedback(feedback, now, lose_to_fault)
+
+        unresolved = sum(
+            1 for message in registry.messages_in_span(_everything())
+            if measured(message)
+        )
+        self.scored_messages = [m for m in arrivals if measured(m)]
+        return MACSimResult(
+            arrivals=n_measured,
+            delivered_on_time=counts[MessageFate.DELIVERED_ON_TIME],
+            delivered_late=counts[MessageFate.DELIVERED_LATE],
+            discarded=counts[MessageFate.DISCARDED_AT_SENDER],
+            unresolved=unresolved,
+            mean_true_wait=true_wait.mean,
+            mean_paper_wait=paper_wait.mean,
+            channel=channel.stats,
+            deadline=self.deadline,
+            lost_to_faults=counts[MessageFate.LOST_TO_FAULT],
+            faults=bank.telemetry,
         )
 
     def _score_delivery(self, message, counts, true_wait, paper_wait, measured) -> None:

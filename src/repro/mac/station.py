@@ -90,6 +90,24 @@ class StationRegistry:
         del self._arrivals[index]
         del self._messages[index]
 
+    def drop_station(self, station_id: int) -> List[Message]:
+        """Remove and return every pending message of one station.
+
+        Used by the fault layer when a station crashes and loses its
+        backlog.  Linear in the backlog size, which is fine for the rare
+        crash events it models.
+        """
+        dropped = [m for m in self._messages if m.station == station_id]
+        if dropped:
+            kept = [
+                (a, m)
+                for a, m in zip(self._arrivals, self._messages)
+                if m.station != station_id
+            ]
+            self._arrivals = [a for a, _ in kept]
+            self._messages = [m for _, m in kept]
+        return dropped
+
     def drop_older_than(self, horizon: float) -> List[Message]:
         """Remove and return all messages with arrival < ``horizon``."""
         cut = bisect.bisect_left(self._arrivals, horizon)

@@ -121,3 +121,40 @@ class TestProcessLifecycle:
                     process.on_feedback(ChannelFeedback.SUCCESS)
             controller.complete_process(process)
             assert controller.unresolved.n_intervals <= 1
+
+
+class TestResynchronize:
+    def test_reset_covers_recent_horizon(self):
+        controller = ProtocolController(make_policy(deadline=50.0))
+        controller.advance_time(500.0)
+        process = controller.begin_process(500.0)
+        assert process is not None
+        controller.resynchronize(500.0, 50.0)
+        assert controller.frontier == 500.0
+        assert controller.unresolved.n_intervals == 1
+        assert controller.t_past == 450.0
+        assert controller.unresolved.measure == pytest.approx(50.0)
+
+    def test_reset_clamps_at_time_origin(self):
+        controller = ProtocolController(make_policy())
+        controller.advance_time(10.0)
+        controller.resynchronize(10.0, 100.0)
+        assert controller.t_past == 0.0
+        assert controller.unresolved.measure == pytest.approx(10.0)
+
+    def test_invalid_horizon_rejected(self):
+        controller = ProtocolController(make_policy())
+        with pytest.raises(ValueError):
+            controller.resynchronize(10.0, 0.0)
+
+    def test_protocol_restarts_cleanly_after_reset(self):
+        controller = ProtocolController(make_policy(deadline=50.0))
+        controller.advance_time(200.0)
+        controller.resynchronize(200.0, 50.0)
+        process = controller.begin_process(200.0)
+        assert process is not None
+        process.on_feedback(ChannelFeedback.IDLE)
+        while not process.done:
+            process.on_feedback(ChannelFeedback.IDLE)
+        controller.complete_process(process)
+        assert controller.unresolved.n_intervals <= 1

@@ -1,0 +1,106 @@
+"""Property test: Theorem 1's contiguity invariant under fuzzed traffic.
+
+Under the optimal policy with fault-free feedback, the controller's
+unresolved set must remain a single contiguous interval at every
+decision boundary (end of §3.2) — the structural fact the whole
+windowing analysis rests on.  Hypothesis drives the protocol over
+arbitrary arrival patterns; arrivals are drawn on a 0.25-slot grid so
+two arrivals are always separable by the splitting process.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ControlPolicy, ProtocolController
+from repro.core.window import ChannelFeedback
+
+M = 4
+DEADLINE = 30.0
+
+arrival_grids = st.lists(
+    st.integers(min_value=0, max_value=400),
+    min_size=0,
+    max_size=40,
+    unique=True,
+).map(lambda grid: sorted(0.25 * g for g in grid))
+
+
+def drive_protocol(controller, arrivals, horizon):
+    """Run the window protocol with exact (fault-free) channel feedback."""
+    pending = list(arrivals)
+    now = 0.0
+    checks = 0
+    while now < horizon:
+        process = controller.begin_process(now)
+        assert controller.unresolved.n_intervals <= 1
+        checks += 1
+        if process is None:
+            now += 1.0
+            continue
+        while not process.done:
+            span = process.current_span
+            inside = [t for t in pending if span.contains(t)]
+            if not inside:
+                feedback = ChannelFeedback.IDLE
+                now += 1.0
+            elif len(inside) == 1:
+                feedback = ChannelFeedback.SUCCESS
+                pending.remove(inside[0])
+                now += float(M)
+            else:
+                feedback = ChannelFeedback.COLLISION
+                now += 1.0
+            process.on_feedback(feedback)
+        controller.complete_process(process)
+        assert controller.unresolved.n_intervals <= 1
+        checks += 1
+        # Element 4 at the station side: drop what the controller's
+        # discard deadline has aged out.
+        horizon_cut = now - DEADLINE
+        pending = [t for t in pending if t >= horizon_cut]
+    return checks
+
+
+class TestContiguityInvariant:
+    @settings(max_examples=50, deadline=None)
+    @given(arrivals=arrival_grids)
+    def test_unresolved_stays_one_interval(self, arrivals):
+        policy = ControlPolicy.optimal(DEADLINE, accepted_rate=0.1)
+        controller = ProtocolController(policy)
+        horizon = (arrivals[-1] if arrivals else 0.0) + 3 * DEADLINE
+        checks = drive_protocol(controller, arrivals, horizon)
+        assert checks > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrivals=arrival_grids,
+        deadline=st.sampled_from([12.0, 30.0, 60.0]),
+    )
+    def test_invariant_across_deadlines(self, arrivals, deadline):
+        policy = ControlPolicy.optimal(deadline, accepted_rate=0.1)
+        controller = ProtocolController(policy)
+        pending = list(arrivals)
+        now = 0.0
+        horizon = (arrivals[-1] if arrivals else 0.0) + 3 * deadline
+        while now < horizon:
+            process = controller.begin_process(now)
+            assert controller.unresolved.n_intervals <= 1
+            if process is None:
+                now += 1.0
+                continue
+            while not process.done:
+                span = process.current_span
+                inside = [t for t in pending if span.contains(t)]
+                if not inside:
+                    process.on_feedback(ChannelFeedback.IDLE)
+                    now += 1.0
+                elif len(inside) == 1:
+                    pending.remove(inside[0])
+                    process.on_feedback(ChannelFeedback.SUCCESS)
+                    now += float(M)
+                else:
+                    process.on_feedback(ChannelFeedback.COLLISION)
+                    now += 1.0
+            controller.complete_process(process)
+            assert controller.unresolved.n_intervals <= 1
+            pending = [t for t in pending if t >= now - deadline]

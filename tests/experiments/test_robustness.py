@@ -1,0 +1,62 @@
+"""Tests for the robustness experiment harness."""
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_ERROR_RATES,
+    RobustnessConfig,
+    feedback_error_sweep,
+    station_failure_scenario,
+)
+
+FAST = RobustnessConfig(horizon=8_000.0, n_seeds=1, n_stations=25)
+
+
+class TestConfig:
+    def test_derived_quantities(self):
+        config = RobustnessConfig(rho_prime=0.5, message_length=25,
+                                  deadline_factor=3.0)
+        assert config.arrival_rate == pytest.approx(0.02)
+        assert config.deadline == pytest.approx(75.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RobustnessConfig(rho_prime=0.0)
+        with pytest.raises(ValueError):
+            RobustnessConfig(n_seeds=0)
+        with pytest.raises(ValueError):
+            RobustnessConfig(message_length=0)
+
+    def test_default_error_grid_starts_fault_free(self):
+        assert DEFAULT_ERROR_RATES[0] == 0.0
+        assert list(DEFAULT_ERROR_RATES) == sorted(DEFAULT_ERROR_RATES)
+
+
+class TestFeedbackSweep:
+    def test_sweep_structure(self):
+        report = feedback_error_sweep(FAST, error_rates=(0.0, 0.02))
+        assert [p.error_rate for p in report.points] == [0.0, 0.02]
+        assert len(report.losses()) == 2
+        assert all(0.0 <= loss <= 1.0 for loss in report.losses())
+        # The fault-free arm exercises the replica path but must inject
+        # nothing.
+        assert report.points[0].resyncs == 0
+        assert report.points[0].cohort_splits == 0
+        assert report.points[1].cohort_splits > 0
+
+    def test_table_renders(self):
+        report = feedback_error_sweep(FAST, error_rates=(0.0,))
+        table = report.to_table()
+        assert "Graceful degradation" in table
+        assert "error rate" in table
+
+
+class TestFailureScenario:
+    def test_soak_completes_with_telemetry(self):
+        results = station_failure_scenario(FAST)
+        assert len(results) == FAST.n_seeds
+        for result in results:
+            t = result.faults
+            assert t.crashes > 0
+            assert t.resyncs >= t.restarts
+            assert 0.0 <= result.loss_fraction <= 1.0

@@ -80,3 +80,26 @@ class TestChannel:
     def test_empty_stats_utilization_zero(self):
         _, channel = setup_channel()
         assert channel.stats.utilization() == 0.0
+
+
+class TestBreakdown:
+    def test_shares_sum_to_one(self):
+        from repro.mac.channel import ChannelStats
+
+        stats = ChannelStats(
+            idle_slots=30.0, collision_slots=10.0,
+            transmission_slots=55.0, wait_slots=5.0,
+        )
+        shares = stats.breakdown()
+        assert shares == {
+            "idle": 0.30, "collision": 0.10,
+            "transmission": 0.55, "wait": 0.05,
+        }
+        assert sum(shares.values()) == 1.0
+
+    def test_empty_stats_guarded(self):
+        from repro.mac.channel import ChannelStats
+
+        shares = ChannelStats().breakdown()
+        assert set(shares) == {"idle", "collision", "transmission", "wait"}
+        assert all(v == 0.0 for v in shares.values())

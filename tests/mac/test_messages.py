@@ -54,4 +54,5 @@ class TestFate:
             "delivered_on_time",
             "delivered_late",
             "discarded_at_sender",
+            "lost_to_fault",
         }

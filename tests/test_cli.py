@@ -58,3 +58,71 @@ class TestCommands:
         assert main(["ablations"]) == 0
         out = capsys.readouterr().out
         assert "occupancy" in out
+
+
+class TestSeedFlag:
+    def test_every_subcommand_accepts_seed(self):
+        parser = build_parser()
+        for argv in (
+            ["figure7", "--seed", "5"],
+            ["theorem1", "--seed", "5"],
+            ["simulate", "--seed", "5"],
+            ["capacity", "--seed", "5"],
+            ["ablations", "--seed", "5"],
+            ["robustness", "--seed", "5"],
+        ):
+            assert parser.parse_args(argv).seed == 5
+
+    def test_capacity_ignores_seed(self, capsys):
+        assert main(["capacity", "--m", "25", "--seed", "99"]) == 0
+        assert "max offered load" in capsys.readouterr().out
+
+
+class TestSimulateExtras:
+    def test_slot_shares_reported(self, capsys):
+        code = main([
+            "simulate", "--rho", "0.5", "--m", "25", "--deadline", "100",
+            "--horizon", "20000", "--stations", "25",
+        ])
+        assert code == 0
+        assert "slot shares" in capsys.readouterr().out
+
+    def test_feedback_error_reports_telemetry(self, capsys):
+        code = main([
+            "simulate", "--rho", "0.5", "--m", "25", "--deadline", "75",
+            "--horizon", "15000", "--stations", "25",
+            "--feedback-error", "0.02",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault telemetry" in out
+        assert "lost to faults" in out
+
+
+class TestRobustnessCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["robustness"])
+        assert args.scenario == "feedback"
+        assert args.rho == 0.5
+        assert args.m == 25
+        assert args.seeds == 3
+
+    def test_feedback_sweep_runs(self, capsys):
+        code = main([
+            "robustness", "--seeds", "1", "--horizon", "8000",
+            "--errors", "0", "0.02",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Graceful degradation" in out
+        assert "error rate" in out
+
+    def test_failure_soak_runs(self, capsys):
+        code = main([
+            "robustness", "--scenario", "failures", "--seeds", "1",
+            "--horizon", "8000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Station-failure soak" in out
+        assert "all runs completed" in out
