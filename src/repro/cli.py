@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from .core import ControlPolicy
 from .crp.capacity import max_stable_throughput
@@ -64,6 +65,8 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
         sim_horizon=args.horizon,
         sim_warmup=args.horizon * 0.125,
         sim_seed=args.seed,
+        workers=args.workers,
+        sim_fast=not args.no_fast_path,
     )
     print(panel.to_csv() if args.csv else panel.to_table())
     return 0
@@ -104,8 +107,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         deadline=args.deadline,
         fault_model=fault_model,
         streams=RandomStreams(args.seed),
+        fast=not args.no_fast_path,
     )
+    total_slots = args.horizon * 1.125  # warmup is an eighth of the horizon
+    start = time.perf_counter()
     result = simulator.run(args.horizon, warmup_slots=args.horizon * 0.125)
+    elapsed = time.perf_counter() - start
     shares = result.channel.breakdown()
     rows = [
         ["arrivals", str(result.arrivals)],
@@ -125,6 +132,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ),
         ],
     ]
+    rows.append(["elapsed", f"{elapsed:.2f} s"])
+    rows.append(["simulation speed", f"{total_slots / elapsed:,.0f} slots/s"])
     if fault_model is not None:
         rows.append(["lost to faults", str(result.lost_to_faults)])
         rows.append(["fault telemetry", result.faults.summary()])
@@ -153,10 +162,12 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         base_seed=args.seed,
     )
     if args.scenario == "feedback":
-        report = feedback_error_sweep(config, error_rates=tuple(args.errors))
+        report = feedback_error_sweep(
+            config, error_rates=tuple(args.errors), workers=args.workers
+        )
         print(report.to_table())
         return 0
-    results = station_failure_scenario(config)
+    results = station_failure_scenario(config, workers=args.workers)
     rows = []
     for i, result in enumerate(results):
         t = result.faults
@@ -229,6 +240,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--horizon", type=float, default=80_000.0)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--csv", action="store_true", help="CSV instead of a table")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan simulation arms over N worker processes "
+                        "(results are identical for any N; see docs/usage.md)")
+    p.add_argument("--no-fast-path", action="store_true",
+                   help="force the reference simulation loop (the fast "
+                        "kernel is bit-identical; this is the escape hatch)")
     p.set_defaults(func=_cmd_figure7)
 
     p = sub.add_parser("theorem1", help="verify Theorem 1 numerically")
@@ -254,6 +271,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--feedback-error", type=float, default=0.0,
                    help="symmetric feedback-error rate (routes the run "
                         "through the fault-injection layer)")
+    p.add_argument("--no-fast-path", action="store_true",
+                   help="force the reference simulation loop (the fast "
+                        "kernel is bit-identical; this is the escape hatch)")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("capacity", help="protocol capacity vs message length")
@@ -285,6 +305,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--errors", type=float, nargs="+",
                    default=list(DEFAULT_ERROR_RATES),
                    help="error rates of the feedback sweep")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan replications over N worker processes "
+                        "(results are identical for any N)")
     p.set_defaults(func=_cmd_robustness)
 
     return parser

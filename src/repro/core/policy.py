@@ -93,6 +93,16 @@ class LengthRule:
         """Desired window length given the current backlog measure."""
         raise NotImplementedError
 
+    def constant_length(self) -> Optional[float]:
+        """The rule's backlog-independent length, or ``None``.
+
+        The fast simulation kernel (:mod:`repro.mac.fastpath`) asks once
+        per run instead of re-deriving the length at every decision
+        epoch; rules whose length depends on the backlog return ``None``
+        and are evaluated per epoch.
+        """
+        return None
+
 
 @dataclass(frozen=True)
 class FixedLength(LengthRule):
@@ -105,6 +115,9 @@ class FixedLength(LengthRule):
             raise ValueError(f"window length must be positive, got {self.value}")
 
     def length(self, unresolved_measure: float) -> float:
+        return self.value
+
+    def constant_length(self) -> Optional[float]:
         return self.value
 
 
@@ -139,6 +152,9 @@ class OccupancyLength(LengthRule):
     def length(self, unresolved_measure: float) -> float:
         sizer = WindowSizer(occupancy=self.occupancy)
         return sizer.window_length(self.arrival_rate)
+
+    def constant_length(self) -> Optional[float]:
+        return self.length(0.0)
 
 
 # -- the bundled policy -------------------------------------------------------------

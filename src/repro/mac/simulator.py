@@ -28,6 +28,7 @@ from ..core.window import ChannelFeedback
 from ..des.monitor import Tally
 from ..des.rng import RandomStreams
 from ..faults import FaultEvent, FaultModel, FaultTelemetry, ReplicatedControllerBank
+from . import fastpath
 from .channel import ChannelStats, SlottedChannel
 from .messages import Message, MessageFate
 from .station import StationRegistry
@@ -143,6 +144,13 @@ class WindowMACSimulator:
     loss_definition:
         ``"true"`` (the paper's simulation convention, default) or
         ``"paper"`` (the analysis convention).
+    fast:
+        Use the fast kernel (:mod:`repro.mac.fastpath`) when the run is
+        eligible.  The kernel is bit-identical to the reference loop —
+        same RNG draw order, same float arithmetic — and disables itself
+        automatically for fault-injected runs and §5 priority stations.
+        ``fast=False`` forces the reference loop (the escape hatch and
+        the benchmark baseline).
     seed / streams:
         Randomness source.  A :class:`~repro.des.rng.RandomStreams`
         family (when given) supersedes ``seed`` and draws traffic and
@@ -168,6 +176,7 @@ class WindowMACSimulator:
         workload=None,
         fault_model: Optional[FaultModel] = None,
         streams: Optional[RandomStreams] = None,
+        fast: bool = True,
     ):
         if arrival_rate <= 0:
             raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
@@ -189,6 +198,7 @@ class WindowMACSimulator:
                 np.random.SeedSequence([abs(int(seed)), _FAULT_STREAM_KEY])
             )
         self.workload = workload  # None = homogeneous Poisson at arrival_rate
+        self.fast = fast
 
         self.registry = StationRegistry(n_stations)
         self.channel = SlottedChannel(self.registry, transmission_slots)
@@ -240,6 +250,8 @@ class WindowMACSimulator:
         total_time = warmup_slots + horizon_slots
         if self.bank is not None:
             return self._run_replicated(total_time, warmup_slots)
+        if self.fast and fastpath.fast_path_available(self):
+            return fastpath.run_fast(self, total_time, warmup_slots)
         return self._run_shared(total_time, warmup_slots)
 
     def _run_shared(self, total_time: float, warmup_slots: float) -> MACSimResult:

@@ -62,6 +62,7 @@ class StationRegistry:
         self.stations: List[Station] = [Station(i) for i in range(n_stations)]
         self._arrivals: List[float] = []  # sorted arrival instants
         self._messages: List[Message] = []  # parallel to _arrivals
+        self._n_scaled = 0  # stations with window_scale < 1 (kept in sync)
 
     def __len__(self) -> int:
         return len(self._messages)
@@ -141,8 +142,13 @@ class StationRegistry:
 
     @property
     def has_scaled_stations(self) -> bool:
-        """Whether any station uses a priority window scale below 1."""
-        return any(s.window_scale < 1.0 for s in self.stations)
+        """Whether any station uses a priority window scale below 1.
+
+        Maintained as a counter by :meth:`set_window_scale` — the
+        simulator consults this once per decision epoch, so a scan of
+        the station list here would dominate low-load runs.
+        """
+        return self._n_scaled > 0
 
     def eligible_for_window(self, initial_window: Span) -> Dict[int, Message]:
         """Per-process eligibility under the §5 priority extension.
@@ -175,7 +181,9 @@ class StationRegistry:
 
     def set_window_scale(self, station_id: int, scale: float) -> None:
         """Set a station's priority window scale (§5 extension)."""
+        was_scaled = self.stations[station_id].window_scale < 1.0
         self.stations[station_id] = Station(station_id, window_scale=scale)
+        self._n_scaled += (scale < 1.0) - was_scaled
 
     def oldest_pending(self) -> Optional[Message]:
         """The oldest message still pending, if any."""

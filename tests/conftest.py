@@ -18,6 +18,21 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_analytic_cache(tmp_path_factory, monkeypatch):
+    """Point the analytic memo (repro.cache) at a per-session temp dir.
+
+    Keeps the suite independent of whatever a developer's ~/.cache
+    holds, and keeps test runs from writing outside the sandbox.
+    """
+    from repro import cache
+
+    monkeypatch.setenv(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.getbasetemp() / "repro-cache")
+    )
+    cache.clear_memory()
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator for simulation tests."""

@@ -1,0 +1,104 @@
+"""Determinism of the parallel sweep engine.
+
+The executor's contract: merged sweep results are identical for any
+worker count, and identical to the historical sequential loops.  Grids
+here are kept tiny (short horizons) because the property under test is
+exact equality, not statistics.
+"""
+
+import pytest
+
+from repro.core import ControlPolicy
+from repro.experiments import (
+    MACRunSpec,
+    RobustnessConfig,
+    SweepExecutor,
+    derive_seeds,
+    feedback_error_sweep,
+    generate_panel,
+    PanelConfig,
+    replicate,
+)
+from repro.experiments.sweep import run_spec
+
+M = 25
+LAM = 0.5 / M
+
+
+def _specs():
+    return [
+        MACRunSpec(
+            policy=ControlPolicy.optimal(3.0 * M, LAM),
+            arrival_rate=LAM,
+            transmission_slots=M,
+            horizon=4_000.0,
+            warmup=500.0,
+            n_stations=25,
+            deadline=3.0 * M,
+            seed=seed,
+        )
+        for seed in derive_seeds(base_seed=77, n=6)
+    ]
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_worker_count_does_not_change_results(workers):
+    baseline = SweepExecutor(None).run_specs(_specs())
+    fanned = SweepExecutor(workers).run_specs(_specs())
+    assert fanned == baseline
+
+
+def test_derive_seeds_deterministic_and_distinct():
+    first = derive_seeds(123, 8)
+    second = derive_seeds(123, 8)
+    assert first == second
+    assert len(set(first)) == 8
+    # A prefix of a longer spawn is the same seeds: resumable grids.
+    assert derive_seeds(123, 4) == first[:4]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_figure7_panel_independent_of_workers(workers):
+    config = PanelConfig(rho_prime=0.5, message_length=M)
+    kwargs = dict(
+        deadlines=[2.0 * M, 4.0 * M],
+        include_simulation=True,
+        sim_horizon=3_000.0,
+        sim_warmup=400.0,
+    )
+    sequential = generate_panel(config, workers=None, **kwargs)
+    fanned = generate_panel(config, workers=workers, **kwargs)
+    for name, series in sequential.series.items():
+        assert fanned.series[name].points == series.points
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_robustness_sweep_independent_of_workers(workers):
+    config = RobustnessConfig(horizon=3_000.0, n_seeds=2)
+    sequential = feedback_error_sweep(config, error_rates=(0.0, 0.01))
+    fanned = feedback_error_sweep(
+        config, error_rates=(0.0, 0.01), workers=workers
+    )
+    assert fanned.points == sequential.points
+
+
+def test_replicate_parallel_matches_inline():
+    inline = replicate(_loss_at_seed, n_replications=3, base_seed=5)
+    fanned = replicate(
+        _loss_at_seed, n_replications=3, base_seed=5, executor=2
+    )
+    assert fanned.values == inline.values
+
+
+def _loss_at_seed(seed: int) -> float:
+    spec = MACRunSpec(
+        policy=ControlPolicy.optimal(3.0 * M, LAM),
+        arrival_rate=LAM,
+        transmission_slots=M,
+        horizon=3_000.0,
+        warmup=400.0,
+        n_stations=25,
+        deadline=3.0 * M,
+        seed=seed,
+    )
+    return run_spec(spec).loss_fraction

@@ -1,0 +1,132 @@
+"""Golden-seed regression: the fast kernel is bit-identical to the slow path.
+
+These tests are the enforcement arm of the fast path's contract
+(`repro.mac.fastpath`): for every eligible run the fast kernel must
+reproduce the reference loop's `MACSimResult` field for field — same RNG
+draw order, same float arithmetic — across all four Figure-7 protocols,
+with and without a zero-rate fault model, under bursty workloads, and at
+loads where the idle fast-forward fires constantly (ρ′ = 0.25) or almost
+never (ρ′ = 0.8).
+"""
+
+import pytest
+
+from repro.core import ControlPolicy
+from repro.des.rng import RandomStreams
+from repro.faults import FaultModel
+from repro.mac import WindowMACSimulator
+from repro.mac.fastpath import fast_path_available
+from repro.workloads import MMPPWorkload
+
+M = 25
+HORIZON = 12_000.0
+WARMUP = 2_000.0
+
+
+def _policy(name: str, lam: float, deadline: float) -> ControlPolicy:
+    if name == "controlled":
+        return ControlPolicy.optimal(deadline, lam)
+    return getattr(ControlPolicy, f"uncontrolled_{name}")(lam)
+
+
+def _run(policy, lam, *, fast, seed=None, streams=None, fault_model=None,
+         workload=None):
+    simulator = WindowMACSimulator(
+        policy,
+        arrival_rate=lam,
+        transmission_slots=M,
+        n_stations=25,
+        deadline=3.0 * M,
+        fast=fast,
+        workload=workload,
+        fault_model=fault_model,
+        **({"streams": streams} if streams is not None else {"seed": seed}),
+    )
+    result = simulator.run(HORIZON, warmup_slots=WARMUP)
+    return simulator, result
+
+
+@pytest.mark.parametrize("protocol", ["controlled", "fcfs", "lcfs", "random"])
+@pytest.mark.parametrize("rho_prime", [0.25, 0.8])
+@pytest.mark.parametrize("seed", [1, 42])
+def test_fast_equals_slow_golden_seed(protocol, rho_prime, seed):
+    lam = rho_prime / M
+    policy = _policy(protocol, lam, 3.0 * M)
+    _, slow = _run(policy, lam, fast=False, seed=seed)
+    _, fast = _run(policy, lam, fast=True, seed=seed)
+    assert fast == slow
+
+
+@pytest.mark.parametrize("protocol", ["controlled", "random"])
+def test_fast_equals_zero_rate_fault_model(protocol):
+    """The replica path under FaultModel.none() is the shared path, which
+    in turn is the fast kernel: all three agree bit-for-bit."""
+    lam = 0.5 / M
+    policy = _policy(protocol, lam, 3.0 * M)
+    _, with_faults = _run(
+        policy, lam, fast=True, streams=RandomStreams(5),
+        fault_model=FaultModel.none(),
+    )
+    _, fast = _run(policy, lam, fast=True, streams=RandomStreams(5))
+    assert fast == with_faults
+
+
+def test_fast_equals_slow_under_bursty_workload():
+    lam = 0.5 / M
+    policy = _policy("controlled", lam, 3.0 * M)
+
+    def workload():
+        return MMPPWorkload(
+            low_rate=0.005, high_rate=0.04, mean_low=1200.0, mean_high=400.0
+        )
+
+    _, slow = _run(policy, lam, fast=False, seed=9, workload=workload())
+    _, fast = _run(policy, lam, fast=True, seed=9, workload=workload())
+    assert fast == slow
+
+
+def test_scored_messages_identical():
+    lam = 0.5 / M
+    policy = _policy("controlled", lam, 3.0 * M)
+    sim_slow, _ = _run(policy, lam, fast=False, seed=3)
+    sim_fast, _ = _run(policy, lam, fast=True, seed=3)
+    assert len(sim_fast.scored_messages) == len(sim_slow.scored_messages)
+    for a, b in zip(sim_slow.scored_messages, sim_fast.scored_messages):
+        assert (a.arrival, a.station, a.fate, a.tx_start, a.process_start) == (
+            b.arrival, b.station, b.fate, b.tx_start, b.process_start
+        )
+
+
+def test_escape_hatch_forces_reference_loop():
+    lam = 0.25 / M
+    policy = _policy("controlled", lam, 3.0 * M)
+    simulator = WindowMACSimulator(
+        policy, arrival_rate=lam, transmission_slots=M, n_stations=25,
+        deadline=3.0 * M, seed=1, fast=False,
+    )
+    assert simulator.fast is False
+    assert fast_path_available(simulator)  # eligible, but opted out
+
+
+def test_fast_path_declines_priority_stations():
+    lam = 0.25 / M
+    policy = _policy("controlled", lam, 3.0 * M)
+    simulator = WindowMACSimulator(
+        policy, arrival_rate=lam, transmission_slots=M, n_stations=25,
+        deadline=3.0 * M, seed=1,
+    )
+    simulator.registry.set_window_scale(3, 0.5)
+    assert not fast_path_available(simulator)
+    simulator.registry.set_window_scale(3, 1.0)
+    assert fast_path_available(simulator)
+
+
+def test_fast_path_declines_fault_models():
+    lam = 0.25 / M
+    policy = _policy("controlled", lam, 3.0 * M)
+    simulator = WindowMACSimulator(
+        policy, arrival_rate=lam, transmission_slots=M, n_stations=25,
+        deadline=3.0 * M, streams=RandomStreams(1),
+        fault_model=FaultModel.feedback_noise(0.01),
+    )
+    assert not fast_path_available(simulator)

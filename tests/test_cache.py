@@ -1,0 +1,86 @@
+"""The two-level memo: hit/miss discipline, isolation, and resilience."""
+
+import pickle
+
+import pytest
+
+from repro import cache
+from repro.experiments import PanelConfig, generate_panel
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    cache.clear_memory()
+    yield
+    cache.clear_memory()
+
+
+def test_memory_layer_computes_once():
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return 42
+
+    assert cache.get_or_compute("t", (1, 2), compute) == 42
+    assert cache.get_or_compute("t", (1, 2), compute) == 42
+    assert len(calls) == 1
+
+
+def test_disk_layer_survives_process_memory_loss(tmp_path):
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return {"curve": [1.0, 2.0]}
+
+    first = cache.get_or_compute("t", ("a",), compute)
+    cache.clear_memory()  # simulate a fresh process
+    second = cache.get_or_compute("t", ("a",), compute)
+    assert second == first
+    assert len(calls) == 1
+    assert list(tmp_path.glob("*.pkl"))
+
+
+def test_namespaces_and_keys_do_not_collide():
+    assert cache.get_or_compute("ns1", (1,), lambda: "a") == "a"
+    assert cache.get_or_compute("ns2", (1,), lambda: "b") == "b"
+    assert cache.get_or_compute("ns1", (2,), lambda: "c") == "c"
+
+
+def test_no_cache_env_disables_memoisation(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return 7
+
+    cache.get_or_compute("t", (1,), compute)
+    cache.get_or_compute("t", (1,), compute)
+    assert len(calls) == 2
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    cache.get_or_compute("t", (9,), lambda: "good")
+    (entry,) = tmp_path.glob("*.pkl")
+    entry.write_bytes(b"not a pickle")
+    cache.clear_memory()
+    assert cache.get_or_compute("t", (9,), lambda: "recomputed") == "recomputed"
+    # The recomputed value was rewritten and is readable again.
+    with open(entry, "rb") as handle:
+        assert pickle.load(handle) == "recomputed"
+
+
+def test_figure7_analytic_curve_served_from_memo():
+    config = PanelConfig(rho_prime=0.5, message_length=25)
+    deadlines = [25.0, 75.0]
+    fresh = generate_panel(config, deadlines=deadlines)
+    cache.clear_memory()  # force the disk layer on the second pass
+    memoised = generate_panel(config, deadlines=deadlines)
+    assert (
+        memoised.series["controlled_analytic"].points
+        == fresh.series["controlled_analytic"].points
+    )
