@@ -20,8 +20,12 @@ rename); unreadable or corrupt entries are treated as misses, never
 errors — the cache can always be deleted wholesale.
 
 Keys are built from ``repr()`` of a caller-supplied tuple of primitives,
-hashed with SHA-256 and namespaced per call site, so two call sites can
-never collide and a changed parameterisation changes the key.
+hashed with SHA-256 and namespaced per call site **and per cache
+schema**: :data:`SCHEMA_VERSION` is mixed into every digest, so pickles
+written by an older package layout can never silently satisfy a new run
+— after a layout change (bump the schema) every old entry simply
+becomes unreachable.  ``python -m repro cache info`` / ``cache clear``
+inspect and purge the disk layer.
 """
 
 from __future__ import annotations
@@ -32,9 +36,22 @@ import pickle
 import tempfile
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
-__all__ = ["cache_dir", "cache_enabled", "get_or_compute", "clear_memory"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "cache_dir",
+    "cache_enabled",
+    "get_or_compute",
+    "clear_memory",
+    "cache_info",
+    "clear_disk",
+]
+
+#: Disk-layout/semantics version, part of every digest.  Bump whenever a
+#: cached computation's meaning or pickle layout changes: old entries
+#: must read as misses, never as stale hits.
+SCHEMA_VERSION = "repro-cache-v2"
 
 #: In-process LRU: digest → value.  Bounded so pathological sweeps can't
 #: hold every intermediate curve alive.
@@ -56,13 +73,53 @@ def cache_dir() -> Path:
 
 
 def _digest(namespace: str, key: Tuple) -> str:
-    payload = f"{namespace}\x1f{key!r}".encode()
+    payload = f"{SCHEMA_VERSION}\x1f{namespace}\x1f{key!r}".encode()
     return hashlib.sha256(payload).hexdigest()
 
 
 def clear_memory() -> None:
     """Drop the in-process layer (the disk layer is untouched)."""
     _memory.clear()
+
+
+def cache_info() -> Dict[str, Any]:
+    """Disk-layer inventory: path, schema, entry count, total bytes.
+
+    Counts every ``*.pkl`` under the cache directory — including entries
+    keyed by older schema versions, which current code can no longer
+    reach (``clear_disk`` is how they get reclaimed).
+    """
+    directory = cache_dir()
+    entries = 0
+    total_bytes = 0
+    if directory.is_dir():
+        for entry in directory.glob("*.pkl"):
+            try:
+                total_bytes += entry.stat().st_size
+                entries += 1
+            except OSError:
+                pass
+    return {
+        "path": str(directory),
+        "schema": SCHEMA_VERSION,
+        "enabled": cache_enabled(),
+        "entries": entries,
+        "bytes": total_bytes,
+    }
+
+
+def clear_disk() -> int:
+    """Delete every disk entry (any schema); returns the count removed."""
+    directory = cache_dir()
+    removed = 0
+    if directory.is_dir():
+        for entry in directory.glob("*.pkl"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
 
 
 def _disk_path(digest: str) -> Path:

@@ -2,17 +2,29 @@
 
 Commands
 --------
-``figure7``     regenerate one Figure-7 panel (table/CSV to stdout)
-``theorem1``    run the Theorem-1 verification sweep
-``simulate``    one slot-level protocol run with chosen parameters
-``capacity``    print the protocol's capacity figures for a range of M
-``ablations``   run the fast (analytic) ablations
-``robustness``  fault-injection degradation experiments
+``figure7``      regenerate one Figure-7 panel (table/CSV to stdout)
+``theorem1``     run the Theorem-1 verification sweep
+``simulate``     one slot-level protocol run with chosen parameters
+``capacity``     print the protocol's capacity figures for a range of M
+``ablations``    run the ablations (analytic by default, ``--simulate``
+                 for the simulation arms)
+``sensitivity``  assumption-sensitivity sweeps (stations/burstiness/
+                 scheduling law)
+``robustness``   fault-injection degradation experiments
+``cache``        inspect or purge the on-disk memo cache
 
 Every command accepts ``--seed`` (default 1); stochastic commands feed
 it into a :class:`~repro.des.rng.RandomStreams` family so a run is
 exactly reproducible from that single number, and the deterministic
 analytic commands accept it as a no-op for interface uniformity.
+
+Sweep-backed commands (``figure7``, ``ablations``, ``sensitivity``,
+``robustness``) additionally accept the resilience flags
+``--checkpoint DIR`` / ``--resume`` / ``--task-timeout`` /
+``--max-retries`` / ``--verify-replay`` (see ``docs/resilience.md``).
+Passing any of them turns on supervised execution: per-cell retry with
+quarantine instead of fail-fast, and — with a checkpoint — a journal
+that a re-invocation resumes from.
 
 Examples
 --------
@@ -20,12 +32,16 @@ Examples
 
     python -m repro figure7 --rho 0.75 --m 25
     python -m repro figure7 --rho 0.5 --m 25 --simulate --csv
+    python -m repro figure7 --simulate --workers 4 --checkpoint /tmp/f7 --resume
     python -m repro simulate --rho 0.75 --m 25 --deadline 75 --protocol lcfs
     python -m repro simulate --rho 0.5 --m 25 --feedback-error 0.02
     python -m repro theorem1 --deadline 10
     python -m repro capacity
+    python -m repro ablations --simulate --workers 4 --horizon 40000
+    python -m repro sensitivity --scenario burstiness
     python -m repro robustness --seeds 3
     python -m repro robustness --scenario failures
+    python -m repro cache info
 """
 
 from __future__ import annotations
@@ -34,27 +50,89 @@ import argparse
 import sys
 import time
 
+from . import cache
 from .core import ControlPolicy
 from .crp.capacity import max_stable_throughput
 from .des.rng import RandomStreams
 from .experiments import (
     DEFAULT_ERROR_RATES,
     PanelConfig,
+    ResilienceOptions,
     RobustnessConfig,
     Theorem1Config,
     ablation_table,
+    arity_ablation,
     ascii_table,
+    burstiness_sensitivity,
+    element4_ablation,
     feedback_error_sweep,
     generate_panel,
     run_theorem1_experiment,
+    scheduling_model_sensitivity,
+    split_rule_ablation,
+    station_count_sensitivity,
     station_failure_scenario,
     twopoint_fit_errors,
     window_length_ablation,
 )
 from .faults import FaultModel
 from .mac import WindowMACSimulator
+from .resilience import JournalMismatchError, JournalSchemaError
 
 __all__ = ["main"]
+
+
+def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
+    """Attach the supervised-execution flags shared by sweep commands."""
+    g = p.add_argument_group(
+        "resilience",
+        "supervised sweep execution (any of these flags enables it; "
+        "none keeps the historical fail-fast behaviour)",
+    )
+    g.add_argument("--checkpoint", metavar="DIR", default=None,
+                   help="journal completed cells into DIR so an "
+                        "interrupted run can be resumed")
+    g.add_argument("--resume", action="store_true",
+                   help="replay completed cells from --checkpoint "
+                        "instead of recomputing them")
+    g.add_argument("--task-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock budget per cell; an overdue cell is "
+                        "killed and retried on a fresh worker")
+    g.add_argument("--max-retries", type=int, default=None, metavar="N",
+                   help="attempts per cell beyond the first before it is "
+                        "quarantined (default 2 when supervision is on)")
+    g.add_argument("--verify-replay", action="store_true",
+                   help="with --resume: recompute journaled cells and "
+                        "fail loudly if any diverge (determinism audit)")
+
+
+def _resilience_from(args: argparse.Namespace):
+    """Build :class:`ResilienceOptions` from the flags, or ``None``.
+
+    ``None`` (no flag given) preserves the legacy strict executor: the
+    first worker failure propagates.  Any flag opts into supervision.
+    """
+    flags = (
+        args.checkpoint is not None
+        or args.resume
+        or args.task_timeout is not None
+        or args.max_retries is not None
+        or args.verify_replay
+    )
+    if not flags:
+        return None
+    if args.resume and args.checkpoint is None:
+        raise ValueError("--resume requires --checkpoint DIR")
+    if args.verify_replay and not args.resume:
+        raise ValueError("--verify-replay requires --resume")
+    return ResilienceOptions(
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        task_timeout=args.task_timeout,
+        max_retries=2 if args.max_retries is None else args.max_retries,
+        verify_replay=args.verify_replay,
+    )
 
 
 def _cmd_figure7(args: argparse.Namespace) -> int:
@@ -67,6 +145,7 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
         sim_seed=args.seed,
         workers=args.workers,
         sim_fast=not args.no_fast_path,
+        resilience=_resilience_from(args),
     )
     print(panel.to_csv() if args.csv else panel.to_table())
     return 0
@@ -161,15 +240,27 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         n_seeds=args.seeds,
         base_seed=args.seed,
     )
+    resilience = _resilience_from(args)
     if args.scenario == "feedback":
         report = feedback_error_sweep(
-            config, error_rates=tuple(args.errors), workers=args.workers
+            config, error_rates=tuple(args.errors), workers=args.workers,
+            resilience=resilience,
         )
         print(report.to_table())
         return 0
-    results = station_failure_scenario(config, workers=args.workers)
+    results = station_failure_scenario(
+        config, workers=args.workers, resilience=resilience
+    )
     rows = []
+    holes = 0
     for i, result in enumerate(results):
+        if result is None:
+            # A quarantined replication stays a visible row, never a
+            # silently shorter table.
+            holes += 1
+            rows.append([str(config.base_seed + i), "[quarantined]"]
+                        + ["-"] * 6)
+            continue
         t = result.faults
         rows.append(
             [
@@ -183,6 +274,11 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
                 str(t.peak_cohorts),
             ]
         )
+    status = (
+        "all runs completed"
+        if holes == 0
+        else f"{holes} of {len(results)} runs quarantined"
+    )
     print(
         ascii_table(
             ["seed", "loss", "fault-lost", "crashes", "restarts",
@@ -191,7 +287,7 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
             title=(
                 f"Station-failure soak: rho'={config.rho_prime:g}, "
                 f"M={config.message_length}, K={config.deadline:g}, "
-                f"{config.horizon:g} slots (all runs completed)"
+                f"{config.horizon:g} slots ({status})"
             ),
         )
     )
@@ -218,10 +314,85 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
 
 
 def _cmd_ablations(args: argparse.Namespace) -> int:
-    arms = window_length_ablation(simulate=False)
-    print(ablation_table(arms, "Element 2: loss vs window occupancy (analytic)"))
-    print()
-    print(twopoint_fit_errors())
+    if not args.simulate:
+        arms = window_length_ablation(simulate=False)
+        print(ablation_table(
+            arms, "Element 2: loss vs window occupancy (analytic)"))
+        print()
+        print(twopoint_fit_errors())
+        return 0
+    resilience = _resilience_from(args)
+    horizon = args.horizon
+    warmup = horizon * 0.125
+    sections = [
+        ("Element 4: sender discard on/off (simulated)",
+         element4_ablation(
+             horizon=horizon, warmup=warmup, seed=args.seed,
+             workers=args.workers, resilience=resilience)),
+        ("Element 2: loss vs window occupancy (simulated)",
+         window_length_ablation(
+             simulate=True, horizon=horizon, warmup=warmup, seed=args.seed + 1,
+             workers=args.workers, resilience=resilience)),
+        ("Element 3: split order (simulated)",
+         split_rule_ablation(
+             horizon=horizon, warmup=warmup, seed=args.seed + 2,
+             workers=args.workers, resilience=resilience)),
+        ("Section 5: split arity (simulated)",
+         arity_ablation(
+             horizon=horizon, warmup=warmup, seed=args.seed + 3,
+             workers=args.workers, resilience=resilience)),
+    ]
+    print("\n\n".join(ablation_table(arms, title) for title, arms in sections))
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    if args.scenario == "scheduling":
+        # Analytic comparison: exact scheduling-time law vs the paper's
+        # geometric approximation — no simulation, no workers.
+        rows = scheduling_model_sensitivity()
+        print(ascii_table(
+            ["deadline K", "exact loss", "geometric loss", "gap"], rows,
+            title="Eq. 4.7 sensitivity to the scheduling-time law",
+        ))
+        return 0
+    resilience = _resilience_from(args)
+    overrides = {}
+    if args.horizon is not None:
+        overrides["horizon"] = args.horizon
+        overrides["warmup"] = args.horizon * 0.125
+    if args.scenario == "stations":
+        arms = station_count_sensitivity(
+            seed=args.seed, workers=args.workers, resilience=resilience,
+            **overrides,
+        )
+        title = "Loss vs station population (controlled protocol)"
+    else:
+        arms = burstiness_sensitivity(
+            seed=args.seed, workers=args.workers, resilience=resilience,
+            **overrides,
+        )
+        title = "Loss vs traffic burstiness (MMPP, fixed mean rate)"
+    print(ablation_table(arms, title))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.action == "clear":
+        removed = cache.clear_disk()
+        cache.clear_memory()
+        print(f"removed {removed} cached entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.cache_dir()}")
+        return 0
+    info = cache.cache_info()
+    rows = [
+        ["path", info["path"]],
+        ["schema", info["schema"]],
+        ["enabled", "yes" if info["enabled"] else "no (REPRO_NO_CACHE)"],
+        ["entries", str(info["entries"])],
+        ["size", f"{info['bytes'] / 1024:.1f} KiB"],
+    ]
+    print(ascii_table(["field", "value"], rows, title="Disk memo cache"))
     return 0
 
 
@@ -246,6 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-fast-path", action="store_true",
                    help="force the reference simulation loop (the fast "
                         "kernel is bit-identical; this is the escape hatch)")
+    _add_resilience_flags(p)
     p.set_defaults(func=_cmd_figure7)
 
     p = sub.add_parser("theorem1", help="verify Theorem 1 numerically")
@@ -282,10 +454,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="accepted for uniformity (analytic, no randomness)")
     p.set_defaults(func=_cmd_capacity)
 
-    p = sub.add_parser("ablations", help="fast analytic ablations")
-    p.add_argument("--seed", type=int, default=1,
-                   help="accepted for uniformity (analytic, no randomness)")
+    p = sub.add_parser("ablations",
+                       help="design-choice ablations (analytic by default)")
+    p.add_argument("--simulate", action="store_true",
+                   help="run the simulation arms (elements 2/3/4 and "
+                        "split arity) instead of the analytic tables")
+    p.add_argument("--horizon", type=float, default=150_000.0,
+                   help="simulated slots per arm (with --simulate)")
+    p.add_argument("--seed", type=int, default=5,
+                   help="base seed of the simulation arms (the analytic "
+                        "mode accepts it as a no-op)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan simulation arms over N worker processes "
+                        "(results are identical for any N)")
+    _add_resilience_flags(p)
     p.set_defaults(func=_cmd_ablations)
+
+    p = sub.add_parser("sensitivity",
+                       help="sensitivity to the paper's modelling assumptions")
+    p.add_argument("--scenario",
+                   choices=("stations", "burstiness", "scheduling"),
+                   default="stations",
+                   help="stations = population size; burstiness = MMPP "
+                        "peak/mean; scheduling = exact vs geometric law "
+                        "(analytic)")
+    p.add_argument("--horizon", type=float, default=None,
+                   help="simulated slots per arm (default: the "
+                        "scenario's published horizon)")
+    p.add_argument("--seed", type=int, default=41,
+                   help="master seed of the simulation arms")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan sweep cells over N worker processes "
+                        "(results are identical for any N)")
+    _add_resilience_flags(p)
+    p.set_defaults(func=_cmd_sensitivity)
 
     p = sub.add_parser("robustness", help="fault-injection degradation runs")
     p.add_argument("--scenario", choices=("feedback", "failures"),
@@ -308,7 +510,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="fan replications over N worker processes "
                         "(results are identical for any N)")
+    _add_resilience_flags(p)
     p.set_defaults(func=_cmd_robustness)
+
+    p = sub.add_parser("cache", help="inspect or purge the disk memo cache")
+    p.add_argument("action", choices=("info", "clear"),
+                   help="info = path/schema/entry count; clear = delete "
+                        "every disk entry (any schema)")
+    p.add_argument("--seed", type=int, default=1,
+                   help="accepted for uniformity (no randomness)")
+    p.set_defaults(func=_cmd_cache)
 
     return parser
 
@@ -319,11 +530,17 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ValueError as error:
-        # Domain validation (bad rates, loads, fault probabilities…):
-        # report cleanly instead of dumping a traceback.
+    except (ValueError, FileNotFoundError) as error:
+        # Domain validation (bad rates, loads, fault probabilities…) and
+        # resume-without-journal: report cleanly instead of dumping a
+        # traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except (JournalSchemaError, JournalMismatchError) as error:
+        # Checkpoint-layer failures have their own exit code so CI can
+        # distinguish "stale journal" from a bad parameterisation.
+        print(f"journal error: {error}", file=sys.stderr)
+        return 3
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         try:

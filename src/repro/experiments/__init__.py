@@ -24,7 +24,14 @@ from .sensitivity import (
     scheduling_model_sensitivity,
     station_count_sensitivity,
 )
-from .sweep import MACRunSpec, SweepExecutor, derive_seeds, run_spec
+from .sweep import (
+    MACRunSpec,
+    ResilienceOptions,
+    SweepExecutor,
+    derive_seeds,
+    run_spec,
+    spec_fingerprint,
+)
 from .theorem1 import (
     Theorem1Config,
     Theorem1Report,
@@ -64,6 +71,8 @@ __all__ = [
     "scheduling_model_sensitivity",
     "MACRunSpec",
     "SweepExecutor",
+    "ResilienceOptions",
     "run_spec",
+    "spec_fingerprint",
     "derive_seeds",
 ]

@@ -17,6 +17,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
@@ -62,14 +63,26 @@ def _spec(policy: ControlPolicy, lam, m, deadline, horizon, warmup, seed) -> MAC
 
 
 def _arms_from(
-    labels, specs, workers
+    labels, specs, workers, resilience=None
 ) -> "List[AblationArm]":
-    """Run the arm specs through the sweep executor and wrap the losses."""
-    results: List[MACSimResult] = SweepExecutor(workers).run_specs(specs)
-    return [
-        AblationArm(label=label, loss=r.loss_fraction, stderr=r.loss_stderr())
-        for label, r in zip(labels, results)
-    ]
+    """Run the arm specs through the sweep executor and wrap the losses.
+
+    A quarantined arm (resilience options with a poison spec) comes back
+    as an explicit ``NaN`` arm labelled ``[quarantined]`` — the table
+    keeps its shape and the hole is visible, never silently dropped.
+    """
+    results: List[Optional[MACSimResult]] = SweepExecutor(
+        workers, resilience
+    ).run_specs(specs)
+    arms = []
+    for label, r in zip(labels, results):
+        if r is None:
+            arms.append(AblationArm(label=f"{label} [quarantined]", loss=math.nan))
+        else:
+            arms.append(
+                AblationArm(label=label, loss=r.loss_fraction, stderr=r.loss_stderr())
+            )
+    return arms
 
 
 def element4_ablation(
@@ -80,6 +93,7 @@ def element4_ablation(
     warmup: float = 20_000.0,
     seed: int = 5,
     workers: Optional[int] = None,
+    resilience=None,
 ) -> List[AblationArm]:
     """Controlled protocol with and without the sender discard (A-EL4)."""
     lam = rho_prime / message_length
@@ -93,6 +107,7 @@ def element4_ablation(
             for policy in policies
         ],
         workers,
+        resilience,
     )
 
 
@@ -106,6 +121,7 @@ def window_length_ablation(
     warmup: float = 15_000.0,
     seed: int = 6,
     workers: Optional[int] = None,
+    resilience=None,
 ) -> List[AblationArm]:
     """Loss versus window occupancy around the heuristic optimum (A-WIN).
 
@@ -132,7 +148,7 @@ def window_length_ablation(
             )
             for occupancy in occupancies
         ]
-        return _arms_from(labels, specs, workers)
+        return _arms_from(labels, specs, workers, resilience)
     arms = []
     for label, occupancy in zip(labels, occupancies):
         service = ExactSchedulingModel(message_length, occupancy).service_pmf()
@@ -149,6 +165,7 @@ def split_rule_ablation(
     warmup: float = 20_000.0,
     seed: int = 7,
     workers: Optional[int] = None,
+    resilience=None,
 ) -> List[AblationArm]:
     """Split-order comparison under the controlled protocol (A-SPLIT)."""
     lam = rho_prime / message_length
@@ -164,6 +181,7 @@ def split_rule_ablation(
             for split in splits
         ],
         workers,
+        resilience,
     )
 
 
@@ -176,6 +194,7 @@ def arity_ablation(
     warmup: float = 20_000.0,
     seed: int = 8,
     workers: Optional[int] = None,
+    resilience=None,
 ) -> List[AblationArm]:
     """Binary versus k-ary window splitting (§5 extension, A-ARITY)."""
     lam = rho_prime / message_length
@@ -190,6 +209,7 @@ def arity_ablation(
             for arity in arities
         ],
         workers,
+        resilience,
     )
 
 

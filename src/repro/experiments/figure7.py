@@ -129,6 +129,7 @@ def generate_panel(
     sim_deadlines: Optional[Sequence[float]] = None,
     workers: Optional[int] = None,
     sim_fast: bool = True,
+    resilience=None,
 ) -> PanelResult:
     """Produce every curve of one Figure 7 panel.
 
@@ -149,6 +150,12 @@ def generate_panel(
     sim_fast:
         Run simulations on the fast kernel (bit-identical; ``False``
         forces the reference loop).
+    resilience:
+        :class:`~repro.resilience.ResilienceOptions` for the simulation
+        grid: checkpoint journal, per-task timeout, retry/quarantine.
+        Quarantined cells are omitted from their series and called out
+        in ``result.notes`` — the panel degrades to an explicit partial
+        grid instead of failing (or lying).
     """
     if deadlines is None:
         deadlines = default_deadlines(config)
@@ -229,12 +236,23 @@ def generate_panel(
             for _, policy_factory in arms
             for deadline in sim_points
         ]
-        runs = SweepExecutor(workers).run_specs(specs)
+        executor = SweepExecutor(workers, resilience)
+        runs = executor.run_specs(specs)
         for arm_index, (name, _) in enumerate(arms):
             series = Series(name)
             for point_index, deadline in enumerate(sim_points):
                 run = runs[arm_index * len(sim_points) + point_index]
+                if run is None:
+                    # Quarantined cell: an explicit hole, never a silent one.
+                    result.notes.append(
+                        f"{name} @ K={deadline:g}: cell quarantined "
+                        "(no result; see sweep outcome)"
+                    )
+                    continue
                 series.add(deadline, run.loss_fraction, stderr=run.loss_stderr())
             result.add_series(series)
+        outcome = executor.last_outcome
+        if outcome is not None and (outcome.replayed or outcome.quarantined):
+            result.notes.append(f"simulation sweep: {outcome.summary()}")
 
     return result

@@ -54,11 +54,18 @@ class Series:
 
 @dataclass
 class PanelResult:
-    """All curves of one Figure 7 panel (one (ρ′, M) pair)."""
+    """All curves of one Figure 7 panel (one (ρ′, M) pair).
+
+    ``notes`` carries explicit annotations about the panel's integrity —
+    quarantined simulation cells, journal replay counts — rendered at
+    the foot of both the table and the CSV so a degraded (partial) grid
+    can never pass for a complete one.
+    """
 
     rho_prime: float
     message_length: int
     series: Dict[str, Series] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
 
     @property
     def title(self) -> str:
@@ -100,7 +107,10 @@ class PanelResult:
                     cell += f"±{2 * point.stderr:.4f}"
                 row.append(cell)
             rows.append(row)
-        return ascii_table(["K"] + names, rows, title=self.title)
+        table = ascii_table(["K"] + names, rows, title=self.title)
+        if self.notes:
+            table += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return table
 
     def to_csv(self) -> str:
         """Render the panel as CSV (one row per deadline in the union grid)."""
@@ -117,6 +127,8 @@ class PanelResult:
                 point = lookup[name].get(deadline)
                 cells.append("" if point is None else f"{point.loss:.6g}")
             out.write(f"{deadline:g}," + ",".join(cells) + "\n")
+        for note in self.notes:
+            out.write(f"# note: {note}\n")
         return out.getvalue()
 
 

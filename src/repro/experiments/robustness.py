@@ -97,10 +97,16 @@ class RobustnessPoint:
 
 @dataclass
 class RobustnessReport:
-    """The degradation curve plus run metadata."""
+    """The degradation curve plus run metadata.
+
+    ``notes`` lists sweep-integrity annotations (quarantined
+    replications, journal replays), rendered under the table so a
+    degraded sweep is always explicitly marked.
+    """
 
     config: RobustnessConfig
     points: List[RobustnessPoint] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
 
     @property
     def title(self) -> str:
@@ -131,7 +137,7 @@ class RobustnessReport:
                     "yes" if p.saturated else "",
                 ]
             )
-        return ascii_table(
+        table = ascii_table(
             [
                 "error rate",
                 "loss fraction",
@@ -146,6 +152,9 @@ class RobustnessReport:
             rows,
             title=self.title,
         )
+        if self.notes:
+            table += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return table
 
 
 def _point_spec(
@@ -178,6 +187,16 @@ def _point_spec(
 def _aggregate(
     error_rate: float, results: Sequence[MACSimResult]
 ) -> RobustnessPoint:
+    if not results:
+        # Every replication of this setting was quarantined: an explicit
+        # all-NaN row (flagged saturated=False) — the caller adds a note.
+        nan = float("nan")
+        return RobustnessPoint(
+            error_rate=error_rate, loss_fraction=nan, loss_stderr=nan,
+            lost_to_faults=nan, unresolved=nan, utilization=nan,
+            resyncs=nan, cohort_splits=nan, peak_cohorts=nan,
+            saturated=False,
+        )
     losses = np.array([r.loss_fraction for r in results], dtype=float)
     return RobustnessPoint(
         error_rate=error_rate,
@@ -201,6 +220,7 @@ def feedback_error_sweep(
     config: Optional[RobustnessConfig] = None,
     error_rates: Sequence[float] = DEFAULT_ERROR_RATES,
     workers: Optional[int] = None,
+    resilience=None,
 ) -> RobustnessReport:
     """Loss versus symmetric feedback-error rate (the degradation curve).
 
@@ -229,10 +249,21 @@ def feedback_error_sweep(
         for error_rate in error_rates
         for i in range(config.n_seeds)
     ]
-    results = SweepExecutor(workers).run_specs(specs)
+    executor = SweepExecutor(workers, resilience)
+    results = executor.run_specs(specs)
     for row, error_rate in enumerate(error_rates):
         chunk = results[row * config.n_seeds : (row + 1) * config.n_seeds]
-        report.points.append(_aggregate(error_rate, chunk))
+        survivors = [r for r in chunk if r is not None]
+        if len(survivors) < len(chunk):
+            report.notes.append(
+                f"error rate {error_rate:g}: "
+                f"{len(chunk) - len(survivors)} of {len(chunk)} "
+                "replication(s) quarantined; row averages the survivors"
+            )
+        report.points.append(_aggregate(error_rate, survivors))
+    outcome = executor.last_outcome
+    if outcome is not None and (outcome.replayed or outcome.quarantined):
+        report.notes.append(f"sweep: {outcome.summary()}")
     return report
 
 
@@ -243,12 +274,15 @@ def station_failure_scenario(
     deaf_rate: float = 3e-4,
     mean_deaf_slots: float = 80.0,
     workers: Optional[int] = None,
+    resilience=None,
 ) -> List[MACSimResult]:
     """Crash/restart + deafness soak at the standard operating point.
 
     The pass criterion is liveness: every replication runs to the full
     horizon with bounded cohort count and every restarted station
     re-synchronized (the returned telemetry lets callers assert both).
+    Under resilience options a quarantined replication is returned as
+    ``None`` — callers must render the hole, not drop it.
     """
     if config is None:
         config = RobustnessConfig()
@@ -262,4 +296,4 @@ def station_failure_scenario(
         _point_spec(config, model, config.base_seed + i)
         for i in range(config.n_seeds)
     ]
-    return SweepExecutor(workers).run_specs(specs)
+    return SweepExecutor(workers, resilience).run_specs(specs)

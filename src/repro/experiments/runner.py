@@ -66,4 +66,14 @@ def replicate(
         executor = SweepExecutor(executor)
     seeds = [base_seed + 7919 * i for i in range(n_replications)]
     values: List[float] = executor.map(run, seeds)
+    outcome = getattr(executor, "last_outcome", None)
+    if outcome is not None and outcome.quarantined:
+        # A t-interval over a grid with holes is statistically
+        # meaningless — unlike a sweep table there is no way to "mark"
+        # the hole, so a lost replication is a hard error.
+        details = "; ".join(q.describe() for q in outcome.quarantined)
+        raise RuntimeError(
+            f"{len(outcome.quarantined)} replication(s) quarantined — "
+            f"cannot form a confidence interval: {details}"
+        )
     return ReplicationResult(values=tuple(values), interval=t_interval(values, level))

@@ -18,6 +18,7 @@ departs from the analysis when those assumptions bend:
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence
 
 from ..core.policy import ControlPolicy
@@ -35,6 +36,25 @@ __all__ = [
 ]
 
 
+def _arms(label_format, parameters, results) -> List[AblationArm]:
+    """Wrap sweep results as arms; quarantined cells become explicit
+    ``NaN`` arms labelled ``[quarantined]`` rather than vanishing."""
+    arms = []
+    for parameter, result in zip(parameters, results):
+        label = label_format.format(parameter)
+        if result is None:
+            arms.append(AblationArm(label=f"{label} [quarantined]", loss=math.nan))
+        else:
+            arms.append(
+                AblationArm(
+                    label=label,
+                    loss=result.loss_fraction,
+                    stderr=result.loss_stderr(),
+                )
+            )
+    return arms
+
+
 def station_count_sensitivity(
     station_counts: Sequence[int] = (4, 16, 64, 256),
     rho_prime: float = 0.75,
@@ -44,6 +64,7 @@ def station_count_sensitivity(
     warmup: float = 12_000.0,
     seed: int = 41,
     workers: Optional[int] = None,
+    resilience=None,
 ) -> List[AblationArm]:
     """Loss of the controlled protocol across population sizes."""
     lam = rho_prime / message_length
@@ -60,15 +81,8 @@ def station_count_sensitivity(
         )
         for n_stations in station_counts
     ]
-    results = SweepExecutor(workers).run_specs(specs)
-    return [
-        AblationArm(
-            label=f"{n_stations} stations",
-            loss=result.loss_fraction,
-            stderr=result.loss_stderr(),
-        )
-        for n_stations, result in zip(station_counts, results)
-    ]
+    results = SweepExecutor(workers, resilience).run_specs(specs)
+    return _arms("{0} stations", station_counts, results)
 
 
 def burstiness_sensitivity(
@@ -81,6 +95,7 @@ def burstiness_sensitivity(
     warmup: float = 15_000.0,
     seed: int = 43,
     workers: Optional[int] = None,
+    resilience=None,
 ) -> List[AblationArm]:
     """Loss under MMPP traffic of fixed mean rate, varying peak/mean.
 
@@ -117,15 +132,8 @@ def burstiness_sensitivity(
                 workload=workload,
             )
         )
-    results = SweepExecutor(workers).run_specs(specs)
-    return [
-        AblationArm(
-            label=f"peak/mean {ratio:g}",
-            loss=result.loss_fraction,
-            stderr=result.loss_stderr(),
-        )
-        for ratio, result in zip(burst_ratios, results)
-    ]
+    results = SweepExecutor(workers, resilience).run_specs(specs)
+    return _arms("peak/mean {0:g}", burst_ratios, results)
 
 
 def scheduling_model_sensitivity(

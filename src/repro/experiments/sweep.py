@@ -22,12 +22,22 @@ either carry explicit seeds (the historical grids pin them) or derive
 them ahead of submission with :func:`derive_seeds`, which spawns
 independent children from one ``SeedSequence`` — stable under
 re-chunking, resumable, and collision-free by construction.
+
+Crash tolerance
+---------------
+Both paths run under :class:`~repro.resilience.SupervisedExecutor`.
+Without :class:`~repro.resilience.ResilienceOptions` the semantics are
+strict (a task failure raises, as the historical loops did); with
+options, the sweep checkpoints completed cells to a content-addressed
+:class:`~repro.resilience.RunJournal`, retries transient failures on
+fresh worker processes, survives ``BrokenProcessPool``, quarantines
+poison specs, and resumes from the journal on re-invocation.  The
+outcome of the last ``run_specs``/``map`` call (replay counts,
+quarantine records) is kept on :attr:`SweepExecutor.last_outcome`.
 """
 
 from __future__ import annotations
 
-import math
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
@@ -37,8 +47,21 @@ from ..core.policy import ControlPolicy
 from ..des.rng import RandomStreams
 from ..faults import FaultModel
 from ..mac.simulator import MACSimResult, WindowMACSimulator
+from ..resilience import (
+    ResilienceOptions,
+    SupervisedExecutor,
+    SweepOutcome,
+    fingerprint,
+)
 
-__all__ = ["MACRunSpec", "run_spec", "SweepExecutor", "derive_seeds"]
+__all__ = [
+    "MACRunSpec",
+    "run_spec",
+    "spec_fingerprint",
+    "SweepExecutor",
+    "derive_seeds",
+    "ResilienceOptions",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -70,6 +93,43 @@ class MACRunSpec:
     workload: Optional[object] = None
     fault_model: Optional[FaultModel] = None
     fast: bool = True
+
+    def __post_init__(self):
+        # Bad grid parameters must fail here, at spec construction, with
+        # a message naming the field — not deep inside a worker process
+        # where the traceback points at simulator internals.
+        if self.arrival_rate <= 0:
+            raise ValueError(
+                f"arrival rate must be positive, got {self.arrival_rate}"
+            )
+        if self.transmission_slots < 1:
+            raise ValueError(
+                f"transmission length must be >= 1 slot, "
+                f"got {self.transmission_slots}"
+            )
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+        if not 0 <= self.warmup < self.horizon:
+            raise ValueError(
+                f"warmup must satisfy 0 <= warmup < horizon, got "
+                f"warmup={self.warmup} with horizon={self.horizon}"
+            )
+        if self.n_stations < 1:
+            raise ValueError(
+                f"need at least one station, got {self.n_stations}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+
+
+def spec_fingerprint(spec: MACRunSpec) -> str:
+    """Content-addressed identity of one run (the journal key).
+
+    Depends only on the spec's fields — never on worker layout,
+    submission order, or grid position — so a resumed, reordered or
+    narrowed grid replays exactly the cells whose parameters match.
+    """
+    return fingerprint(("mac-run-spec", spec))
 
 
 def run_spec(spec: MACRunSpec) -> MACSimResult:
@@ -113,34 +173,77 @@ class SweepExecutor:
     workers:
         ``None`` or ``1`` — run inline in submission order (no
         subprocesses; callables need not be picklable).  ``N > 1`` —
-        fan out over a process pool; the mapped callable and every item
-        must be picklable (module-level functions and frozen spec
-        dataclasses qualify).
+        fan out over a supervised process pool; the mapped callable and
+        every item must be picklable (module-level functions and frozen
+        spec dataclasses qualify).
+    resilience:
+        ``None`` (default) — strict semantics: no checkpoint, no retry,
+        the first task failure raises.  A
+        :class:`~repro.resilience.ResilienceOptions` — journal replay
+        and checkpointing, per-task timeouts, bounded retry and
+        quarantine; quarantined tasks leave ``None`` holes in the
+        returned list and are reported on :attr:`last_outcome`.
     """
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        resilience: Optional[ResilienceOptions] = None,
+    ):
         if workers is not None and workers < 1:
             raise ValueError(f"worker count must be >= 1, got {workers}")
         self.workers = workers
+        self.resilience = resilience
+        #: Outcome of the most recent ``run_specs``/``map`` call.
+        self.last_outcome: Optional[SweepOutcome] = None
 
     @property
     def parallel(self) -> bool:
         """Whether this executor fans out to worker processes."""
         return self.workers is not None and self.workers > 1
 
-    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
-        """Apply ``fn`` to every item, preserving submission order.
+    def _engine(self, n_tasks: int) -> SupervisedExecutor:
+        # A single task never justifies a pool (matches the historical
+        # inline shortcut); the supervised inline path still journals.
+        workers = self.workers if n_tasks > 1 else None
+        return SupervisedExecutor(workers, self.resilience)
 
-        The parallel path chunks the task list so each worker receives a
-        few large batches instead of thousands of tiny round trips.
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        fingerprints: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[R]:
+        """Apply ``fn`` to every item, results in submission order.
+
+        With resilience options, completed items are journaled under
+        ``fingerprints`` (defaults to content hashes of
+        ``(fn qualname, item)`` for picklable items) and quarantined
+        items come back as ``None`` holes — check :attr:`last_outcome`.
         """
         items = list(items)
-        if not self.parallel or len(items) <= 1:
-            return [fn(item) for item in items]
-        chunksize = max(1, math.ceil(len(items) / (self.workers * 4)))
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(fn, items, chunksize=chunksize))
+        if self.resilience is not None and fingerprints is None:
+            try:
+                fingerprints = [
+                    fingerprint((fn.__module__, fn.__qualname__, item))
+                    for item in items
+                ]
+            except (AttributeError, TypeError):
+                fingerprints = None  # unfingerprintable: run without replay
+        outcome = self._engine(len(items)).run(fn, items, fingerprints)
+        self.last_outcome = outcome
+        return outcome.results
 
     def run_specs(self, specs: Sequence[MACRunSpec]) -> List[MACSimResult]:
-        """Run a list of :class:`MACRunSpec`, results in spec order."""
-        return self.map(run_spec, specs)
+        """Run a list of :class:`MACRunSpec`, results in spec order.
+
+        Under resilience options a quarantined spec leaves ``None`` at
+        its index — callers must surface the hole (the experiment
+        drivers mark it in their tables).
+        """
+        fingerprints = None
+        if self.resilience is not None:
+            fingerprints = [spec_fingerprint(spec) for spec in specs]
+        outcome = self._engine(len(specs)).run(run_spec, list(specs), fingerprints)
+        self.last_outcome = outcome
+        return outcome.results

@@ -54,6 +54,7 @@ import numpy as np
 from ..core.timeline import IntervalSet
 from ..core.window import ChannelFeedback
 from ..des.monitor import Tally
+from ..resilience.invariants import invariants_enabled, require
 from .channel import ChannelStats
 from .messages import Message, MessageFate
 
@@ -168,8 +169,16 @@ def run_fast(
     paper_wait = Tally()
 
     unresolved = controller.unresolved
+    # REPRO_CHECK_INVARIANTS: the fast kernel re-derives controller state
+    # in closed form, so its guards watch exactly the quantities the
+    # shortcuts touch — the jumped clock and the emptied unresolved set.
+    check = invariants_enabled()
+    last_now = -math.inf
 
     while now < total_time:
+        if check:
+            require(now > last_now, f"fast-path clock stalled at slot {now}")
+            last_now = now
         # Ingest arrivals that have occurred.
         while next_arrival < n_arrivals and arr_t[next_arrival] <= now:
             backlog_t.append(arr_t[next_arrival])
@@ -185,6 +194,11 @@ def run_fast(
             controller.advance_time(now)
             controller.apply_discard(now)
             measure = unresolved.measure
+            if check:
+                require(
+                    measure >= 0.0,
+                    f"unresolved backlog has negative measure at slot {now}",
+                )
             if measure > 1e-12:
                 length = (
                     measure
@@ -327,6 +341,15 @@ def run_fast(
     unresolved_count = sum(
         1 for index in backlog_i if arr_t[index] >= warmup_slots
     ) + sum(1 for index in stuck_i if arr_t[index] >= warmup_slots)
+    if check:
+        accounted = (
+            delivered_on_time + delivered_late + discarded + unresolved_count
+        )
+        require(
+            accounted == n_measured,
+            f"message conservation violated (fast path): {n_measured} "
+            f"measured arrivals but {accounted} accounted for",
+        )
 
     # Materialise Message records for the measured interval so callers of
     # scored_messages see the same view as the slow path.

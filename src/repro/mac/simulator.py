@@ -28,6 +28,7 @@ from ..core.window import ChannelFeedback
 from ..des.monitor import Tally
 from ..des.rng import RandomStreams
 from ..faults import FaultEvent, FaultModel, FaultTelemetry, ReplicatedControllerBank
+from ..resilience.invariants import invariants_enabled, require
 from . import fastpath
 from .channel import ChannelStats, SlottedChannel
 from .messages import Message, MessageFate
@@ -268,9 +269,17 @@ class WindowMACSimulator:
         n_measured = 0
         true_wait = Tally()
         paper_wait = Tally()
+        # Hot-loop guards (REPRO_CHECK_INVARIANTS): monotone clock and
+        # window non-negativity, checked as state evolves rather than
+        # inferred from a corrupt merged table downstream.
+        check = invariants_enabled()
+        last_now = -math.inf
 
         while channel.now < total_time:
             now = channel.now
+            if check:
+                require(now > last_now, f"clock stalled at slot {now}")
+                last_now = now
             # Ingest arrivals that have occurred.
             while arrival_index < len(arrivals) and arrivals[arrival_index].arrival <= now:
                 message = arrivals[arrival_index]
@@ -303,6 +312,11 @@ class WindowMACSimulator:
                 else None
             )
             while not process.done:
+                if check:
+                    require(
+                        process.current_span.measure >= 0.0,
+                        f"window span has negative measure at slot {channel.now}",
+                    )
                 feedback, message = channel.examine(process.current_span, eligible)
                 if message is not None:
                     transmitted = message
@@ -320,6 +334,18 @@ class WindowMACSimulator:
             1 for message in registry.messages_in_span(_everything())
             if measured(message)
         )
+        if check:
+            accounted = (
+                counts[MessageFate.DELIVERED_ON_TIME]
+                + counts[MessageFate.DELIVERED_LATE]
+                + counts[MessageFate.DISCARDED_AT_SENDER]
+                + unresolved
+            )
+            require(
+                accounted == n_measured,
+                f"message conservation violated: {n_measured} measured "
+                f"arrivals but {accounted} accounted for",
+            )
         # Retain per-message records (measured interval only) so callers
         # can compute custom breakdowns, e.g. per-station-class loss.
         self.scored_messages = [m for m in arrivals if measured(m)]
@@ -366,6 +392,8 @@ class WindowMACSimulator:
         n_measured = 0
         true_wait = Tally()
         paper_wait = Tally()
+        check = invariants_enabled()
+        last_now = -math.inf
 
         def lose_to_fault(message: Message, in_registry: bool = True) -> None:
             if in_registry:
@@ -376,6 +404,9 @@ class WindowMACSimulator:
 
         while channel.now < total_time:
             now = channel.now
+            if check:
+                require(now > last_now, f"clock stalled at slot {now}")
+                last_now = now
 
             # Station-level fault transitions due by now.
             if fault_model.has_station_faults:
@@ -445,6 +476,19 @@ class WindowMACSimulator:
             1 for message in registry.messages_in_span(_everything())
             if measured(message)
         )
+        if check:
+            accounted = (
+                counts[MessageFate.DELIVERED_ON_TIME]
+                + counts[MessageFate.DELIVERED_LATE]
+                + counts[MessageFate.DISCARDED_AT_SENDER]
+                + counts[MessageFate.LOST_TO_FAULT]
+                + unresolved
+            )
+            require(
+                accounted == n_measured,
+                f"message conservation violated (replicated path): "
+                f"{n_measured} measured arrivals but {accounted} accounted for",
+            )
         self.scored_messages = [m for m in arrivals if measured(m)]
         return MACSimResult(
             arrivals=n_measured,

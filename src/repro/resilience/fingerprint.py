@@ -1,0 +1,85 @@
+"""Content-addressed identity for sweep task specs.
+
+The run journal (:mod:`repro.resilience.journal`) keys completed results
+by *what the task is*, not *when it ran* — so a resumed sweep can
+recognise its own completed cells and a reordered or re-chunked grid
+still hits the same records.  That needs a digest that is stable across
+processes, which rules out ``repr`` (strategy objects like
+``OldestFirstPosition`` carry the default ``<... object at 0x...>``
+repr) and ``hash`` (salted per process for strings).
+
+:func:`fingerprint` canonicalises a value structurally instead:
+primitives by exact repr, containers recursively, dataclasses and plain
+objects as ``QualName(field=canon, ...)`` over their declared fields.
+Two specs that compare equal field-for-field fingerprint identically;
+any object whose identity leaks into the serialisation (a default repr
+with a memory address) is rejected loudly rather than silently producing
+an unstable digest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any
+
+__all__ = ["fingerprint", "FingerprintError"]
+
+#: Bump when the canonical form changes: old journals must read as
+#: misses, never as silently-wrong hits.
+_FINGERPRINT_SCHEMA = "repro-fp-v1"
+
+
+class FingerprintError(TypeError):
+    """A value cannot be canonicalised stably (identity-based repr)."""
+
+
+def _canon(value: Any) -> str:
+    if value is None or value is True or value is False:
+        return repr(value)
+    if isinstance(value, (int, float, complex, str, bytes)):
+        # repr is exact for these (shortest round-trip repr for floats).
+        return f"{type(value).__name__}:{value!r}"
+    if isinstance(value, (list, tuple)):
+        tag = "t" if isinstance(value, tuple) else "l"
+        return tag + "[" + ",".join(_canon(item) for item in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "s{" + ",".join(sorted(_canon(item) for item in value)) + "}"
+    if isinstance(value, dict):
+        items = sorted((_canon(k), _canon(v)) for k, v in value.items())
+        return "d{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={_canon(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__module__}.{type(value).__qualname__}({fields})"
+    if hasattr(value, "__dict__"):
+        # Plain strategy objects (position rules, workloads): class
+        # identity plus instance attributes, sorted for stability.
+        fields = ",".join(
+            f"{name}={_canon(attr)}"
+            for name, attr in sorted(vars(value).items())
+            if not name.startswith("_")
+        )
+        return f"{type(value).__module__}.{type(value).__qualname__}({fields})"
+    rendered = repr(value)
+    if " object at 0x" in rendered:
+        raise FingerprintError(
+            f"cannot fingerprint {type(value).__qualname__}: its repr is "
+            "identity-based and would change across processes"
+        )
+    return f"{type(value).__qualname__}:{rendered}"
+
+
+def fingerprint(value: Any) -> str:
+    """SHA-256 hex digest of the canonical form of ``value``.
+
+    Deterministic across processes and machines for the spec shapes the
+    sweeps use (primitives, containers, dataclasses, plain objects whose
+    state lives in instance attributes).  Raises
+    :class:`FingerprintError` for values whose canonical form would be
+    unstable.
+    """
+    payload = f"{_FINGERPRINT_SCHEMA}\x1f{_canon(value)}".encode()
+    return hashlib.sha256(payload).hexdigest()

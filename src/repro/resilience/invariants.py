@@ -1,0 +1,49 @@
+"""Runtime invariant guards for the simulator hot loops.
+
+A crashed worker is loud; *corrupted* partial state is quiet — a fast
+path that drops a message, a clock that stalls, a window of negative
+measure would surface only as a subtly wrong number three tables
+downstream.  These guards put the detection at the source.
+
+They are gated by ``REPRO_CHECK_INVARIANTS`` (off by default: the checks
+sit on the per-slot hot path) and raise :class:`InvariantViolation` —
+deliberately *not* ``AssertionError``, so ``python -O`` cannot strip
+them and the supervised executor treats a violation like any other task
+failure (retry, then quarantine the cell rather than record a corrupt
+result).
+
+The simulator enforces three families of invariants when enabled:
+
+* **message conservation** — every measured arrival ends the run in
+  exactly one bucket: delivered on time, delivered late, discarded,
+  lost to a fault, or still unresolved;
+* **monotone clock** — each outer iteration of the slot loop advances
+  the channel clock;
+* **window non-negativity** — no windowing step may produce a span of
+  negative measure, and the idle fast-forward may never leave a negative
+  unresolved backlog.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["INVARIANTS_ENV", "InvariantViolation", "invariants_enabled", "require"]
+
+#: Environment flag enabling the hot-loop checks.
+INVARIANTS_ENV = "REPRO_CHECK_INVARIANTS"
+
+
+class InvariantViolation(RuntimeError):
+    """A simulator invariant failed: the run's state is corrupt."""
+
+
+def invariants_enabled() -> bool:
+    """Whether ``REPRO_CHECK_INVARIANTS`` requests the hot-loop guards."""
+    return os.environ.get(INVARIANTS_ENV, "") in ("1", "true", "yes")
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`InvariantViolation` with ``message`` unless ``condition``."""
+    if not condition:
+        raise InvariantViolation(message)

@@ -11,6 +11,7 @@ import pytest
 from repro.core import ControlPolicy
 from repro.experiments import (
     MACRunSpec,
+    ResilienceOptions,
     RobustnessConfig,
     SweepExecutor,
     derive_seeds,
@@ -18,11 +19,54 @@ from repro.experiments import (
     generate_panel,
     PanelConfig,
     replicate,
+    spec_fingerprint,
 )
 from repro.experiments.sweep import run_spec
 
 M = 25
 LAM = 0.5 / M
+
+
+def _base_spec_kwargs():
+    return dict(
+        policy=ControlPolicy.optimal(3.0 * M, LAM),
+        arrival_rate=LAM,
+        transmission_slots=M,
+        horizon=4_000.0,
+        warmup=500.0,
+        n_stations=25,
+        deadline=3.0 * M,
+        seed=1,
+    )
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"arrival_rate": 0.0},
+            {"arrival_rate": -0.01},
+            {"transmission_slots": 0},
+            {"horizon": 0.0},
+            {"horizon": -1.0},
+            {"warmup": -1.0},
+            {"warmup": 4_000.0},  # warmup == horizon leaves nothing measured
+            {"n_stations": 0},
+            {"deadline": 0.0},
+        ],
+    )
+    def test_bad_grid_parameters_fail_at_construction(self, overrides):
+        # The whole point: a bad cell dies here with a field name, not
+        # three retries deep in a worker process.
+        kwargs = _base_spec_kwargs()
+        kwargs.update(overrides)
+        with pytest.raises(ValueError):
+            MACRunSpec(**kwargs)
+
+    def test_valid_boundaries_accepted(self):
+        kwargs = _base_spec_kwargs()
+        kwargs.update(warmup=0.0, transmission_slots=1, n_stations=1)
+        MACRunSpec(**kwargs)  # must not raise
 
 
 def _specs():
@@ -88,6 +132,40 @@ def test_replicate_parallel_matches_inline():
         _loss_at_seed, n_replications=3, base_seed=5, executor=2
     )
     assert fanned.values == inline.values
+
+
+class TestResilientSweep:
+    def test_checkpointed_sweep_resumes_bit_identical(self, tmp_path):
+        baseline = SweepExecutor(None).run_specs(_specs())
+        opts = ResilienceOptions(checkpoint=str(tmp_path / "j"))
+        first = SweepExecutor(None, opts).run_specs(_specs())
+        assert first == baseline
+        resumer = SweepExecutor(
+            None, ResilienceOptions(checkpoint=str(tmp_path / "j"), resume=True)
+        )
+        resumed = resumer.run_specs(_specs())
+        assert resumed == baseline
+        assert resumer.last_outcome.replayed == len(baseline)
+        assert resumer.last_outcome.executed == 0
+
+    def test_fingerprints_are_grid_position_free(self):
+        # Reordering the grid must not change any cell's journal key.
+        specs = _specs()
+        assert [spec_fingerprint(s) for s in reversed(specs)] == list(
+            reversed([spec_fingerprint(s) for s in specs])
+        )
+
+    def test_map_journals_plain_functions(self, tmp_path):
+        opts = ResilienceOptions(checkpoint=str(tmp_path / "j"))
+        executor = SweepExecutor(None, opts)
+        assert executor.map(_loss_at_seed, [3, 4]) == [
+            _loss_at_seed(3),
+            _loss_at_seed(4),
+        ]
+        resumer = SweepExecutor(None, ResilienceOptions(
+            checkpoint=str(tmp_path / "j"), resume=True))
+        resumer.map(_loss_at_seed, [3, 4])
+        assert resumer.last_outcome.replayed == 2
 
 
 def _loss_at_seed(seed: int) -> float:

@@ -1,0 +1,85 @@
+"""Module-level worker functions for the supervisor tests.
+
+Process pools pickle callables by qualified name, so everything a
+parallel test submits must live at module scope — lambdas and closures
+only work on the inline path.  Cross-process state (did this task
+already fail once?) goes through sentinel files in a scratch directory
+carried inside each item, because a retried task may land on a fresh
+worker process that shares nothing with the first attempt but the
+filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def fail_always(x: int) -> int:
+    raise ValueError(f"poison item {x}")
+
+
+def square_or_fail(arg):
+    """``(x, poison)``: raise for the poison value, square the rest."""
+    x, poison = arg
+    if x == poison:
+        raise ValueError(f"poison item {x}")
+    return x * x
+
+
+def fail_once(arg):
+    """``(x, scratch)``: fail the first attempt at each x, then succeed."""
+    x, scratch = arg
+    marker = Path(scratch) / f"attempted-{x}"
+    if not marker.exists():
+        marker.touch()
+        raise ValueError(f"transient failure for {x}")
+    return x * x
+
+
+def kill_once(arg):
+    """``(x, scratch)``: SIGKILL the worker on the first attempt at x == 3.
+
+    Simulates an OOM kill mid-task: the parent sees
+    ``BrokenProcessPool``, and the retry (on a respawned pool) finds the
+    sentinel and completes normally.
+    """
+    x, scratch = arg
+    marker = Path(scratch) / f"killed-{x}"
+    if x == 3 and not marker.exists():
+        marker.touch()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * x
+
+
+def sleepy(arg):
+    """``(x, seconds)``: sleep, then square — the timeout-test workload."""
+    x, seconds = arg
+    if seconds:
+        time.sleep(seconds)
+    return x * x
+
+
+def run_spec_after_kill(arg):
+    """``(spec, scratch)``: SIGKILL the first worker to arrive, once.
+
+    The chaos-test workload: one worker dies mid-sweep (before touching
+    its cell, so no partial state), every later attempt runs the spec
+    normally.  Which cell the kill lands on is scheduling-dependent —
+    irrelevant, because every spec carries its own seed and the retry is
+    bit-identical.
+    """
+    from repro.experiments.sweep import run_spec
+
+    spec, scratch = arg
+    marker = Path(scratch) / "killed"
+    if not marker.exists():
+        marker.touch()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return run_spec(spec)

@@ -1,0 +1,129 @@
+"""Chaos acceptance tests: the PR's two headline guarantees.
+
+1. A sweep whose worker is SIGKILLed mid-run, then resumed from its
+   journal by a fresh invocation, produces results **bit-identical** to
+   an uninterrupted ``workers=1`` run.
+2. A sweep containing a poison cell completes as a partial grid with
+   the hole explicitly marked — never silently truncated.
+
+CI runs this file as its chaos-smoke step; set
+``REPRO_CHAOS_JOURNAL_DIR`` to persist the journal outside pytest's
+tmp dir so a failing run can upload it as an artifact.
+"""
+
+import os
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.core import ControlPolicy
+from repro.experiments import (
+    MACRunSpec,
+    ResilienceOptions,
+    SweepExecutor,
+    derive_seeds,
+    spec_fingerprint,
+)
+from repro.experiments import sweep as sweep_mod
+from repro.resilience import SupervisedExecutor
+
+from . import _workers
+
+M = 25
+LAM = 0.5 / M
+
+
+def _grid():
+    return [
+        MACRunSpec(
+            policy=ControlPolicy.optimal(3.0 * M, LAM),
+            arrival_rate=LAM,
+            transmission_slots=M,
+            horizon=2_500.0,
+            warmup=300.0,
+            n_stations=25,
+            deadline=3.0 * M,
+            seed=seed,
+        )
+        for seed in derive_seeds(base_seed=99, n=4)
+    ]
+
+
+def _journal_dir(tmp_path: Path) -> Path:
+    # CI points this at the workspace so a failing run uploads the
+    # journal as an artifact; locally it lives in pytest's tmp dir.
+    root = Path(os.environ.get("REPRO_CHAOS_JOURNAL_DIR", tmp_path))
+    journal = root / "chaos-journal"
+    if journal.exists():
+        shutil.rmtree(journal)
+    return journal
+
+
+def test_killed_and_resumed_sweep_is_bit_identical(tmp_path):
+    baseline = SweepExecutor(None).run_specs(_grid())
+
+    # Interrupted run: one worker SIGKILLed mid-sweep, supervision
+    # recovers on a respawned pool, every cell checkpoints.
+    journal = _journal_dir(tmp_path)
+    scratch = tmp_path / "scratch"
+    scratch.mkdir()
+    specs = _grid()
+    chaos = SupervisedExecutor(
+        2, ResilienceOptions(checkpoint=str(journal), backoff_base=0.0)
+    ).run(
+        _workers.run_spec_after_kill,
+        [(spec, str(scratch)) for spec in specs],
+        [spec_fingerprint(spec) for spec in specs],
+    )
+    assert chaos.pool_restarts >= 1, "the kill must actually break a pool"
+    assert chaos.complete
+    assert chaos.results == baseline
+
+    # Fresh invocation with the same journal: pure replay, still
+    # bit-identical to the uninterrupted sequential run.
+    resumer = SweepExecutor(
+        2, ResilienceOptions(checkpoint=str(journal), resume=True)
+    )
+    resumed = resumer.run_specs(_grid())
+    assert resumed == baseline
+    assert resumer.last_outcome.replayed == len(baseline)
+    assert resumer.last_outcome.executed == 0
+
+
+def test_poison_cell_completes_as_partial_grid_with_marked_hole(monkeypatch):
+    specs = _grid()
+    poison = spec_fingerprint(specs[1])
+    real = sweep_mod.run_spec
+
+    def poisoned(spec):
+        if spec_fingerprint(spec) == poison:
+            raise RuntimeError("injected poison cell")
+        return real(spec)
+
+    monkeypatch.setattr(sweep_mod, "run_spec", poisoned)
+    executor = SweepExecutor(
+        None, ResilienceOptions(max_retries=1, backoff_base=0.0)
+    )
+    results = executor.run_specs(specs)
+
+    assert results[1] is None, "the hole must stay visible at its index"
+    assert all(results[i] is not None for i in (0, 2, 3))
+    outcome = executor.last_outcome
+    assert outcome.holes() == [1]
+    (record,) = outcome.quarantined
+    assert record.attempts == 2
+    assert "injected poison cell" in record.reason
+
+
+def test_strict_sweep_still_fails_fast(monkeypatch):
+    # Without resilience options the legacy contract holds: the first
+    # failure propagates instead of becoming a hole.
+    specs = _grid()[:2]
+    monkeypatch.setattr(
+        sweep_mod,
+        "run_spec",
+        lambda spec: (_ for _ in ()).throw(RuntimeError("boom")),
+    )
+    with pytest.raises(RuntimeError, match="boom"):
+        SweepExecutor(None).run_specs(specs)

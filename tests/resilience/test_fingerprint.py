@@ -1,0 +1,85 @@
+"""Content-addressed fingerprints: stability, sensitivity, loud failure."""
+
+import pytest
+
+from repro.core import ControlPolicy
+from repro.experiments import MACRunSpec, spec_fingerprint
+from repro.faults import FaultModel
+from repro.resilience import FingerprintError, fingerprint
+from repro.workloads.arrivals import MMPPWorkload
+
+
+def _spec(**overrides) -> MACRunSpec:
+    base = dict(
+        policy=ControlPolicy.optimal(75.0, 0.02),
+        arrival_rate=0.02,
+        transmission_slots=25,
+        horizon=4_000.0,
+        warmup=500.0,
+        n_stations=25,
+        deadline=75.0,
+        seed=7,
+    )
+    base.update(overrides)
+    return MACRunSpec(**base)
+
+
+class TestPrimitives:
+    def test_equal_values_fingerprint_identically(self):
+        assert fingerprint((1, "a", 2.5)) == fingerprint((1, "a", 2.5))
+
+    def test_type_distinguishes(self):
+        # 1 == 1.0 == True in Python; the journal must not conflate them.
+        digests = {fingerprint(1), fingerprint(1.0), fingerprint(True)}
+        assert len(digests) == 3
+
+    def test_container_kind_distinguishes(self):
+        assert fingerprint([1, 2]) != fingerprint((1, 2))
+
+    def test_dict_insertion_order_is_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_none_and_empty_are_distinct(self):
+        assert fingerprint(None) != fingerprint("")
+        assert fingerprint(()) != fingerprint(None)
+
+
+class TestSpecs:
+    def test_separately_constructed_equal_specs_match(self):
+        # The resume guarantee: a re-invocation builds its grid from
+        # scratch and must still hit every journal record.
+        assert spec_fingerprint(_spec()) == spec_fingerprint(_spec())
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"seed": 8},
+            {"horizon": 5_000.0},
+            {"n_stations": 26},
+            {"deadline": 80.0},
+            {"fault_model": FaultModel.feedback_noise(0.01)},
+            {
+                "workload": MMPPWorkload(
+                    low_rate=0.01, high_rate=0.05, mean_low=100.0, mean_high=100.0
+                )
+            },
+        ],
+    )
+    def test_any_field_change_changes_the_fingerprint(self, overrides):
+        assert spec_fingerprint(_spec(**overrides)) != spec_fingerprint(_spec())
+
+    def test_policy_strategy_objects_are_stable(self):
+        # ControlPolicy carries strategy objects whose default repr holds
+        # a memory address — the canonicaliser must see through them.
+        a = ControlPolicy.optimal(75.0, 0.02)
+        b = ControlPolicy.optimal(75.0, 0.02)
+        assert fingerprint(a) == fingerprint(b)
+
+
+class TestRejection:
+    def test_identity_repr_is_rejected_loudly(self):
+        class Opaque:
+            __slots__ = ()  # no __dict__, default identity repr
+
+        with pytest.raises(FingerprintError):
+            fingerprint(Opaque())

@@ -1,0 +1,86 @@
+"""The run journal: atomicity discipline, schema guard, miss semantics."""
+
+import json
+
+import pytest
+
+from repro.resilience import JOURNAL_SCHEMA, JournalSchemaError, RunJournal
+
+
+def test_fresh_journal_writes_manifest(tmp_path):
+    journal = RunJournal(tmp_path / "j")
+    assert RunJournal.exists(tmp_path / "j")
+    with open(tmp_path / "j" / "manifest.json", encoding="utf-8") as handle:
+        assert json.load(handle)["schema"] == JOURNAL_SCHEMA
+    assert len(journal) == 0
+
+
+def test_record_roundtrip(tmp_path):
+    journal = RunJournal(tmp_path / "j")
+    journal.record("abc", {"loss": 0.25})
+    assert "abc" in journal
+    assert len(journal) == 1
+    hit, value = journal.get("abc")
+    assert hit and value == {"loss": 0.25}
+    assert list(journal.fingerprints()) == ["abc"]
+
+
+def test_missing_fingerprint_is_a_miss(tmp_path):
+    journal = RunJournal(tmp_path / "j")
+    hit, value = journal.get("nope")
+    assert not hit and value is None
+
+
+def test_corrupt_record_is_a_miss_not_an_error(tmp_path):
+    journal = RunJournal(tmp_path / "j")
+    journal.record("abc", [1, 2, 3])
+    (tmp_path / "j" / "records" / "abc.pkl").write_bytes(b"torn write")
+    hit, value = journal.get("abc")
+    assert not hit and value is None
+    # Re-recording heals the entry.
+    journal.record("abc", [1, 2, 3])
+    assert journal.get("abc") == (True, [1, 2, 3])
+
+
+def test_record_is_idempotent(tmp_path):
+    journal = RunJournal(tmp_path / "j")
+    journal.record("abc", 1)
+    journal.record("abc", 1)
+    assert len(journal) == 1
+
+
+def test_reopen_sees_previous_records(tmp_path):
+    RunJournal(tmp_path / "j").record("abc", 42)
+    assert RunJournal(tmp_path / "j").get("abc") == (True, 42)
+
+
+def test_foreign_schema_is_a_hard_error(tmp_path):
+    RunJournal(tmp_path / "j")
+    manifest = tmp_path / "j" / "manifest.json"
+    manifest.write_text(json.dumps({"schema": "repro-journal-v0"}))
+    with pytest.raises(JournalSchemaError):
+        RunJournal(tmp_path / "j")
+
+
+def test_unreadable_manifest_is_a_hard_error(tmp_path):
+    RunJournal(tmp_path / "j")
+    (tmp_path / "j" / "manifest.json").write_text("{not json")
+    with pytest.raises(JournalSchemaError):
+        RunJournal(tmp_path / "j")
+
+
+def test_clear_removes_records_keeps_manifest(tmp_path):
+    journal = RunJournal(tmp_path / "j")
+    journal.record("a", 1)
+    journal.record("b", 2)
+    assert journal.clear() == 2
+    assert len(journal) == 0
+    assert RunJournal.exists(tmp_path / "j")
+
+
+def test_no_temp_file_debris_after_records(tmp_path):
+    journal = RunJournal(tmp_path / "j")
+    for i in range(5):
+        journal.record(f"fp{i}", i)
+    debris = list((tmp_path / "j" / "records").glob("*.tmp"))
+    assert debris == []

@@ -1,0 +1,218 @@
+"""The supervised executor: retry, quarantine, pool recovery, resume.
+
+The parallel tests spawn real process pools and kill real workers —
+they are the repo's claim that a sweep survives what ``pool.map``
+cannot.  Horizontal scale stays tiny (a handful of integer tasks) so
+the whole file runs in seconds.
+"""
+
+import pytest
+
+from repro.resilience import (
+    JournalMismatchError,
+    ResilienceOptions,
+    RunJournal,
+    SupervisedExecutor,
+)
+
+from . import _workers
+
+
+def _opts(**overrides) -> ResilienceOptions:
+    base = dict(max_retries=2, backoff_base=0.0)
+    base.update(overrides)
+    return ResilienceOptions(**base)
+
+
+class TestOptions:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            ResilienceOptions(max_retries=-1)
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            ResilienceOptions(task_timeout=0.0)
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(ValueError):
+            ResilienceOptions(resume=True)
+
+    def test_resume_requires_existing_journal(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SupervisedExecutor(
+                None, _opts(checkpoint=str(tmp_path / "absent"), resume=True)
+            )
+
+
+class TestInline:
+    def test_happy_path(self):
+        outcome = SupervisedExecutor(None, _opts()).run(
+            _workers.square, [0, 1, 2, 3]
+        )
+        assert outcome.results == [0, 1, 4, 9]
+        assert outcome.executed == 4 and outcome.complete
+
+    def test_strict_mode_reraises_first_failure(self):
+        with pytest.raises(ValueError, match="poison item 2"):
+            SupervisedExecutor(None).run(
+                _workers.square_or_fail, [(x, 2) for x in range(4)]
+            )
+
+    def test_persistent_failure_quarantines_with_explicit_hole(self):
+        outcome = SupervisedExecutor(None, _opts(max_retries=1)).run(
+            _workers.square_or_fail, [(x, 2) for x in range(4)]
+        )
+        assert outcome.results == [0, 1, None, 9]
+        assert not outcome.complete and outcome.holes() == [2]
+        (record,) = outcome.quarantined
+        assert record.index == 2
+        assert record.attempts == 2  # initial + 1 retry
+        assert "poison item 2" in record.reason
+        assert "quarantined" in outcome.summary()
+
+    def test_transient_failure_recovers_on_retry(self, tmp_path):
+        outcome = SupervisedExecutor(None, _opts()).run(
+            _workers.fail_once, [(x, str(tmp_path)) for x in range(3)]
+        )
+        assert outcome.results == [0, 1, 4]
+        assert outcome.retries == 3 and outcome.complete
+
+    def test_zero_retries_quarantines_immediately(self, tmp_path):
+        outcome = SupervisedExecutor(None, _opts(max_retries=0)).run(
+            _workers.fail_once, [(x, str(tmp_path)) for x in range(3)]
+        )
+        assert outcome.results == [None, None, None]
+        assert outcome.retries == 0 and len(outcome.quarantined) == 3
+
+
+class TestJournal:
+    def test_results_checkpoint_as_they_complete(self, tmp_path):
+        opts = _opts(checkpoint=str(tmp_path / "j"))
+        fps = [f"fp-{x}" for x in range(3)]
+        SupervisedExecutor(None, opts).run(_workers.square, [0, 1, 2], fps)
+        journal = RunJournal(tmp_path / "j")
+        assert journal.get("fp-2") == (True, 4)
+        assert len(journal) == 3
+
+    def test_second_invocation_replays_everything(self, tmp_path):
+        opts = _opts(checkpoint=str(tmp_path / "j"))
+        fps = [f"fp-{x}" for x in range(3)]
+        SupervisedExecutor(None, opts).run(_workers.square, [0, 1, 2], fps)
+        outcome = SupervisedExecutor(None, opts).run(
+            _workers.fail_always, [0, 1, 2], fps
+        )
+        # fail_always never ran: every cell came from the journal.
+        assert outcome.results == [0, 1, 4]
+        assert outcome.replayed == 3 and outcome.executed == 0
+        assert "replayed" in outcome.summary()
+
+    def test_partial_journal_runs_only_the_gap(self, tmp_path):
+        opts = _opts(checkpoint=str(tmp_path / "j"))
+        fps = [f"fp-{x}" for x in range(4)]
+        RunJournal(tmp_path / "j").record("fp-1", 1)
+        outcome = SupervisedExecutor(None, opts).run(
+            _workers.square, [0, 1, 2, 3], fps
+        )
+        assert outcome.results == [0, 1, 4, 9]
+        assert outcome.replayed == 1 and outcome.executed == 3
+
+    def test_keyboard_interrupt_leaves_a_valid_resumable_journal(self, tmp_path):
+        # Ctrl-C mid-sweep is the canonical crash: completed cells must
+        # already be on disk, and the rerun must do only the remainder.
+        opts = _opts(checkpoint=str(tmp_path / "j"))
+        fps = [f"fp-{x}" for x in range(5)]
+        completed = []
+
+        def interrupted(x):
+            if x == 3:
+                raise KeyboardInterrupt
+            completed.append(x)
+            return x * x
+
+        with pytest.raises(KeyboardInterrupt):
+            SupervisedExecutor(None, opts).run(interrupted, list(range(5)), fps)
+        assert completed == [0, 1, 2]
+        assert len(RunJournal(tmp_path / "j")) == 3
+
+        resumed = SupervisedExecutor(
+            None, _opts(checkpoint=str(tmp_path / "j"), resume=True)
+        ).run(_workers.square, list(range(5)), fps)
+        assert resumed.results == [0, 1, 4, 9, 16]
+        assert resumed.replayed == 3 and resumed.executed == 2
+
+    def test_verify_replay_accepts_deterministic_results(self, tmp_path):
+        opts = _opts(checkpoint=str(tmp_path / "j"))
+        fps = [f"fp-{x}" for x in range(3)]
+        SupervisedExecutor(None, opts).run(_workers.square, [0, 1, 2], fps)
+        verify = _opts(
+            checkpoint=str(tmp_path / "j"), resume=True, verify_replay=True
+        )
+        outcome = SupervisedExecutor(None, verify).run(
+            _workers.square, [0, 1, 2], fps
+        )
+        assert outcome.results == [0, 1, 4]
+        assert outcome.executed == 3  # verified by re-execution
+
+    def test_verify_replay_rejects_divergence(self, tmp_path):
+        opts = _opts(checkpoint=str(tmp_path / "j"))
+        SupervisedExecutor(None, opts).run(_workers.square, [2], ["fp-2"])
+        RunJournal(tmp_path / "j").record("fp-2", 999)  # tamper
+        verify = _opts(
+            checkpoint=str(tmp_path / "j"), resume=True, verify_replay=True
+        )
+        with pytest.raises(JournalMismatchError):
+            SupervisedExecutor(None, verify).run(_workers.square, [2], ["fp-2"])
+
+
+class TestParallel:
+    def test_happy_path_matches_inline(self):
+        inline = SupervisedExecutor(None, _opts()).run(
+            _workers.square, list(range(8))
+        )
+        fanned = SupervisedExecutor(3, _opts()).run(
+            _workers.square, list(range(8))
+        )
+        assert fanned.results == inline.results
+
+    def test_strict_parallel_reraises_worker_exception(self):
+        with pytest.raises(ValueError, match="poison item 1"):
+            SupervisedExecutor(2).run(
+                _workers.square_or_fail, [(x, 1) for x in range(4)]
+            )
+
+    def test_worker_exception_quarantines_without_losing_neighbours(self):
+        outcome = SupervisedExecutor(2, _opts(max_retries=1)).run(
+            _workers.square_or_fail, [(x, 2) for x in range(6)]
+        )
+        assert outcome.results == [0, 1, None, 9, 16, 25]
+        assert outcome.holes() == [2]
+
+    def test_sigkilled_worker_recovers_on_a_fresh_pool(self, tmp_path):
+        # kill_once SIGKILLs its worker on the first attempt at x == 3:
+        # the parent sees BrokenProcessPool, respawns, and the retry
+        # (which finds the sentinel) completes — nothing is lost.
+        outcome = SupervisedExecutor(2, _opts()).run(
+            _workers.kill_once, [(x, str(tmp_path)) for x in range(6)]
+        )
+        assert outcome.results == [x * x for x in range(6)]
+        assert outcome.pool_restarts >= 1
+        assert outcome.complete
+
+    def test_timeout_kills_and_quarantines_the_overdue_task(self, tmp_path):
+        items = [(x, 60.0 if x == 2 else 0.0) for x in range(4)]
+        opts = _opts(task_timeout=0.5, max_retries=1)
+        outcome = SupervisedExecutor(2, opts).run(_workers.sleepy, items)
+        assert outcome.results == [0, 1, None, 9]
+        assert outcome.timeouts == 2  # initial attempt + one retry
+        assert outcome.holes() == [2]
+        assert "timed out" in outcome.summary()
+
+    def test_crash_mid_sweep_keeps_completed_cells_journaled(self, tmp_path):
+        opts = _opts(checkpoint=str(tmp_path / "j"))
+        items = [(x, str(tmp_path / "scratch")) for x in range(6)]
+        (tmp_path / "scratch").mkdir()
+        fps = [f"fp-{x}" for x in range(6)]
+        SupervisedExecutor(2, opts).run(_workers.kill_once, items, fps)
+        journal = RunJournal(tmp_path / "j")
+        assert len(journal) == 6
+        assert journal.get("fp-3") == (True, 9)

@@ -74,6 +74,41 @@ def test_corrupt_disk_entry_is_a_miss(tmp_path):
         assert pickle.load(handle) == "recomputed"
 
 
+def test_schema_version_partitions_the_disk_layer(monkeypatch):
+    # Entries written under one schema must read as misses under another
+    # — a layout change can degrade performance, never correctness.
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return "value"
+
+    cache.get_or_compute("t", (1,), compute)
+    cache.clear_memory()
+    monkeypatch.setattr(cache, "SCHEMA_VERSION", "repro-cache-v999")
+    cache.get_or_compute("t", (1,), compute)
+    assert len(calls) == 2
+
+
+def test_cache_info_counts_entries(tmp_path):
+    cache.get_or_compute("t", (1,), lambda: "a")
+    cache.get_or_compute("t", (2,), lambda: list(range(100)))
+    info = cache.cache_info()
+    assert info["path"] == str(tmp_path)
+    assert info["schema"] == cache.SCHEMA_VERSION
+    assert info["entries"] == 2
+    assert info["bytes"] > 0
+    assert info["enabled"]
+
+
+def test_clear_disk_removes_all_entries(tmp_path):
+    cache.get_or_compute("t", (1,), lambda: "a")
+    cache.get_or_compute("t", (2,), lambda: "b")
+    assert cache.clear_disk() == 2
+    assert cache.cache_info()["entries"] == 0
+    assert not list(tmp_path.glob("*.pkl"))
+
+
 def test_figure7_analytic_curve_served_from_memo():
     config = PanelConfig(rho_prime=0.5, message_length=25)
     deadlines = [25.0, 75.0]

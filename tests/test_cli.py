@@ -69,7 +69,9 @@ class TestSeedFlag:
             ["simulate", "--seed", "5"],
             ["capacity", "--seed", "5"],
             ["ablations", "--seed", "5"],
+            ["sensitivity", "--seed", "5"],
             ["robustness", "--seed", "5"],
+            ["cache", "info", "--seed", "5"],
         ):
             assert parser.parse_args(argv).seed == 5
 
@@ -126,3 +128,107 @@ class TestRobustnessCommand:
         out = capsys.readouterr().out
         assert "Station-failure soak" in out
         assert "all runs completed" in out
+
+
+class TestResilienceFlags:
+    def test_sweep_commands_accept_the_flags(self):
+        parser = build_parser()
+        for command in ("figure7", "ablations", "sensitivity", "robustness"):
+            args = parser.parse_args([
+                command, "--checkpoint", "/tmp/j", "--task-timeout", "30",
+                "--max-retries", "1",
+            ])
+            assert args.checkpoint == "/tmp/j"
+            assert args.task_timeout == 30.0
+            assert args.max_retries == 1
+            assert not args.resume
+
+    def test_resume_without_checkpoint_is_a_clean_error(self, capsys):
+        assert main(["robustness", "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_verify_replay_without_resume_is_a_clean_error(self, capsys):
+        assert main(["robustness", "--checkpoint", "/tmp/j",
+                     "--verify-replay"]) == 2
+        assert "--verify-replay requires --resume" in capsys.readouterr().err
+
+    def test_resume_from_missing_journal_is_a_clean_error(self, tmp_path, capsys):
+        code = main([
+            "robustness", "--seeds", "1", "--horizon", "4000",
+            "--errors", "0",
+            "--checkpoint", str(tmp_path / "absent"), "--resume",
+        ])
+        assert code == 2
+        assert "no journal at" in capsys.readouterr().err
+
+    def test_checkpointed_sweep_resumes_with_a_note(self, tmp_path, capsys):
+        argv = [
+            "robustness", "--seeds", "1", "--horizon", "4000",
+            "--errors", "0", "0.02", "--checkpoint", str(tmp_path / "j"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "replayed" not in first
+        assert main(argv + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        # Same degradation table, plus the explicit replay provenance.
+        assert "2 replayed from journal" in resumed
+        assert first.splitlines()[0] in resumed
+
+
+class TestSensitivityCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sensitivity"])
+        assert args.scenario == "stations"
+        assert args.workers is None
+
+    def test_scheduling_scenario_is_analytic_and_fast(self, capsys):
+        assert main(["sensitivity", "--scenario", "scheduling"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduling-time law" in out
+        assert "geometric" in out
+
+    def test_stations_scenario_runs_simulation(self, capsys):
+        code = main([
+            "sensitivity", "--scenario", "stations", "--horizon", "3000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stations" in out
+        assert "population" in out
+
+
+class TestAblationsSimulate:
+    def test_default_stays_analytic(self, capsys):
+        assert main(["ablations"]) == 0
+        out = capsys.readouterr().out
+        assert "analytic" in out
+        assert "Two-endpoint fit" in out
+
+    def test_simulate_mode_runs_all_four_sections(self, capsys):
+        code = main([
+            "ablations", "--simulate", "--horizon", "3000", "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for marker in ("Element 4", "Element 2", "Element 3", "Section 5"):
+            assert marker in out
+
+
+class TestCacheCommand:
+    def test_info_reports_schema_and_path(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "repro-cache-v" in out
+
+    def test_clear_removes_disk_entries(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro import cache
+
+        cache.get_or_compute("cli-test", (1,), lambda: "x")
+        assert list(tmp_path.glob("*.pkl"))
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 cached entry" in capsys.readouterr().out
+        assert not list(tmp_path.glob("*.pkl"))
