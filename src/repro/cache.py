@@ -176,14 +176,28 @@ def get_or_compute(namespace: str, key: Tuple, compute: Callable[[], Any]) -> An
         return something picklable (else only the in-process layer
         retains it).
     """
+    # Hit/miss accounting goes to the *installed* registry (a no-op by
+    # default): get_or_compute's call sites sit deep inside analytic
+    # helpers with no channel for threading a registry through, and the
+    # counts are volatile anyway — cache state differs between runs.
+    from .obs.metrics import global_registry
+
+    obs = global_registry()
     if not cache_enabled():
         return compute()
     digest = _digest(namespace, key)
     if digest in _memory:
         _memory.move_to_end(digest)
+        if obs is not None:
+            obs.counter("cache.memory.hits", volatile=True).inc()
         return _memory[digest]
     hit, value = _disk_read(digest)
-    if not hit:
+    if hit:
+        if obs is not None:
+            obs.counter("cache.disk.hits", volatile=True).inc()
+    else:
+        if obs is not None:
+            obs.counter("cache.misses", volatile=True).inc()
         value = compute()
         _disk_write(digest, value)
     _memory[digest] = value

@@ -12,6 +12,7 @@ Commands
                  scheduling law)
 ``robustness``   fault-injection degradation experiments
 ``cache``        inspect or purge the on-disk memo cache
+``report``       render or diff run reports written by ``--metrics``
 
 Every command accepts ``--seed`` (default 1); stochastic commands feed
 it into a :class:`~repro.des.rng.RandomStreams` family so a run is
@@ -25,6 +26,11 @@ Sweep-backed commands (``figure7``, ``ablations``, ``sensitivity``,
 Passing any of them turns on supervised execution: per-cell retry with
 quarantine instead of fail-fast, and — with a checkpoint — a journal
 that a re-invocation resumes from.
+
+Every experiment command also accepts the observability flags
+``--metrics [FILE]`` (collect metrics and write a ``report.json``;
+FILE defaults to ``report.json``) and ``--trace FILE`` (write a
+chrome-trace JSON-lines span file) — see ``docs/observability.md``.
 
 Examples
 --------
@@ -77,9 +83,60 @@ from .experiments import (
 )
 from .faults import FaultModel
 from .mac import WindowMACSimulator
+from .obs import (
+    JsonlTracer,
+    MetricsRegistry,
+    build_report,
+    diff_reports,
+    install,
+    install_tracer,
+    load_report,
+    render_report,
+    write_report,
+)
 from .resilience import JournalMismatchError, JournalSchemaError
 
 __all__ = ["main"]
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    """Attach the observability flags shared by experiment commands."""
+    g = p.add_argument_group(
+        "observability",
+        "metrics collection and span tracing (see docs/observability.md)",
+    )
+    g.add_argument("--metrics", nargs="?", const="report.json", default=None,
+                   metavar="FILE",
+                   help="collect metrics and write a run report "
+                        "(default FILE: report.json)")
+    g.add_argument("--trace", default=None, metavar="FILE",
+                   help="write phase spans as chrome-trace JSON lines")
+
+
+def _obs_setup(args: argparse.Namespace):
+    """Build and install the registry/tracer the flags ask for.
+
+    The registry also becomes the process-global one for the duration of
+    the command, so deep call sites (the memo cache) report into the
+    same ``report.json``.
+    """
+    registry = tracer = None
+    if getattr(args, "metrics", None) is not None:
+        registry = MetricsRegistry()
+        install(registry)
+    if getattr(args, "trace", None) is not None:
+        tracer = JsonlTracer(args.trace)
+        install_tracer(tracer)
+    args.obs_registry = registry
+    return registry, tracer
+
+
+def _obs_teardown(registry, tracer) -> None:
+    if tracer is not None:
+        install_tracer(None)
+        tracer.close()
+    if registry is not None:
+        install(None)
 
 
 def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
@@ -146,6 +203,7 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
         workers=args.workers,
         sim_fast=not args.no_fast_path,
         resilience=_resilience_from(args),
+        metrics=getattr(args, "obs_registry", None),
     )
     print(panel.to_csv() if args.csv else panel.to_table())
     return 0
@@ -187,8 +245,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         fault_model=fault_model,
         streams=RandomStreams(args.seed),
         fast=not args.no_fast_path,
+        metrics=getattr(args, "obs_registry", None),
     )
     total_slots = args.horizon * 1.125  # warmup is an eighth of the horizon
+    # Time exactly the simulation loop: simulator construction above and
+    # the rendering below must not dilute the slots/s figure.
     start = time.perf_counter()
     result = simulator.run(args.horizon, warmup_slots=args.horizon * 0.125)
     elapsed = time.perf_counter() - start
@@ -212,7 +273,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ],
     ]
     rows.append(["elapsed", f"{elapsed:.2f} s"])
-    rows.append(["simulation speed", f"{total_slots / elapsed:,.0f} slots/s"])
+    # Guard the division: a tiny horizon on the fast kernel can finish
+    # inside the timer's resolution.
+    speed = total_slots / max(elapsed, 1e-9)
+    rows.append(["simulation speed", f"{speed:,.0f} slots/s"])
     if fault_model is not None:
         rows.append(["lost to faults", str(result.lost_to_faults)])
         rows.append(["fault telemetry", result.faults.summary()])
@@ -241,15 +305,16 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         base_seed=args.seed,
     )
     resilience = _resilience_from(args)
+    metrics = getattr(args, "obs_registry", None)
     if args.scenario == "feedback":
         report = feedback_error_sweep(
             config, error_rates=tuple(args.errors), workers=args.workers,
-            resilience=resilience,
+            resilience=resilience, metrics=metrics,
         )
         print(report.to_table())
         return 0
     results = station_failure_scenario(
-        config, workers=args.workers, resilience=resilience
+        config, workers=args.workers, resilience=resilience, metrics=metrics
     )
     rows = []
     holes = 0
@@ -322,25 +387,26 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
         print(twopoint_fit_errors())
         return 0
     resilience = _resilience_from(args)
+    metrics = getattr(args, "obs_registry", None)
     horizon = args.horizon
     warmup = horizon * 0.125
     sections = [
         ("Element 4: sender discard on/off (simulated)",
          element4_ablation(
              horizon=horizon, warmup=warmup, seed=args.seed,
-             workers=args.workers, resilience=resilience)),
+             workers=args.workers, resilience=resilience, metrics=metrics)),
         ("Element 2: loss vs window occupancy (simulated)",
          window_length_ablation(
              simulate=True, horizon=horizon, warmup=warmup, seed=args.seed + 1,
-             workers=args.workers, resilience=resilience)),
+             workers=args.workers, resilience=resilience, metrics=metrics)),
         ("Element 3: split order (simulated)",
          split_rule_ablation(
              horizon=horizon, warmup=warmup, seed=args.seed + 2,
-             workers=args.workers, resilience=resilience)),
+             workers=args.workers, resilience=resilience, metrics=metrics)),
         ("Section 5: split arity (simulated)",
          arity_ablation(
              horizon=horizon, warmup=warmup, seed=args.seed + 3,
-             workers=args.workers, resilience=resilience)),
+             workers=args.workers, resilience=resilience, metrics=metrics)),
     ]
     print("\n\n".join(ablation_table(arms, title) for title, arms in sections))
     return 0
@@ -357,6 +423,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
         ))
         return 0
     resilience = _resilience_from(args)
+    metrics = getattr(args, "obs_registry", None)
     overrides = {}
     if args.horizon is not None:
         overrides["horizon"] = args.horizon
@@ -364,17 +431,37 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     if args.scenario == "stations":
         arms = station_count_sensitivity(
             seed=args.seed, workers=args.workers, resilience=resilience,
-            **overrides,
+            metrics=metrics, **overrides,
         )
         title = "Loss vs station population (controlled protocol)"
     else:
         arms = burstiness_sensitivity(
             seed=args.seed, workers=args.workers, resilience=resilience,
-            **overrides,
+            metrics=metrics, **overrides,
         )
         title = "Loss vs traffic burstiness (MMPP, fixed mean rate)"
     print(ablation_table(arms, title))
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.action == "show":
+        if len(args.files) != 1:
+            raise ValueError("report show takes exactly one FILE")
+        print(render_report(load_report(args.files[0])))
+        return 0
+    if len(args.files) != 2:
+        raise ValueError("report diff takes exactly two FILEs")
+    a = load_report(args.files[0])
+    b = load_report(args.files[1])
+    lines = diff_reports(a, b, include_volatile=args.all)
+    if not lines:
+        print("reports agree: no metric drift")
+        return 0
+    print(f"{len(lines)} difference(s):")
+    for line in lines:
+        print(f"  {line}")
+    return 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -418,6 +505,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="force the reference simulation loop (the fast "
                         "kernel is bit-identical; this is the escape hatch)")
     _add_resilience_flags(p)
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_figure7)
 
     p = sub.add_parser("theorem1", help="verify Theorem 1 numerically")
@@ -428,6 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--simulate", action="store_true")
     p.add_argument("--seed", type=int, default=11,
                    help="master seed for the simulation arms")
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_theorem1)
 
     p = sub.add_parser("simulate", help="one slot-level protocol run")
@@ -446,6 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-fast-path", action="store_true",
                    help="force the reference simulation loop (the fast "
                         "kernel is bit-identical; this is the escape hatch)")
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("capacity", help="protocol capacity vs message length")
@@ -468,6 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fan simulation arms over N worker processes "
                         "(results are identical for any N)")
     _add_resilience_flags(p)
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_ablations)
 
     p = sub.add_parser("sensitivity",
@@ -487,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fan sweep cells over N worker processes "
                         "(results are identical for any N)")
     _add_resilience_flags(p)
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_sensitivity)
 
     p = sub.add_parser("robustness", help="fault-injection degradation runs")
@@ -511,7 +603,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fan replications over N worker processes "
                         "(results are identical for any N)")
     _add_resilience_flags(p)
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_robustness)
+
+    p = sub.add_parser("report",
+                       help="render or diff run reports (report.json)")
+    p.add_argument("action", choices=("show", "diff"),
+                   help="show = render one report; diff = compare the "
+                        "deterministic metrics of two")
+    p.add_argument("files", nargs="+", metavar="FILE",
+                   help="one report for show, two for diff")
+    p.add_argument("--all", action="store_true",
+                   help="include volatile metrics (timings, cache hits, "
+                        "retries) in the diff")
+    p.add_argument("--seed", type=int, default=1,
+                   help="accepted for uniformity (no randomness)")
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("cache", help="inspect or purge the disk memo cache")
     p.add_argument("action", choices=("info", "clear"),
@@ -528,8 +635,23 @@ def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    registry, tracer = _obs_setup(args)
     try:
-        return args.func(args)
+        started = time.perf_counter()
+        code = args.func(args)
+        if registry is not None:
+            # The report is written for any completed command (theorem1
+            # exits 1 on a falsified theorem but still produced a run).
+            report = build_report(
+                command=args.command,
+                argv=list(argv) if argv is not None else sys.argv[1:],
+                seed=getattr(args, "seed", None),
+                metrics=registry,
+                timings={"total_s": time.perf_counter() - started},
+            )
+            write_report(args.metrics, report)
+            print(f"report written to {args.metrics}", file=sys.stderr)
+        return code
     except (ValueError, FileNotFoundError) as error:
         # Domain validation (bad rates, loads, fault probabilities…) and
         # resume-without-journal: report cleanly instead of dumping a
@@ -548,6 +670,10 @@ def main(argv=None) -> int:
         except OSError:
             pass
         return 0
+    finally:
+        # Uninstall even on failure so one CLI call (or test) can never
+        # leak its registry/tracer into the next.
+        _obs_teardown(registry, tracer)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

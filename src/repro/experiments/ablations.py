@@ -25,6 +25,7 @@ from ..core.policy import ControlPolicy, OccupancyLength, OldestFirstPosition
 from ..crp.scheduling_time import ExactSchedulingModel, mean_scheduling_slots
 from ..crp.twopoint import fit_two_point
 from ..mac.simulator import MACSimResult
+from ..obs import tracing as trace
 from ..queueing.impatient import ImpatientMG1
 from .records import ascii_table
 from .sweep import MACRunSpec, SweepExecutor
@@ -63,7 +64,7 @@ def _spec(policy: ControlPolicy, lam, m, deadline, horizon, warmup, seed) -> MAC
 
 
 def _arms_from(
-    labels, specs, workers, resilience=None
+    labels, specs, workers, resilience=None, metrics=None
 ) -> "List[AblationArm]":
     """Run the arm specs through the sweep executor and wrap the losses.
 
@@ -71,9 +72,10 @@ def _arms_from(
     as an explicit ``NaN`` arm labelled ``[quarantined]`` — the table
     keeps its shape and the hole is visible, never silently dropped.
     """
-    results: List[Optional[MACSimResult]] = SweepExecutor(
-        workers, resilience
-    ).run_specs(specs)
+    with trace.span("ablation.sweep", cells=len(specs)):
+        results: List[Optional[MACSimResult]] = SweepExecutor(
+            workers, resilience, metrics=metrics
+        ).run_specs(specs)
     arms = []
     for label, r in zip(labels, results):
         if r is None:
@@ -94,6 +96,7 @@ def element4_ablation(
     seed: int = 5,
     workers: Optional[int] = None,
     resilience=None,
+    metrics=None,
 ) -> List[AblationArm]:
     """Controlled protocol with and without the sender discard (A-EL4)."""
     lam = rho_prime / message_length
@@ -108,6 +111,7 @@ def element4_ablation(
         ],
         workers,
         resilience,
+        metrics,
     )
 
 
@@ -122,6 +126,7 @@ def window_length_ablation(
     seed: int = 6,
     workers: Optional[int] = None,
     resilience=None,
+    metrics=None,
 ) -> List[AblationArm]:
     """Loss versus window occupancy around the heuristic optimum (A-WIN).
 
@@ -148,7 +153,7 @@ def window_length_ablation(
             )
             for occupancy in occupancies
         ]
-        return _arms_from(labels, specs, workers, resilience)
+        return _arms_from(labels, specs, workers, resilience, metrics)
     arms = []
     for label, occupancy in zip(labels, occupancies):
         service = ExactSchedulingModel(message_length, occupancy).service_pmf()
@@ -166,6 +171,7 @@ def split_rule_ablation(
     seed: int = 7,
     workers: Optional[int] = None,
     resilience=None,
+    metrics=None,
 ) -> List[AblationArm]:
     """Split-order comparison under the controlled protocol (A-SPLIT)."""
     lam = rho_prime / message_length
@@ -182,6 +188,7 @@ def split_rule_ablation(
         ],
         workers,
         resilience,
+        metrics,
     )
 
 
@@ -195,6 +202,7 @@ def arity_ablation(
     seed: int = 8,
     workers: Optional[int] = None,
     resilience=None,
+    metrics=None,
 ) -> List[AblationArm]:
     """Binary versus k-ary window splitting (§5 extension, A-ARITY)."""
     lam = rho_prime / message_length
@@ -210,6 +218,7 @@ def arity_ablation(
         ],
         workers,
         resilience,
+        metrics,
     )
 
 

@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 
 from ..cache import get_or_compute
 from ..core.policy import ControlPolicy
+from ..obs import tracing as trace
 from ..crp.scheduling_time import ExactSchedulingModel, GeometricSchedulingModel
 from ..crp.window_opt import optimal_window_occupancy
 from ..queueing.distributions import LatticePMF
@@ -130,6 +131,7 @@ def generate_panel(
     workers: Optional[int] = None,
     sim_fast: bool = True,
     resilience=None,
+    metrics=None,
 ) -> PanelResult:
     """Produce every curve of one Figure 7 panel.
 
@@ -156,6 +158,10 @@ def generate_panel(
         Quarantined cells are omitted from their series and called out
         in ``result.notes`` — the panel degrades to an explicit partial
         grid instead of failing (or lying).
+    metrics:
+        An enabled :class:`~repro.obs.metrics.MetricsRegistry` collects
+        per-run simulator metrics and sweep telemetry (see
+        ``docs/observability.md``); ``None`` costs nothing.
     """
     if deadlines is None:
         deadlines = default_deadlines(config)
@@ -175,17 +181,20 @@ def generate_panel(
 
     # The §4.1 iteration is a pure function of the panel and the grid, so
     # repeated invocations (CLI, benches, CI) read it from the memo.
-    curve = get_or_compute(
-        "figure7-loss-curve-v1",
-        (
-            config.rho_prime,
-            config.message_length,
-            config.scheduling,
-            config.target_occupancy(),
-            tuple(deadlines),
-        ),
-        lambda: loss_curve(lam, deadlines, service_model=service_model),
-    )
+    with trace.span(
+        "figure7.analytic", rho=config.rho_prime, m=config.message_length
+    ):
+        curve = get_or_compute(
+            "figure7-loss-curve-v1",
+            (
+                config.rho_prime,
+                config.message_length,
+                config.scheduling,
+                config.target_occupancy(),
+                tuple(deadlines),
+            ),
+            lambda: loss_curve(lam, deadlines, service_model=service_model),
+        )
     controlled = Series("controlled_analytic")
     for point in curve:
         controlled.add(point.deadline, point.loss_probability)
@@ -236,8 +245,14 @@ def generate_panel(
             for _, policy_factory in arms
             for deadline in sim_points
         ]
-        executor = SweepExecutor(workers, resilience)
-        runs = executor.run_specs(specs)
+        executor = SweepExecutor(workers, resilience, metrics=metrics)
+        with trace.span(
+            "figure7.sweep",
+            rho=config.rho_prime,
+            m=config.message_length,
+            cells=len(specs),
+        ):
+            runs = executor.run_specs(specs)
         for arm_index, (name, _) in enumerate(arms):
             series = Series(name)
             for point_index, deadline in enumerate(sim_points):

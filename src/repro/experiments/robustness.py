@@ -24,6 +24,7 @@ import numpy as np
 from ..core import ControlPolicy
 from ..faults import FaultModel
 from ..mac import MACSimResult
+from ..obs import tracing as trace
 from .records import ascii_table
 from .sweep import MACRunSpec, SweepExecutor
 
@@ -221,6 +222,7 @@ def feedback_error_sweep(
     error_rates: Sequence[float] = DEFAULT_ERROR_RATES,
     workers: Optional[int] = None,
     resilience=None,
+    metrics=None,
 ) -> RobustnessReport:
     """Loss versus symmetric feedback-error rate (the degradation curve).
 
@@ -249,8 +251,9 @@ def feedback_error_sweep(
         for error_rate in error_rates
         for i in range(config.n_seeds)
     ]
-    executor = SweepExecutor(workers, resilience)
-    results = executor.run_specs(specs)
+    executor = SweepExecutor(workers, resilience, metrics=metrics)
+    with trace.span("robustness.feedback_errors", cells=len(specs)):
+        results = executor.run_specs(specs)
     for row, error_rate in enumerate(error_rates):
         chunk = results[row * config.n_seeds : (row + 1) * config.n_seeds]
         survivors = [r for r in chunk if r is not None]
@@ -275,6 +278,7 @@ def station_failure_scenario(
     mean_deaf_slots: float = 80.0,
     workers: Optional[int] = None,
     resilience=None,
+    metrics=None,
 ) -> List[MACSimResult]:
     """Crash/restart + deafness soak at the standard operating point.
 
@@ -296,4 +300,5 @@ def station_failure_scenario(
         _point_spec(config, model, config.base_seed + i)
         for i in range(config.n_seeds)
     ]
-    return SweepExecutor(workers, resilience).run_specs(specs)
+    with trace.span("robustness.station_failures", cells=len(specs)):
+        return SweepExecutor(workers, resilience, metrics=metrics).run_specs(specs)

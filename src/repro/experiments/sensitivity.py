@@ -26,6 +26,7 @@ from ..crp.scheduling_time import ExactSchedulingModel, GeometricSchedulingModel
 from ..crp.window_opt import optimal_window_occupancy
 from ..queueing.impatient import ImpatientMG1
 from ..workloads.arrivals import MMPPWorkload
+from ..obs import tracing as trace
 from .ablations import AblationArm
 from .sweep import MACRunSpec, SweepExecutor
 
@@ -65,6 +66,7 @@ def station_count_sensitivity(
     seed: int = 41,
     workers: Optional[int] = None,
     resilience=None,
+    metrics=None,
 ) -> List[AblationArm]:
     """Loss of the controlled protocol across population sizes."""
     lam = rho_prime / message_length
@@ -81,7 +83,8 @@ def station_count_sensitivity(
         )
         for n_stations in station_counts
     ]
-    results = SweepExecutor(workers, resilience).run_specs(specs)
+    with trace.span("sensitivity.stations", cells=len(specs)):
+        results = SweepExecutor(workers, resilience, metrics=metrics).run_specs(specs)
     return _arms("{0} stations", station_counts, results)
 
 
@@ -96,6 +99,7 @@ def burstiness_sensitivity(
     seed: int = 43,
     workers: Optional[int] = None,
     resilience=None,
+    metrics=None,
 ) -> List[AblationArm]:
     """Loss under MMPP traffic of fixed mean rate, varying peak/mean.
 
@@ -132,7 +136,8 @@ def burstiness_sensitivity(
                 workload=workload,
             )
         )
-    results = SweepExecutor(workers, resilience).run_specs(specs)
+    with trace.span("sensitivity.burstiness", cells=len(specs)):
+        results = SweepExecutor(workers, resilience, metrics=metrics).run_specs(specs)
     return _arms("peak/mean {0:g}", burst_ratios, results)
 
 

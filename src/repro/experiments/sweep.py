@@ -47,6 +47,7 @@ from ..core.policy import ControlPolicy
 from ..des.rng import RandomStreams
 from ..faults import FaultModel
 from ..mac.simulator import MACSimResult, WindowMACSimulator
+from ..obs.metrics import MetricsRegistry
 from ..resilience import (
     ResilienceOptions,
     SupervisedExecutor,
@@ -57,6 +58,7 @@ from ..resilience import (
 __all__ = [
     "MACRunSpec",
     "run_spec",
+    "run_spec_with_metrics",
     "spec_fingerprint",
     "SweepExecutor",
     "derive_seeds",
@@ -122,18 +124,23 @@ class MACRunSpec:
             raise ValueError(f"deadline must be positive, got {self.deadline}")
 
 
-def spec_fingerprint(spec: MACRunSpec) -> str:
+def spec_fingerprint(spec: MACRunSpec, instrumented: bool = False) -> str:
     """Content-addressed identity of one run (the journal key).
 
     Depends only on the spec's fields — never on worker layout,
     submission order, or grid position — so a resumed, reordered or
     narrowed grid replays exactly the cells whose parameters match.
+    ``instrumented`` runs journal ``(result, metrics)`` pairs, so they
+    live in their own fingerprint namespace — a journal of plain results
+    can never satisfy (or be corrupted by) a metrics-collecting resume.
     """
-    return fingerprint(("mac-run-spec", spec))
+    tag = "mac-run-spec-with-metrics" if instrumented else "mac-run-spec"
+    return fingerprint((tag, spec))
 
 
-def run_spec(spec: MACRunSpec) -> MACSimResult:
-    """Execute one spec (module-level, so worker processes can import it)."""
+def _build_simulator(
+    spec: MACRunSpec, metrics: Optional[MetricsRegistry] = None
+) -> WindowMACSimulator:
     kwargs = dict(
         arrival_rate=spec.arrival_rate,
         transmission_slots=spec.transmission_slots,
@@ -143,13 +150,34 @@ def run_spec(spec: MACRunSpec) -> MACSimResult:
         workload=spec.workload,
         fault_model=spec.fault_model,
         fast=spec.fast,
+        metrics=metrics,
     )
     if spec.stream_seed is not None:
         kwargs["streams"] = RandomStreams(spec.stream_seed)
     else:
         kwargs["seed"] = spec.seed
-    simulator = WindowMACSimulator(spec.policy, **kwargs)
+    return WindowMACSimulator(spec.policy, **kwargs)
+
+
+def run_spec(spec: MACRunSpec) -> MACSimResult:
+    """Execute one spec (module-level, so worker processes can import it)."""
+    simulator = _build_simulator(spec)
     return simulator.run(spec.horizon, warmup_slots=spec.warmup)
+
+
+def run_spec_with_metrics(spec: MACRunSpec):
+    """Execute one spec under a fresh registry; returns ``(result, state)``.
+
+    ``state`` is ``MetricsRegistry.to_dict()`` — plain picklable data, so
+    the pair crosses the process-pool boundary (and the journal) without
+    dragging metric objects along.  The registry is per-task, which is
+    what makes the parent-side merge independent of worker count: merge
+    in submission order and the layout cancels out.
+    """
+    registry = MetricsRegistry()
+    simulator = _build_simulator(spec, metrics=registry)
+    result = simulator.run(spec.horizon, warmup_slots=spec.warmup)
+    return result, registry.to_dict()
 
 
 def derive_seeds(base_seed: int, n: int) -> List[int]:
@@ -183,19 +211,33 @@ class SweepExecutor:
         and checkpointing, per-task timeouts, bounded retry and
         quarantine; quarantined tasks leave ``None`` holes in the
         returned list and are reported on :attr:`last_outcome`.
+    metrics:
+        An enabled :class:`~repro.obs.metrics.MetricsRegistry` turns on
+        instrumentation: executor-level counters (cells executed,
+        retried, wall-clock histograms) land on this registry directly,
+        and ``run_specs`` switches each task to
+        :func:`run_spec_with_metrics` so per-run simulator metrics are
+        collected in the workers, merged in submission order, and folded
+        in here too.  ``None`` or a disabled registry costs nothing.
     """
 
     def __init__(
         self,
         workers: Optional[int] = None,
         resilience: Optional[ResilienceOptions] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"worker count must be >= 1, got {workers}")
         self.workers = workers
         self.resilience = resilience
+        self.metrics = metrics if metrics is not None and metrics.enabled else None
         #: Outcome of the most recent ``run_specs``/``map`` call.
         self.last_outcome: Optional[SweepOutcome] = None
+        #: Merged per-run simulator metrics of the last ``run_specs``
+        #: call (worker-count invariant; ``None`` until an instrumented
+        #: sweep has run).
+        self.last_sim_metrics: Optional[MetricsRegistry] = None
 
     @property
     def parallel(self) -> bool:
@@ -206,7 +248,7 @@ class SweepExecutor:
         # A single task never justifies a pool (matches the historical
         # inline shortcut); the supervised inline path still journals.
         workers = self.workers if n_tasks > 1 else None
-        return SupervisedExecutor(workers, self.resilience)
+        return SupervisedExecutor(workers, self.resilience, metrics=self.metrics)
 
     def map(
         self,
@@ -240,10 +282,31 @@ class SweepExecutor:
         Under resilience options a quarantined spec leaves ``None`` at
         its index — callers must surface the hole (the experiment
         drivers mark it in their tables).
+
+        With a registry attached, tasks run through
+        :func:`run_spec_with_metrics`; per-run registries come back with
+        the results and are merged **in submission order** (never
+        completion order), so the merged metrics are identical for any
+        worker count — the property the worker-invariance tests pin.
         """
+        instrumented = self.metrics is not None
+        fn = run_spec_with_metrics if instrumented else run_spec
         fingerprints = None
         if self.resilience is not None:
-            fingerprints = [spec_fingerprint(spec) for spec in specs]
-        outcome = self._engine(len(specs)).run(run_spec, list(specs), fingerprints)
+            fingerprints = [spec_fingerprint(spec, instrumented) for spec in specs]
+        outcome = self._engine(len(specs)).run(fn, list(specs), fingerprints)
         self.last_outcome = outcome
-        return outcome.results
+        if not instrumented:
+            return outcome.results
+        results: List[Optional[MACSimResult]] = []
+        merged = MetricsRegistry()
+        for entry in outcome.results:
+            if entry is None:  # quarantine hole: keep it visible
+                results.append(None)
+                continue
+            result, state = entry
+            results.append(result)
+            merged.merge_from(MetricsRegistry.from_dict(state))
+        self.last_sim_metrics = merged
+        self.metrics.merge_from(merged)
+        return results

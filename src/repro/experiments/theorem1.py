@@ -40,6 +40,7 @@ from ..smdp.protocol_model import (
     pseudo_loss_fraction,
 )
 from ..smdp.pseudo_sim import make_window_policy, simulate_pseudo_protocol
+from ..obs import tracing as trace
 from .records import ascii_table
 
 __all__ = [
@@ -196,26 +197,32 @@ def run_theorem1_experiment(
         positions="endpoints",
         depth=config.depth,
     )
-    family = enumerate_policy_family(model, config)
+    with trace.span(
+        "theorem1.family",
+        K=config.deadline,
+        w=config.window_length,
+    ):
+        family = enumerate_policy_family(model, config)
 
     worst = _family_policy(
         model, config.window_length, family[-1].placement, family[-1].split
     )
     # Howard iteration is a pure function of (config, starting member);
     # repeated bench/CLI invocations read the solution from the memo.
-    iteration = get_or_compute(
-        "theorem1-policy-iteration-v1",
-        (
-            config.arrival_rate,
-            config.deadline,
-            config.transmission,
-            config.window_length,
-            config.depth,
-            family[-1].placement,
-            family[-1].split,
-        ),
-        lambda: policy_iteration(model, worst),
-    )
+    with trace.span("theorem1.policy_iteration", K=config.deadline):
+        iteration = get_or_compute(
+            "theorem1-policy-iteration-v1",
+            (
+                config.arrival_rate,
+                config.deadline,
+                config.transmission,
+                config.window_length,
+                config.depth,
+                family[-1].placement,
+                family[-1].split,
+            ),
+            lambda: policy_iteration(model, worst),
+        )
 
     simulated = None
     if simulate:

@@ -96,7 +96,7 @@ def run_fast(
     sim: "WindowMACSimulator", total_time: float, warmup_slots: float
 ) -> "MACSimResult":
     """Run the fast kernel; same contract as ``_run_shared``."""
-    from .simulator import MACSimResult  # deferred: import cycle
+    from .simulator import MACSimResult, flush_result_metrics  # deferred: import cycle
 
     policy = sim.policy
     controller = sim.controller
@@ -174,6 +174,18 @@ def run_fast(
     # shortcuts touch — the jumped clock and the emptied unresolved set.
     check = invariants_enabled()
     last_now = -math.inf
+    # Per-epoch instrumentation (one `is not None` test per epoch when
+    # disabled).  Epoch histograms cover *executed* epochs only: the idle
+    # fast-forward elides full-window idle examinations, which the
+    # dedicated mac.fastforward.* counters account for instead.
+    obs = sim.metrics
+    if obs is not None:
+        epoch_counter = obs.counter("mac.epochs")
+        backlog_hist = obs.histogram("mac.backlog.size")
+        window_hist = obs.histogram("mac.window.size", unit="slots")
+        ff_spans = obs.counter("mac.fastforward.spans")
+        ff_slots = obs.counter("mac.fastforward.slots", unit="slots")
+        ff_hist = obs.histogram("mac.fastforward.span", unit="slots")
 
     while now < total_time:
         if check:
@@ -223,9 +235,16 @@ def run_fast(
                     controller.unresolved = unresolved = IntervalSet()
                     controller.frontier = now + skipped - 1.0
                     now += skipped
+                    if obs is not None:
+                        ff_spans.inc()
+                        ff_slots.inc(skipped)
+                        ff_hist.observe(skipped)
                     continue
 
         # -- reference epoch (same call sequence as the slow path) -----------
+        if obs is not None:
+            epoch_counter.inc()
+            backlog_hist.observe(len(backlog_t))
         process = controller.begin_process(now)
         if discard_deadline is not None:
             horizon = now - discard_deadline
@@ -244,6 +263,8 @@ def run_fast(
             continue
 
         process_start = now
+        if obs is not None:
+            window_hist.observe(process.current_span.measure)
         # Per-process arrival bins: snapshot the initial window's messages
         # once; the backlog cannot change until the process completes.
         snap_t: List[float] = []
@@ -374,7 +395,7 @@ def run_fast(
     )
     sim.channel.now = now
     sim.channel.stats = stats
-    return MACSimResult(
+    result = MACSimResult(
         arrivals=n_measured,
         delivered_on_time=delivered_on_time,
         delivered_late=delivered_late,
@@ -385,3 +406,6 @@ def run_fast(
         channel=stats,
         deadline=score_deadline,
     )
+    if obs is not None:
+        flush_result_metrics(obs, result)
+    return result

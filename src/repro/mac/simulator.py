@@ -28,13 +28,14 @@ from ..core.window import ChannelFeedback
 from ..des.monitor import Tally
 from ..des.rng import RandomStreams
 from ..faults import FaultEvent, FaultModel, FaultTelemetry, ReplicatedControllerBank
+from ..obs.metrics import MetricsRegistry
 from ..resilience.invariants import invariants_enabled, require
 from . import fastpath
 from .channel import ChannelStats, SlottedChannel
 from .messages import Message, MessageFate
 from .station import StationRegistry
 
-__all__ = ["MACSimResult", "WindowMACSimulator"]
+__all__ = ["MACSimResult", "WindowMACSimulator", "flush_result_metrics"]
 
 #: Sub-seed mixed into the fault stream when no RandomStreams family is
 #: given, keeping fault draws independent of the traffic sample path.
@@ -125,6 +126,30 @@ class MACSimResult:
         return math.sqrt(max(p * (1.0 - p), 0.0) / self.resolved)
 
 
+def flush_result_metrics(metrics: MetricsRegistry, result: MACSimResult) -> None:
+    """Record one run's outcome into ``metrics``.
+
+    Slot counters are copied verbatim from :class:`ChannelStats`, so the
+    metrics view of channel usage agrees *exactly* with
+    :meth:`ChannelStats.breakdown` — the parity test in
+    ``tests/mac/test_obs_parity.py`` holds all three accountings (the
+    reference loop, the fast kernel, and these counters) to identical
+    values.  Shared by every simulation path, including the fast kernel.
+    """
+    metrics.inc("mac.runs")
+    stats = result.channel
+    metrics.inc("mac.slots.idle", stats.idle_slots)
+    metrics.inc("mac.slots.collision", stats.collision_slots)
+    metrics.inc("mac.slots.transmission", stats.transmission_slots)
+    metrics.inc("mac.slots.wait", stats.wait_slots)
+    metrics.inc("mac.messages.arrivals", result.arrivals)
+    metrics.inc("mac.messages.on_time", result.delivered_on_time)
+    metrics.inc("mac.messages.late", result.delivered_late)
+    metrics.inc("mac.messages.discarded", result.discarded)
+    metrics.inc("mac.messages.unresolved", result.unresolved)
+    metrics.inc("mac.messages.lost_to_faults", result.lost_to_faults)
+
+
 class WindowMACSimulator:
     """Simulates the window protocol on a slotted broadcast channel.
 
@@ -156,6 +181,14 @@ class WindowMACSimulator:
         Randomness source.  A :class:`~repro.des.rng.RandomStreams`
         family (when given) supersedes ``seed`` and draws traffic and
         fault randomness from independent named substreams.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        per-run channel/outcome counters and per-epoch backlog and
+        window-size histograms (see ``docs/observability.md``).
+        ``None`` or a disabled registry is normalised to ``None`` here,
+        so the uninstrumented hot path is bit- and speed-identical to
+        the pre-observability code.  Recording never changes a result:
+        instrumented runs stay bit-identical to uninstrumented ones.
     fault_model:
         ``None`` (default) runs the classic shared-controller path.  A
         :class:`~repro.faults.FaultModel` — even ``FaultModel.none()`` —
@@ -178,6 +211,7 @@ class WindowMACSimulator:
         fault_model: Optional[FaultModel] = None,
         streams: Optional[RandomStreams] = None,
         fast: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if arrival_rate <= 0:
             raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
@@ -200,6 +234,11 @@ class WindowMACSimulator:
             )
         self.workload = workload  # None = homogeneous Poisson at arrival_rate
         self.fast = fast
+        # A disabled registry is normalised away so hot loops test one
+        # reference against None and nothing else.
+        self.metrics = (
+            metrics if metrics is not None and metrics.enabled else None
+        )
 
         self.registry = StationRegistry(n_stations)
         self.channel = SlottedChannel(self.registry, transmission_slots)
@@ -274,6 +313,13 @@ class WindowMACSimulator:
         # inferred from a corrupt merged table downstream.
         check = invariants_enabled()
         last_now = -math.inf
+        # Per-epoch instrumentation: one `is not None` test per decision
+        # epoch when disabled (never per slot inside a process).
+        obs = self.metrics
+        if obs is not None:
+            epoch_counter = obs.counter("mac.epochs")
+            backlog_hist = obs.histogram("mac.backlog.size")
+            window_hist = obs.histogram("mac.window.size", unit="slots")
 
         while channel.now < total_time:
             now = channel.now
@@ -287,6 +333,10 @@ class WindowMACSimulator:
                 if measured(message):
                     n_measured += 1
                 arrival_index += 1
+
+            if obs is not None:
+                epoch_counter.inc()
+                backlog_hist.observe(len(registry))
 
             # begin_process applies element 4 to the time axis; mirror it
             # on the message backlog (stations drop their stale messages).
@@ -303,6 +353,8 @@ class WindowMACSimulator:
                 continue
 
             process_start = now
+            if obs is not None:
+                window_hist.observe(process.current_span.measure)
             transmitted: Optional[Message] = None
             # §5 priority extension: participation is decided once per
             # windowing process against the initial window.
@@ -349,7 +401,7 @@ class WindowMACSimulator:
         # Retain per-message records (measured interval only) so callers
         # can compute custom breakdowns, e.g. per-station-class loss.
         self.scored_messages = [m for m in arrivals if measured(m)]
-        return MACSimResult(
+        result = MACSimResult(
             arrivals=n_measured,
             delivered_on_time=counts[MessageFate.DELIVERED_ON_TIME],
             delivered_late=counts[MessageFate.DELIVERED_LATE],
@@ -360,6 +412,9 @@ class WindowMACSimulator:
             channel=channel.stats,
             deadline=self.deadline,
         )
+        if obs is not None:
+            flush_result_metrics(obs, result)
+        return result
 
     def _run_replicated(self, total_time: float, warmup_slots: float) -> MACSimResult:
         """The fault-injected path: per-station controller replicas.
@@ -490,7 +545,7 @@ class WindowMACSimulator:
                 f"{n_measured} measured arrivals but {accounted} accounted for",
             )
         self.scored_messages = [m for m in arrivals if measured(m)]
-        return MACSimResult(
+        result = MACSimResult(
             arrivals=n_measured,
             delivered_on_time=counts[MessageFate.DELIVERED_ON_TIME],
             delivered_late=counts[MessageFate.DELIVERED_LATE],
@@ -503,6 +558,12 @@ class WindowMACSimulator:
             lost_to_faults=counts[MessageFate.LOST_TO_FAULT],
             faults=bank.telemetry,
         )
+        # Replica runs flush the end-of-run accounting only: epoch-level
+        # histograms describe the shared-controller decision structure,
+        # which diverged cohorts do not share.
+        if self.metrics is not None:
+            flush_result_metrics(self.metrics, result)
+        return result
 
     def _score_delivery(self, message, counts, true_wait, paper_wait, measured) -> None:
         wait = message.wait(self.loss_definition)

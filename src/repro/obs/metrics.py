@@ -1,0 +1,419 @@
+"""Counters, gauges, histograms, and the mergeable registry.
+
+Design constraints, in order:
+
+1. **Disabled means free.**  Instrumented code holds a reference that is
+   either a live metric or ``None``/a shared no-op; the hot loops guard
+   with one ``is not None`` test per *epoch* (never per slot), and the
+   simulator normalises a disabled registry to ``None`` at construction
+   so the disabled path is literally the uninstrumented path.  The perf
+   bench (``benchmarks/perf``) asserts the overhead stays ≤2%.
+
+2. **Deterministic, associative merge.**  Parallel sweeps produce one
+   registry per cell in worker processes and fold them into an
+   aggregate.  Counter merge is addition, histogram merge is
+   element-wise addition over *identical* bucket bounds, gauge merge is
+   ``max`` — all associative and commutative with the empty registry as
+   identity, so the merged registry is independent of worker count and
+   completion order.  ``tests/obs/test_metrics_property.py`` holds the
+   implementation to those laws with hypothesis.
+
+3. **JSON-portable.**  :meth:`MetricsRegistry.to_dict` /
+   :meth:`from_dict` round-trip through plain JSON types, which is how
+   worker registries cross process boundaries and how ``report.json``
+   snapshots them.
+
+Metrics carry two bits of schema beyond their value: ``unit`` (a bare
+string, ``"s"`` for seconds) and ``volatile`` — a flag marking values
+that legitimately differ between two runs of the same seed (wall-clock
+times, cache hit/miss, retry counts).  ``repro report diff`` ignores
+volatile metrics by default, so "zero drift between same-seed reports"
+is a checkable invariant of the deterministic remainder.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "install",
+    "global_registry",
+    "DURATION_BUCKETS_S",
+    "SIZE_BUCKETS",
+]
+
+#: Power-of-two bucket upper bounds for size-like quantities (backlog
+#: length, window measure in slots, fast-forward span length).  The
+#: implicit final bucket is +inf.
+SIZE_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0,
+)
+
+#: Bucket upper bounds (seconds) for wall-clock durations: 1 ms .. 5 min.
+DURATION_BUCKETS_S: Tuple[float, ...] = (
+    0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0, 300.0,
+)
+
+
+class Counter:
+    """A monotonically increasing sum.
+
+    Values are numbers; the instrumentation only ever adds non-negative
+    integral amounts (slot counts are integral-valued floats), so merge
+    by addition is exact.
+    """
+
+    __slots__ = ("value", "unit", "volatile")
+    kind = "counter"
+
+    def __init__(self, unit: Optional[str] = None, volatile: bool = False):
+        self.value: float = 0
+        self.unit = unit
+        self.volatile = volatile
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only increase, got {amount}")
+        self.value += amount
+
+    def merge_from(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def state(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value; merge keeps the maximum.
+
+    ``max`` is the one associative-commutative combiner that makes sense
+    for "peak backlog"-style gauges; gauges whose merge semantics would
+    be last-write-wins should be counters or histograms instead.
+    """
+
+    __slots__ = ("value", "unit", "volatile")
+    kind = "gauge"
+
+    def __init__(self, unit: Optional[str] = None, volatile: bool = False):
+        self.value: Optional[float] = None
+        self.unit = unit
+        self.volatile = volatile
+
+    def set(self, value: float) -> None:
+        """Record the current value (merge keeps the max ever set)."""
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def merge_from(self, other: "Gauge") -> None:
+        if other.value is not None:
+            self.set(other.value)
+
+    def state(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum and count.
+
+    ``bounds`` are ascending bucket *upper* edges; an implicit final
+    bucket catches everything above the last bound.  Two histograms
+    merge only when their bounds are identical — a schema mismatch is a
+    programming error, not data.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "sum", "unit", "volatile")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        bounds: Iterable[float] = SIZE_BUCKETS,
+        unit: Optional[str] = None,
+        volatile: bool = False,
+    ):
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        if not self.bounds or any(
+            b2 <= b1 for b1, b2 in zip(self.bounds, self.bounds[1:])
+        ):
+            raise ValueError(f"bucket bounds must be ascending, got {self.bounds}")
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total: int = 0
+        self.sum: float = 0.0
+        self.unit = unit
+        self.volatile = volatile
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = 0
+        for bound in self.bounds:
+            if value <= bound:
+                break
+            index += 1
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (NaN when empty)."""
+        return self.sum / self.total if self.total else float("nan")
+
+    def merge_from(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+        self.sum += other.sum
+
+    def state(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+
+class _NullMetric:
+    """Shared do-nothing stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """A named collection of metrics with deterministic merge.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` turns every accessor into a shared no-op metric, so a
+        call site can hold "a registry" unconditionally and still pay
+        nothing.  Code on genuinely hot paths should additionally
+        normalise a disabled registry to ``None`` (the simulator does).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: "Dict[str, Any]" = {}
+
+    # -- accessors (get-or-create) ---------------------------------------------
+
+    def counter(
+        self, name: str, unit: Optional[str] = None, volatile: bool = False
+    ) -> Counter:
+        """The counter called ``name``, created on first use."""
+        if not self.enabled:
+            return _NULL_METRIC  # type: ignore[return-value]
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Counter(unit=unit, volatile=volatile)
+        elif not isinstance(metric, Counter):
+            raise TypeError(f"metric {name!r} is a {metric.kind}, not a counter")
+        return metric
+
+    def gauge(
+        self, name: str, unit: Optional[str] = None, volatile: bool = False
+    ) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        if not self.enabled:
+            return _NULL_METRIC  # type: ignore[return-value]
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Gauge(unit=unit, volatile=volatile)
+        elif not isinstance(metric, Gauge):
+            raise TypeError(f"metric {name!r} is a {metric.kind}, not a gauge")
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Iterable[float] = SIZE_BUCKETS,
+        unit: Optional[str] = None,
+        volatile: bool = False,
+    ) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        if not self.enabled:
+            return _NULL_METRIC  # type: ignore[return-value]
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Histogram(
+                bounds, unit=unit, volatile=volatile
+            )
+        elif not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a {metric.kind}, not a histogram")
+        return metric
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Shorthand: increment the counter called ``name``."""
+        self.counter(name).inc(amount)
+
+    # -- inspection -----------------------------------------------------------
+
+    def names(self) -> List[str]:
+        """Sorted metric names."""
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        """The metric object called ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: float = 0):
+        """Scalar value of a counter/gauge (histograms return the total)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            return metric.total
+        return metric.value
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MetricsRegistry):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsRegistry({len(self._metrics)} metrics)"
+
+    # -- merge ----------------------------------------------------------------
+
+    def merge_from(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (in place); returns self.
+
+        Metric kinds and histogram bounds must agree where names
+        collide.  Absent names adopt the other side's state, so the
+        empty registry is the merge identity.
+        """
+        for name, theirs in other._metrics.items():
+            mine = self._metrics.get(name)
+            if mine is None:
+                if isinstance(theirs, Histogram):
+                    mine = Histogram(
+                        theirs.bounds, unit=theirs.unit, volatile=theirs.volatile
+                    )
+                else:
+                    mine = type(theirs)(unit=theirs.unit, volatile=theirs.volatile)
+                self._metrics[name] = mine
+            elif mine.kind != theirs.kind:
+                raise TypeError(
+                    f"cannot merge metric {name!r}: {mine.kind} vs {theirs.kind}"
+                )
+            mine.merge_from(theirs)
+        return self
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """A new registry holding ``self`` merged with ``other``."""
+        result = MetricsRegistry()
+        result.merge_from(self)
+        result.merge_from(other)
+        return result
+
+    @classmethod
+    def merged(cls, registries: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        """Merge an iterable of registries (left fold from the identity)."""
+        result = cls()
+        for registry in registries:
+            result.merge_from(registry)
+        return result
+
+    def drop_volatile(self) -> "MetricsRegistry":
+        """A copy without volatile metrics (the deterministic remainder)."""
+        result = MetricsRegistry()
+        for name, metric in self._metrics.items():
+            if not metric.volatile:
+                result._metrics[name] = _metric_from_state(
+                    metric.state(), metric.unit, metric.volatile
+                )
+        return result
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-portable snapshot (sorted names, plain types only)."""
+        snapshot = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            entry = metric.state()
+            if metric.unit is not None:
+                entry["unit"] = metric.unit
+            if metric.volatile:
+                entry["volatile"] = True
+            snapshot[name] = entry
+        return snapshot
+
+    @classmethod
+    def from_dict(cls, snapshot: Dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dict` output."""
+        registry = cls()
+        for name, entry in snapshot.items():
+            registry._metrics[name] = _metric_from_state(
+                entry, entry.get("unit"), bool(entry.get("volatile", False))
+            )
+        return registry
+
+
+def _metric_from_state(
+    entry: Dict[str, Any], unit: Optional[str], volatile: bool
+):
+    kind = entry["kind"]
+    if kind == "counter":
+        metric = Counter(unit=unit, volatile=volatile)
+        metric.value = entry["value"]
+    elif kind == "gauge":
+        metric = Gauge(unit=unit, volatile=volatile)
+        metric.value = entry["value"]
+    elif kind == "histogram":
+        metric = Histogram(entry["bounds"], unit=unit, volatile=volatile)
+        metric.counts = list(entry["counts"])
+        metric.total = entry["total"]
+        metric.sum = entry["sum"]
+    else:
+        raise ValueError(f"unknown metric kind {kind!r}")
+    return metric
+
+
+# -- global registry (for call sites too deep to thread a parameter) -----------
+
+_GLOBAL: Optional[MetricsRegistry] = None
+
+
+def install(registry: Optional[MetricsRegistry]) -> Optional[MetricsRegistry]:
+    """Install ``registry`` as the process-global registry; returns the
+    previous one (``None`` restores the uninstrumented default).
+
+    Only :mod:`repro.cache` reads the global — everything else takes an
+    explicit registry — so installation is confined to entry points (the
+    CLI's ``--metrics`` flag, tests).
+    """
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = registry
+    return previous
+
+
+def global_registry() -> Optional[MetricsRegistry]:
+    """The installed global registry, or ``None``."""
+    return _GLOBAL

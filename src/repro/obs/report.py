@@ -1,0 +1,196 @@
+"""Machine-readable run reports and the drift differ.
+
+Every experiment driver invoked with ``--metrics [FILE]`` writes a
+``report.json`` next to its table output::
+
+    {
+      "schema": 1,
+      "command": "figure7",
+      "argv": ["figure7", "--simulate", "--seed", "1"],
+      "seed": 1,
+      "created_at": "2026-08-06T12:00:00+00:00",
+      "environment": {"python": "3.12.3", "platform": "Linux-...", ...},
+      "timings": {"total_s": 12.8},
+      "metrics": { ... MetricsRegistry.to_dict() ... }
+    }
+
+``repro report show FILE`` renders one; ``repro report diff A B``
+compares the *deterministic* metrics of two (volatile metrics —
+wall-clock timings, cache hits, retry counts — are excluded unless
+``--all`` is passed) and exits non-zero on drift.  Two runs of the same
+command at the same seed must diff clean; that is the regression
+contract the golden tests extend to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional, Sequence
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "build_report",
+    "write_report",
+    "load_report",
+    "render_report",
+    "diff_reports",
+]
+
+#: Bump when the report layout changes incompatibly.
+REPORT_SCHEMA = 1
+
+
+def _environment() -> Dict[str, str]:
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unavailable"
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": numpy_version,
+    }
+
+
+def build_report(
+    command: str,
+    argv: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    timings: Optional[Dict[str, float]] = None,
+) -> Dict[str, Any]:
+    """Assemble a report dict (pure data; write it with :func:`write_report`)."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "command": command,
+        "argv": list(argv) if argv is not None else list(sys.argv[1:]),
+        "seed": seed,
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "environment": _environment(),
+        "timings": dict(timings or {}),
+        "metrics": metrics.to_dict() if metrics is not None else {},
+    }
+
+
+def write_report(path, report: Dict[str, Any]) -> None:
+    """Write a report as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path) -> Dict[str, Any]:
+    """Read a report back; validates the schema field."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    schema = report.get("schema")
+    if schema != REPORT_SCHEMA:
+        raise ValueError(
+            f"unsupported report schema {schema!r} in {path} "
+            f"(this build reads schema {REPORT_SCHEMA})"
+        )
+    return report
+
+
+def _metric_rows(metrics: Dict[str, Any]) -> List[List[str]]:
+    rows = []
+    for name in sorted(metrics):
+        entry = metrics[name]
+        kind = entry["kind"]
+        if kind == "histogram":
+            total = entry["total"]
+            mean = entry["sum"] / total if total else float("nan")
+            value = f"n={total} mean={mean:.4g}"
+        else:
+            raw = entry["value"]
+            value = "-" if raw is None else f"{raw:g}"
+        unit = entry.get("unit", "")
+        flags = "volatile" if entry.get("volatile") else ""
+        rows.append([name, kind, value, unit, flags])
+    return rows
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of one report (for ``repro report show``)."""
+    from ..experiments.records import ascii_table
+
+    env = report.get("environment", {})
+    head = [
+        ["command", " ".join([report.get("command", "?")] )],
+        ["argv", " ".join(report.get("argv", []))],
+        ["seed", str(report.get("seed"))],
+        ["created", report.get("created_at", "?")],
+        ["python", env.get("python", "?")],
+        ["platform", env.get("platform", "?")],
+    ]
+    for name, value in sorted(report.get("timings", {}).items()):
+        head.append([f"timing {name}", f"{value:.3f}"])
+    text = ascii_table(["field", "value"], head, title="Run report")
+    metrics = report.get("metrics", {})
+    if metrics:
+        text += "\n\n" + ascii_table(
+            ["metric", "kind", "value", "unit", ""],
+            _metric_rows(metrics),
+            title=f"Metrics ({len(metrics)})",
+        )
+    return text
+
+
+def diff_reports(
+    a: Dict[str, Any],
+    b: Dict[str, Any],
+    include_volatile: bool = False,
+) -> List[str]:
+    """Metric-level differences between two reports (empty = no drift).
+
+    Volatile metrics (and the environment/timings sections, which are
+    expected to differ) are ignored unless ``include_volatile`` — the
+    deterministic remainder must match exactly for two runs of the same
+    command at the same seed.
+    """
+    lines: List[str] = []
+    metrics_a = a.get("metrics", {})
+    metrics_b = b.get("metrics", {})
+
+    def keep(entry: Dict[str, Any]) -> bool:
+        return include_volatile or not entry.get("volatile")
+
+    names_a = {n for n, e in metrics_a.items() if keep(e)}
+    names_b = {n for n, e in metrics_b.items() if keep(e)}
+    for name in sorted(names_a - names_b):
+        lines.append(f"only in A: {name}")
+    for name in sorted(names_b - names_a):
+        lines.append(f"only in B: {name}")
+    for name in sorted(names_a & names_b):
+        entry_a, entry_b = metrics_a[name], metrics_b[name]
+        if entry_a.get("kind") != entry_b.get("kind"):
+            lines.append(
+                f"{name}: kind {entry_a.get('kind')} != {entry_b.get('kind')}"
+            )
+            continue
+        if entry_a.get("kind") == "histogram":
+            for field in ("bounds", "counts", "total", "sum"):
+                if entry_a.get(field) != entry_b.get(field):
+                    lines.append(
+                        f"{name}: {field} {entry_a.get(field)} != "
+                        f"{entry_b.get(field)}"
+                    )
+        elif entry_a.get("value") != entry_b.get("value"):
+            lines.append(
+                f"{name}: {entry_a.get('value')} != {entry_b.get('value')}"
+            )
+    if a.get("seed") != b.get("seed"):
+        lines.insert(
+            0,
+            f"seed differs: {a.get('seed')} != {b.get('seed')} "
+            "(metric drift below is expected)",
+        )
+    return lines

@@ -36,6 +36,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..obs.metrics import DURATION_BUCKETS_S, MetricsRegistry
 from .journal import JournalMismatchError, RunJournal
 
 __all__ = [
@@ -192,18 +193,26 @@ class SupervisedExecutor:
         semantics*: no journal, no retry, the first task failure is
         re-raised (exactly what the pre-resilience executor did, minus
         the loss of completed work).
+    metrics:
+        An enabled :class:`~repro.obs.metrics.MetricsRegistry` receives
+        the executor's own telemetry — cell counts, retries, per-cell
+        wall-clock and queue-wait histograms.  All of it is marked
+        *volatile* (wall-clock and scheduling differ between identical
+        runs by nature), so ``repro report diff`` ignores it by default.
     """
 
     def __init__(
         self,
         workers: Optional[int] = None,
         options: Optional[ResilienceOptions] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"worker count must be >= 1, got {workers}")
         self.workers = workers
         self.strict = options is None
         self.options = options or ResilienceOptions(max_retries=0)
+        self.metrics = metrics if metrics is not None and metrics.enabled else None
         self.journal: Optional[RunJournal] = None
         if self.options.checkpoint is not None:
             if self.options.resume and not RunJournal.exists(self.options.checkpoint):
@@ -256,7 +265,29 @@ class SupervisedExecutor:
                 self._run_parallel(fn, tasks, outcome)
             else:
                 self._run_inline(fn, tasks, outcome)
+        if self.metrics is not None:
+            self._flush_outcome(outcome)
         return outcome
+
+    def _flush_outcome(self, outcome: SweepOutcome) -> None:
+        # All volatile: journal state, crashes and scheduling make these
+        # legitimately differ between two same-seed runs.
+        obs = self.metrics
+        obs.counter("sweep.cells.executed", volatile=True).inc(outcome.executed)
+        obs.counter("sweep.cells.replayed", volatile=True).inc(outcome.replayed)
+        obs.counter("sweep.cells.retried", volatile=True).inc(outcome.retries)
+        obs.counter("sweep.cells.timed_out", volatile=True).inc(outcome.timeouts)
+        obs.counter("sweep.cells.quarantined", volatile=True).inc(
+            len(outcome.quarantined)
+        )
+        obs.counter("sweep.pool.restarts", volatile=True).inc(
+            outcome.pool_restarts
+        )
+
+    def _wall_histogram(self):
+        return self.metrics.histogram(
+            "sweep.cell.wall_s", DURATION_BUCKETS_S, unit="s", volatile=True
+        )
 
     # -- completion / failure bookkeeping -----------------------------------------
 
@@ -314,12 +345,14 @@ class SupervisedExecutor:
         so an interrupted inline sweep resumes exactly like a crashed
         parallel one.
         """
+        wall_hist = self._wall_histogram() if self.metrics is not None else None
         pending = deque(tasks)
         while pending:
             task = pending.popleft()
             delay = task.not_before - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
+            begun = time.perf_counter()
             try:
                 value = fn(task.item)
             except Exception as error:
@@ -330,6 +363,8 @@ class SupervisedExecutor:
                     outcome,
                 )
                 continue
+            if wall_hist is not None:
+                wall_hist.observe(time.perf_counter() - begun)
             self._complete(task, value, outcome)
 
     # -- parallel path ------------------------------------------------------------
@@ -337,6 +372,13 @@ class SupervisedExecutor:
     def _run_parallel(
         self, fn: Callable[[Any], Any], tasks: List[_Task], outcome: SweepOutcome
     ) -> None:
+        wall_hist = queue_hist = None
+        if self.metrics is not None:
+            wall_hist = self._wall_histogram()
+            queue_hist = self.metrics.histogram(
+                "sweep.cell.queue_s", DURATION_BUCKETS_S, unit="s", volatile=True
+            )
+        queue_origin = time.monotonic()
         pending: "deque[_Task]" = deque(tasks)
         inflight: Dict[Any, _Task] = {}
         started: Dict[Any, float] = {}
@@ -344,7 +386,10 @@ class SupervisedExecutor:
         try:
             while pending or inflight:
                 now = time.monotonic()
-                self._submit_eligible(fn, pool, pending, inflight, started, now)
+                self._submit_eligible(
+                    fn, pool, pending, inflight, started, now,
+                    queue_hist=queue_hist, queue_origin=queue_origin,
+                )
                 if not inflight:
                     # Everything pending is in a backoff window.
                     wakeup = min(task.not_before for task in pending)
@@ -356,9 +401,11 @@ class SupervisedExecutor:
                 broken = False
                 for future in done:
                     task = inflight.pop(future)
-                    started.pop(future)
+                    begun = started.pop(future)
                     error = future.exception()
                     if error is None:
+                        if wall_hist is not None:
+                            wall_hist.observe(time.monotonic() - begun)
                         self._complete(task, future.result(), outcome)
                     elif isinstance(error, BrokenProcessPool):
                         # The culprit is unknowable from the parent side, so
@@ -411,7 +458,10 @@ class SupervisedExecutor:
             raise
         pool.shutdown(wait=True)
 
-    def _submit_eligible(self, fn, pool, pending, inflight, started, now) -> None:
+    def _submit_eligible(
+        self, fn, pool, pending, inflight, started, now,
+        queue_hist=None, queue_origin=0.0,
+    ) -> None:
         """Fill the pool with backoff-eligible tasks, up to the worker count.
 
         In-flight submissions are capped at ``workers`` so every
@@ -428,6 +478,8 @@ class SupervisedExecutor:
             future = pool.submit(fn, task.item)
             inflight[future] = task
             started[future] = time.monotonic()
+            if queue_hist is not None:
+                queue_hist.observe(started[future] - queue_origin)
 
     def _overdue(self, inflight, started) -> List[Any]:
         if self.options.task_timeout is None:

@@ -1,0 +1,68 @@
+"""Golden regression: Theorem-1 family losses and the optimal gain.
+
+``theorem1_smallK.json`` pins the analytic pseudo-loss of every
+(placement, split) member of the {Pʷ} family at the small-K default
+configuration, plus the gain of the policy-iteration fixed point.  The
+values come from exact linear solves, so the tolerance is tight; the
+*ordering* of the family (minimum slack wins — Theorem 1's claim) is
+asserted structurally on top of the numbers.
+"""
+
+import pytest
+
+from repro.experiments.theorem1 import run_theorem1_experiment
+
+from .checks import assert_matches_golden, load_golden
+
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+GOLDEN = load_golden("theorem1_smallK.json")
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_theorem1_experiment()
+
+
+def test_family_losses_match_golden(report):
+    pinned = GOLDEN["family"]
+    assert [(v.placement, v.split) for v in report.family] == [
+        (entry["placement"], entry["split"]) for entry in pinned
+    ]
+    assert_matches_golden(
+        [v.loss for v in report.family],
+        [entry["loss"] for entry in pinned],
+        rel_tol=REL_TOL,
+        abs_tol=ABS_TOL,
+        label="family.loss",
+    )
+
+
+def test_optimal_gain_matches_golden(report):
+    assert_matches_golden(
+        [report.optimal_gain_loss],
+        [GOLDEN["optimal_gain_loss"]],
+        rel_tol=REL_TOL,
+        abs_tol=ABS_TOL,
+        label="optimal_gain_loss",
+    )
+
+
+def test_theorem1_structure_still_holds(report):
+    assert report.minimum_slack_is_best()
+    assert report.iteration_uses_theorem_elements()
+    # the iterated optimum is at least as good as every family member
+    assert report.optimal_gain_loss <= report.family[0].loss + ABS_TOL
+
+
+def test_comparison_rejects_perturbed_gain():
+    pinned = GOLDEN["optimal_gain_loss"]
+    with pytest.raises(AssertionError, match="optimal_gain_loss"):
+        assert_matches_golden(
+            [pinned * (1 + 1e-6)],
+            [pinned],
+            rel_tol=REL_TOL,
+            abs_tol=ABS_TOL,
+            label="optimal_gain_loss",
+        )

@@ -1,0 +1,215 @@
+"""Unit tests for the metric primitives and the registry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    DURATION_BUCKETS_S,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+    global_registry,
+    install,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative_amounts(self):
+        with pytest.raises(ValueError, match="only increase"):
+            Counter().inc(-1)
+
+    def test_merge_adds(self):
+        a, b = Counter(), Counter()
+        a.inc(3)
+        b.inc(4)
+        a.merge_from(b)
+        assert a.value == 7
+
+
+class TestGauge:
+    def test_unset_gauge_has_none_value(self):
+        assert Gauge().value is None
+
+    def test_set_keeps_maximum(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.set(3)
+        gauge.set(9)
+        assert gauge.value == 9
+
+    def test_merge_keeps_maximum_and_ignores_unset(self):
+        a, b = Gauge(), Gauge()
+        a.set(2)
+        b.set(7)
+        a.merge_from(b)
+        assert a.value == 7
+        a.merge_from(Gauge())  # unset other: no change
+        assert a.value == 7
+
+
+class TestHistogram:
+    def test_bucket_placement_on_upper_edges(self):
+        hist = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 2.0, 10.0, 11.0):
+            hist.observe(value)
+        # <=1, <=10, >10 (implicit +inf bucket)
+        assert hist.counts == [2, 2, 1]
+        assert hist.total == 5
+        assert hist.sum == pytest.approx(24.5)
+
+    def test_rejects_non_ascending_bounds(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram(bounds=())
+
+    def test_mean(self):
+        hist = Histogram()
+        assert math.isnan(hist.mean)
+        hist.observe(2)
+        hist.observe(4)
+        assert hist.mean == 3
+
+    def test_merge_requires_identical_bounds(self):
+        a = Histogram(bounds=(1.0, 2.0))
+        b = Histogram(bounds=(1.0, 3.0))
+        with pytest.raises(ValueError, match="different bounds"):
+            a.merge_from(b)
+
+    def test_merge_adds_counts_and_sums(self):
+        a = Histogram(bounds=(1.0, 2.0))
+        b = Histogram(bounds=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(5.0)
+        a.merge_from(b)
+        assert a.counts == [1, 1, 1]
+        assert a.total == 3
+        assert a.sum == pytest.approx(7.0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.gauge("g") is registry.gauge("g")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="not a gauge"):
+            registry.gauge("x")
+        with pytest.raises(TypeError, match="not a histogram"):
+            registry.histogram("x")
+        registry.gauge("g")
+        with pytest.raises(TypeError, match="not a counter"):
+            registry.counter("g")
+
+    def test_inc_shorthand(self):
+        registry = MetricsRegistry()
+        registry.inc("n", 2)
+        registry.inc("n")
+        assert registry.value("n") == 3
+
+    def test_value_of_histogram_is_total(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1)
+        registry.histogram("h").observe(100)
+        assert registry.value("h") == 2
+        assert registry.value("absent", default=-1) == -1
+
+    def test_disabled_registry_is_inert(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(2)
+        assert len(registry) == 0
+        assert registry.to_dict() == {}
+
+    def test_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("zebra")
+        registry.inc("ant")
+        assert registry.names() == ["ant", "zebra"]
+
+    def test_roundtrip_through_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("c", unit="slots").inc(7)
+        registry.gauge("g", volatile=True).set(3)
+        hist = registry.histogram("h", bounds=DURATION_BUCKETS_S, unit="s")
+        hist.observe(0.01)
+        restored = MetricsRegistry.from_dict(registry.to_dict())
+        assert restored == registry
+        assert restored.get("c").unit == "slots"
+        assert restored.get("g").volatile is True
+        assert restored.get("h").bounds == DURATION_BUCKETS_S
+
+    def test_to_dict_is_json_portable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.histogram("h").observe(1.5)
+        again = json.loads(json.dumps(registry.to_dict()))
+        assert MetricsRegistry.from_dict(again) == registry
+
+    def test_merge_from_adopts_absent_names(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        b.counter("only-b", unit="slots").inc(4)
+        a.merge_from(b)
+        assert a.value("only-b") == 4
+        assert a.get("only-b").unit == "slots"
+        # adopting copies state: mutating a must not touch b
+        a.counter("only-b").inc(1)
+        assert b.value("only-b") == 4
+
+    def test_merge_kind_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x")
+        b.gauge("x")
+        with pytest.raises(TypeError, match="cannot merge"):
+            a.merge_from(b)
+
+    def test_merged_classmethod_folds_list(self):
+        parts = []
+        for amount in (1, 2, 3):
+            registry = MetricsRegistry()
+            registry.inc("n", amount)
+            parts.append(registry)
+        assert MetricsRegistry.merged(parts).value("n") == 6
+
+    def test_drop_volatile(self):
+        registry = MetricsRegistry()
+        registry.counter("keep").inc(1)
+        registry.counter("drop", volatile=True).inc(1)
+        remainder = registry.drop_volatile()
+        assert remainder.names() == ["keep"]
+        # the original is untouched
+        assert registry.names() == ["drop", "keep"]
+
+    def test_default_bucket_schemas(self):
+        assert SIZE_BUCKETS == tuple(sorted(SIZE_BUCKETS))
+        assert DURATION_BUCKETS_S == tuple(sorted(DURATION_BUCKETS_S))
+
+
+class TestGlobalRegistry:
+    def test_install_returns_previous_and_restores(self):
+        registry = MetricsRegistry()
+        previous = install(registry)
+        try:
+            assert global_registry() is registry
+        finally:
+            assert install(previous) is registry

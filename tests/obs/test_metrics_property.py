@@ -1,0 +1,102 @@
+"""Property tests for ``MetricsRegistry.merge``.
+
+Merging is the mechanism by which per-worker registries are folded into
+one sweep-level view, so it must behave like a commutative monoid:
+associative, commutative, with the empty registry as identity.  Worker
+counts then cannot matter — folding the same per-cell registries in any
+chunking yields the same merged registry — which the last test checks
+against the real ``SweepExecutor`` at 2 vs 4 workers.
+
+All generated metric values are small integers so equality is exact
+(float addition is not associative; integer addition is).
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import ControlPolicy
+from repro.experiments.sweep import MACRunSpec, SweepExecutor
+from repro.obs.metrics import SIZE_BUCKETS, MetricsRegistry
+
+NAMES = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+KIND_FOR = {"alpha": "counter", "beta": "counter", "gamma": "gauge", "delta": "hist"}
+
+
+@st.composite
+def registries(draw):
+    """A registry with integer-valued metrics of stable per-name kinds."""
+    registry = MetricsRegistry()
+    for name in draw(st.lists(NAMES, max_size=6)):
+        kind = KIND_FOR[name]
+        if kind == "counter":
+            registry.counter(name).inc(draw(st.integers(0, 100)))
+        elif kind == "gauge":
+            registry.gauge(name).set(draw(st.integers(0, 100)))
+        else:
+            hist = registry.histogram(name, bounds=SIZE_BUCKETS)
+            for value in draw(st.lists(st.integers(0, 2000), max_size=5)):
+                hist.observe(value)
+    return registry
+
+
+@given(registries(), registries(), registries())
+def test_merge_is_associative(a, b, c):
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+
+@given(registries(), registries())
+def test_merge_is_commutative(a, b):
+    assert a.merge(b) == b.merge(a)
+
+
+@given(registries())
+def test_empty_registry_is_identity(a):
+    empty = MetricsRegistry()
+    assert a.merge(empty) == a
+    assert empty.merge(a) == a
+
+
+@given(st.lists(registries(), max_size=8), st.integers(1, 4))
+def test_chunked_fold_matches_flat_fold(parts, chunk_size):
+    """Folding worker-sized chunks first changes nothing (worker invariance)."""
+    flat = MetricsRegistry.merged(parts)
+    chunked = MetricsRegistry.merged(
+        MetricsRegistry.merged(parts[i : i + chunk_size])
+        for i in range(0, len(parts), chunk_size)
+    )
+    assert chunked == flat
+
+
+def _specs():
+    lam, m, deadline = 0.01, 25, 75.0
+    return [
+        MACRunSpec(
+            policy=policy,
+            arrival_rate=lam,
+            transmission_slots=m,
+            deadline=deadline,
+            horizon=3000.0,
+            warmup=500.0,
+            seed=seed,
+        )
+        for policy in (
+            ControlPolicy.optimal(deadline, lam),
+            ControlPolicy.uncontrolled_fcfs(lam),
+        )
+        for seed in (1, 2)
+    ]
+
+
+@settings(deadline=None, max_examples=1)
+@given(st.just(None))
+def test_sweep_merge_is_worker_count_invariant(_):
+    """2 vs 4 workers: identical merged simulation metrics end to end."""
+    merged = {}
+    for workers in (2, 4):
+        executor = SweepExecutor(workers=workers, metrics=MetricsRegistry())
+        executor.run_specs(_specs())
+        merged[workers] = executor.last_sim_metrics
+    assert merged[2] == merged[4]
+    assert merged[2].value("mac.runs") == len(_specs())

@@ -1,0 +1,105 @@
+"""Tests for run reports: build/write/load, rendering, and the differ."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    build_report,
+    diff_reports,
+    load_report,
+    render_report,
+    write_report,
+)
+
+
+def _registry(runs=3, wall=0.5):
+    registry = MetricsRegistry()
+    registry.counter("mac.runs").inc(runs)
+    registry.histogram("mac.backlog.size").observe(2)
+    registry.counter("cache.misses", volatile=True).inc(1)
+    registry.gauge("sweep.wall_s", unit="s", volatile=True).set(wall)
+    return registry
+
+
+def _report(seed=1, **kwargs):
+    return build_report(
+        command="figure7",
+        argv=["figure7", "--simulate"],
+        seed=seed,
+        metrics=_registry(**kwargs),
+        timings={"total_s": 1.25},
+    )
+
+
+def test_build_write_load_roundtrip(tmp_path):
+    report = _report()
+    path = tmp_path / "report.json"
+    write_report(path, report)
+    loaded = load_report(path)
+    assert loaded == json.loads(json.dumps(report))
+    assert loaded["schema"] == REPORT_SCHEMA
+    assert loaded["command"] == "figure7"
+    assert loaded["seed"] == 1
+    assert loaded["timings"] == {"total_s": 1.25}
+    assert "python" in loaded["environment"]
+    assert MetricsRegistry.from_dict(loaded["metrics"]) == _registry()
+
+
+def test_load_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": 999}))
+    with pytest.raises(ValueError, match="schema"):
+        load_report(path)
+
+
+def test_render_mentions_command_and_metrics():
+    text = render_report(_report())
+    for expected in ("figure7", "seed", "mac.runs", "histogram", "volatile"):
+        assert expected in text
+
+
+def test_diff_identical_reports_is_empty():
+    assert diff_reports(_report(), _report()) == []
+
+
+def test_diff_ignores_volatile_unless_asked():
+    a = _report(wall=0.5)
+    b = _report(wall=9.5)
+    assert diff_reports(a, b) == []
+    drift = diff_reports(a, b, include_volatile=True)
+    assert any("sweep.wall_s" in line for line in drift)
+
+
+def test_diff_reports_value_drift():
+    drift = diff_reports(_report(runs=3), _report(runs=4))
+    assert drift == ["mac.runs: 3 != 4"]
+
+
+def test_diff_reports_histogram_drift():
+    a, b = _report(), _report()
+    extra = MetricsRegistry.from_dict(b["metrics"])
+    extra.histogram("mac.backlog.size").observe(50)
+    b["metrics"] = extra.to_dict()
+    drift = diff_reports(a, b)
+    assert any(line.startswith("mac.backlog.size: counts") for line in drift)
+    assert any(line.startswith("mac.backlog.size: total") for line in drift)
+
+
+def test_diff_reports_only_in_one_side():
+    a, b = _report(), _report()
+    extra = MetricsRegistry.from_dict(b["metrics"])
+    extra.counter("mac.extra").inc(1)
+    b["metrics"] = extra.to_dict()
+    assert diff_reports(a, b) == ["only in B: mac.extra"]
+    assert diff_reports(b, a) == ["only in A: mac.extra"]
+
+
+def test_diff_flags_seed_mismatch_first():
+    drift = diff_reports(_report(seed=1, runs=3), _report(seed=2, runs=4))
+    assert drift[0].startswith("seed differs: 1 != 2")
+    assert "mac.runs: 3 != 4" in drift

@@ -30,6 +30,11 @@ from repro.resilience import SupervisedExecutor
 
 from . import _workers
 
+# SIGKILL + resume round-trips take tens of seconds; the default CI job
+# skips them (-m "not slow and not chaos") and the chaos-smoke job runs
+# them with invariants armed.
+pytestmark = pytest.mark.chaos
+
 M = 25
 LAM = 0.5 / M
 

@@ -215,6 +215,118 @@ class TestAblationsSimulate:
             assert marker in out
 
 
+class TestSimulateTiming:
+    def test_reports_elapsed_and_loop_only_speed(self, capsys):
+        code = main([
+            "simulate", "--rho", "0.5", "--m", "25", "--deadline", "100",
+            "--horizon", "20000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "elapsed" in out
+        assert "simulation speed" in out
+        assert "slots/s" in out
+
+
+class TestObservabilityFlags:
+    def test_sim_commands_accept_metrics_and_trace(self):
+        parser = build_parser()
+        for command in ("figure7", "theorem1", "simulate", "ablations",
+                        "sensitivity", "robustness"):
+            args = parser.parse_args([command, "--metrics", "--trace", "t.jsonl"])
+            assert args.metrics == "report.json"  # bare --metrics default
+            assert args.trace == "t.jsonl"
+            args = parser.parse_args([command, "--metrics", "custom.json"])
+            assert args.metrics == "custom.json"
+            assert parser.parse_args([command]).metrics is None
+
+    def test_metrics_flag_writes_report(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main([
+            "simulate", "--rho", "0.5", "--m", "25", "--deadline", "100",
+            "--horizon", "20000", "--metrics", str(report_path),
+        ])
+        assert code == 0
+        assert f"report written to {report_path}" in capsys.readouterr().err
+
+        from repro.obs import load_report
+
+        report = load_report(report_path)
+        assert report["command"] == "simulate"
+        assert report["metrics"]["mac.runs"]["value"] == 1
+        assert report["metrics"]["mac.slots.idle"]["value"] > 0
+        assert report["timings"]["total_s"] > 0
+
+    def test_trace_flag_writes_parseable_jsonl(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        code = main([
+            "figure7", "--rho", "0.5", "--m", "25",
+            "--trace", str(trace_path),
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+        from repro.obs.tracing import load_trace
+
+        events = load_trace(trace_path)
+        assert any(e["name"] == "figure7.analytic" for e in events)
+        assert all(e["ph"] in ("X", "i") for e in events)
+
+    def test_global_registry_uninstalled_after_command(self, tmp_path):
+        from repro.obs.metrics import global_registry
+
+        assert main([
+            "simulate", "--rho", "0.5", "--m", "25", "--deadline", "100",
+            "--horizon", "20000", "--metrics", str(tmp_path / "r.json"),
+        ]) == 0
+        assert global_registry() is None
+
+
+class TestReportCommand:
+    def _write_report(self, path, seed=1, horizon="20000"):
+        assert main([
+            "simulate", "--rho", "0.5", "--m", "25", "--deadline", "100",
+            "--horizon", horizon, "--seed", str(seed),
+            "--metrics", str(path),
+        ]) == 0
+
+    def test_show_renders_report(self, tmp_path, capsys):
+        path = tmp_path / "r.json"
+        self._write_report(path)
+        capsys.readouterr()
+        assert main(["report", "show", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Run report" in out
+        assert "mac.runs" in out
+
+    def test_diff_same_seed_runs_agree(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_report(a)
+        self._write_report(b)
+        capsys.readouterr()
+        assert main(["report", "diff", str(a), str(b)]) == 0
+        assert "no metric drift" in capsys.readouterr().out
+
+    def test_diff_exits_nonzero_on_drift(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_report(a, horizon="20000")
+        self._write_report(b, horizon="15000")
+        capsys.readouterr()
+        assert main(["report", "diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "difference(s):" in out
+        assert "mac.slots" in out
+
+    def test_show_requires_exactly_one_file(self, tmp_path, capsys):
+        code = main(["report", "show", str(tmp_path / "a"), str(tmp_path / "b")])
+        assert code == 2
+        assert "exactly one FILE" in capsys.readouterr().err
+
+    def test_diff_requires_exactly_two_files(self, tmp_path, capsys):
+        assert main(["report", "diff", str(tmp_path / "a")]) == 2
+        assert "exactly two FILE" in capsys.readouterr().err
+
+
 class TestCacheCommand:
     def test_info_reports_schema_and_path(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
