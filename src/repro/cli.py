@@ -81,8 +81,10 @@ from .experiments import (
     twopoint_fit_errors,
     window_length_ablation,
 )
+from .experiments.sweep import MACRunSpec, derive_seeds, run_spec, run_spec_with_metrics
 from .faults import FaultModel
 from .mac import WindowMACSimulator
+from .mac.batch import run_batch, run_batch_with_metrics
 from .obs import (
     JsonlTracer,
     MetricsRegistry,
@@ -164,6 +166,16 @@ def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
                         "fail loudly if any diverge (determinism audit)")
 
 
+def _add_batch_flag(p: argparse.ArgumentParser) -> None:
+    """Attach ``--batch/--no-batch`` (same escape-hatch shape as
+    ``--no-fast-path``: results are bit-identical either way)."""
+    p.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="group eligible runs into lane-parallel batched "
+                        "tasks (default on; bit-identical output — "
+                        "--no-batch restores one-task-per-run dispatch)")
+
+
 def _resilience_from(args: argparse.Namespace):
     """Build :class:`ResilienceOptions` from the flags, or ``None``.
 
@@ -202,6 +214,7 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
         sim_seed=args.seed,
         workers=args.workers,
         sim_fast=not args.no_fast_path,
+        batch=args.batch,
         resilience=_resilience_from(args),
         metrics=getattr(args, "obs_registry", None),
     )
@@ -236,6 +249,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     fault_model = None
     if args.feedback_error > 0:
         fault_model = FaultModel.feedback_noise(args.feedback_error)
+    if args.replications < 1:
+        print("error: --replications must be >= 1", file=sys.stderr)
+        return 2
+    if args.replications > 1:
+        return _simulate_replicated(args, factories[args.protocol](), fault_model)
     simulator = WindowMACSimulator(
         factories[args.protocol](),
         arrival_rate=lam,
@@ -294,6 +312,98 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _simulate_replicated(args, policy, fault_model) -> int:
+    """``simulate --replications N``: one arm, N lanes, batched.
+
+    Replication seeds spawn from ``--seed`` exactly as the sweep grids
+    derive theirs, and each lane uses the plain single-generator
+    construction — so the N results match what an N-cell sweep of the
+    same arm produces, batched or not.
+    """
+    lam = args.rho / args.m
+    warmup = args.horizon * 0.125
+    specs = [
+        MACRunSpec(
+            policy=policy,
+            arrival_rate=lam,
+            transmission_slots=args.m,
+            horizon=args.horizon,
+            warmup=warmup,
+            n_stations=args.stations,
+            deadline=args.deadline,
+            fault_model=fault_model,
+            seed=seed,
+            fast=not args.no_fast_path,
+        )
+        for seed in derive_seeds(args.seed, args.replications)
+    ]
+    registry = getattr(args, "obs_registry", None)
+    instrumented = registry is not None and registry.enabled
+    start = time.perf_counter()
+    if args.batch:
+        entries = (run_batch_with_metrics if instrumented else run_batch)(specs)
+    else:
+        task = run_spec_with_metrics if instrumented else run_spec
+        entries = [task(spec) for spec in specs]
+    elapsed = time.perf_counter() - start
+    if instrumented:
+        results = []
+        for result, state in entries:
+            results.append(result)
+            registry.merge_from(MetricsRegistry.from_dict(state))
+    else:
+        results = entries
+
+    rows = []
+    for spec, result in zip(specs, results):
+        rows.append(
+            [
+                str(spec.seed),
+                str(result.arrivals),
+                str(result.delivered_on_time),
+                str(result.delivered_late),
+                str(result.discarded),
+                f"{result.loss_fraction:.4f} ± {2 * result.loss_stderr():.4f}",
+                f"{result.mean_true_wait:.2f}",
+            ]
+        )
+    losses = [result.loss_fraction for result in results]
+    n = len(losses)
+    mean = sum(losses) / n
+    var = sum((x - mean) ** 2 for x in losses) / (n - 1)
+    stderr = (var / n) ** 0.5
+    lane_slots = args.horizon * 1.125  # warmup is an eighth of the horizon
+    speed = n * lane_slots / max(elapsed, 1e-9)
+    mode = "batched lanes" if args.batch else "sequential"
+    print(
+        ascii_table(
+            ["seed", "arrivals", "on time", "late", "discarded",
+             "loss", "mean wait"],
+            rows,
+            title=(
+                f"{args.protocol} protocol × {n} replications ({mode}): "
+                f"rho'={args.rho}, M={args.m}, K={args.deadline}, "
+                f"{args.horizon:.0f} slots"
+            ),
+        )
+    )
+    print(
+        f"\nacross replications: loss {mean:.4f} ± {2 * stderr:.4f} "
+        f"(±2 se over {n} seeds)"
+    )
+    print(
+        f"elapsed {elapsed:.2f} s — {speed:,.0f} slots/s aggregate, "
+        f"{speed / n:,.0f} slots/s per lane"
+    )
+    saturated = sum(1 for result in results if result.saturated)
+    if saturated:
+        print(
+            f"\nwarning: {saturated} of {n} replications saturated; their "
+            "loss figures cover only resolved messages"
+        )
+    return 0
+
+
 def _cmd_robustness(args: argparse.Namespace) -> int:
     config = RobustnessConfig(
         rho_prime=args.rho,
@@ -309,12 +419,13 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     if args.scenario == "feedback":
         report = feedback_error_sweep(
             config, error_rates=tuple(args.errors), workers=args.workers,
-            resilience=resilience, metrics=metrics,
+            resilience=resilience, metrics=metrics, batch=args.batch,
         )
         print(report.to_table())
         return 0
     results = station_failure_scenario(
-        config, workers=args.workers, resilience=resilience, metrics=metrics
+        config, workers=args.workers, resilience=resilience, metrics=metrics,
+        batch=args.batch,
     )
     rows = []
     holes = 0
@@ -394,19 +505,23 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
         ("Element 4: sender discard on/off (simulated)",
          element4_ablation(
              horizon=horizon, warmup=warmup, seed=args.seed,
-             workers=args.workers, resilience=resilience, metrics=metrics)),
+             workers=args.workers, resilience=resilience, metrics=metrics,
+             batch=args.batch)),
         ("Element 2: loss vs window occupancy (simulated)",
          window_length_ablation(
              simulate=True, horizon=horizon, warmup=warmup, seed=args.seed + 1,
-             workers=args.workers, resilience=resilience, metrics=metrics)),
+             workers=args.workers, resilience=resilience, metrics=metrics,
+             batch=args.batch)),
         ("Element 3: split order (simulated)",
          split_rule_ablation(
              horizon=horizon, warmup=warmup, seed=args.seed + 2,
-             workers=args.workers, resilience=resilience, metrics=metrics)),
+             workers=args.workers, resilience=resilience, metrics=metrics,
+             batch=args.batch)),
         ("Section 5: split arity (simulated)",
          arity_ablation(
              horizon=horizon, warmup=warmup, seed=args.seed + 3,
-             workers=args.workers, resilience=resilience, metrics=metrics)),
+             workers=args.workers, resilience=resilience, metrics=metrics,
+             batch=args.batch)),
     ]
     print("\n\n".join(ablation_table(arms, title) for title, arms in sections))
     return 0
@@ -431,13 +546,13 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     if args.scenario == "stations":
         arms = station_count_sensitivity(
             seed=args.seed, workers=args.workers, resilience=resilience,
-            metrics=metrics, **overrides,
+            metrics=metrics, batch=args.batch, **overrides,
         )
         title = "Loss vs station population (controlled protocol)"
     else:
         arms = burstiness_sensitivity(
             seed=args.seed, workers=args.workers, resilience=resilience,
-            metrics=metrics, **overrides,
+            metrics=metrics, batch=args.batch, **overrides,
         )
         title = "Loss vs traffic burstiness (MMPP, fixed mean rate)"
     print(ablation_table(arms, title))
@@ -504,6 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-fast-path", action="store_true",
                    help="force the reference simulation loop (the fast "
                         "kernel is bit-identical; this is the escape hatch)")
+    _add_batch_flag(p)
     _add_resilience_flags(p)
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_figure7)
@@ -535,6 +651,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-fast-path", action="store_true",
                    help="force the reference simulation loop (the fast "
                         "kernel is bit-identical; this is the escape hatch)")
+    p.add_argument("--replications", type=int, default=1, metavar="N",
+                   help="run N independent replications of the arm as "
+                        "lane-parallel batched lanes (seeds spawned from "
+                        "--seed; reports per-lane and aggregate slots/s)")
+    _add_batch_flag(p)
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_simulate)
 
@@ -557,6 +678,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="fan simulation arms over N worker processes "
                         "(results are identical for any N)")
+    _add_batch_flag(p)
     _add_resilience_flags(p)
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_ablations)
@@ -577,6 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="fan sweep cells over N worker processes "
                         "(results are identical for any N)")
+    _add_batch_flag(p)
     _add_resilience_flags(p)
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_sensitivity)
@@ -602,6 +725,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="fan replications over N worker processes "
                         "(results are identical for any N)")
+    _add_batch_flag(p)
     _add_resilience_flags(p)
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_robustness)

@@ -64,7 +64,7 @@ def _spec(policy: ControlPolicy, lam, m, deadline, horizon, warmup, seed) -> MAC
 
 
 def _arms_from(
-    labels, specs, workers, resilience=None, metrics=None
+    labels, specs, workers, resilience=None, metrics=None, batch=True
 ) -> "List[AblationArm]":
     """Run the arm specs through the sweep executor and wrap the losses.
 
@@ -74,7 +74,7 @@ def _arms_from(
     """
     with trace.span("ablation.sweep", cells=len(specs)):
         results: List[Optional[MACSimResult]] = SweepExecutor(
-            workers, resilience, metrics=metrics
+            workers, resilience, metrics=metrics, batch=batch
         ).run_specs(specs)
     arms = []
     for label, r in zip(labels, results):
@@ -97,6 +97,7 @@ def element4_ablation(
     workers: Optional[int] = None,
     resilience=None,
     metrics=None,
+    batch: bool = True,
 ) -> List[AblationArm]:
     """Controlled protocol with and without the sender discard (A-EL4)."""
     lam = rho_prime / message_length
@@ -112,6 +113,7 @@ def element4_ablation(
         workers,
         resilience,
         metrics,
+        batch,
     )
 
 
@@ -127,6 +129,7 @@ def window_length_ablation(
     workers: Optional[int] = None,
     resilience=None,
     metrics=None,
+    batch: bool = True,
 ) -> List[AblationArm]:
     """Loss versus window occupancy around the heuristic optimum (A-WIN).
 
@@ -153,7 +156,7 @@ def window_length_ablation(
             )
             for occupancy in occupancies
         ]
-        return _arms_from(labels, specs, workers, resilience, metrics)
+        return _arms_from(labels, specs, workers, resilience, metrics, batch)
     arms = []
     for label, occupancy in zip(labels, occupancies):
         service = ExactSchedulingModel(message_length, occupancy).service_pmf()
@@ -172,6 +175,7 @@ def split_rule_ablation(
     workers: Optional[int] = None,
     resilience=None,
     metrics=None,
+    batch: bool = True,
 ) -> List[AblationArm]:
     """Split-order comparison under the controlled protocol (A-SPLIT)."""
     lam = rho_prime / message_length
@@ -189,6 +193,7 @@ def split_rule_ablation(
         workers,
         resilience,
         metrics,
+        batch,
     )
 
 
@@ -203,6 +208,7 @@ def arity_ablation(
     workers: Optional[int] = None,
     resilience=None,
     metrics=None,
+    batch: bool = True,
 ) -> List[AblationArm]:
     """Binary versus k-ary window splitting (§5 extension, A-ARITY)."""
     lam = rho_prime / message_length
@@ -219,6 +225,7 @@ def arity_ablation(
         workers,
         resilience,
         metrics,
+        batch,
     )
 
 

@@ -130,6 +130,7 @@ def generate_panel(
     sim_deadlines: Optional[Sequence[float]] = None,
     workers: Optional[int] = None,
     sim_fast: bool = True,
+    batch: bool = True,
     resilience=None,
     metrics=None,
 ) -> PanelResult:
@@ -152,6 +153,9 @@ def generate_panel(
     sim_fast:
         Run simulations on the fast kernel (bit-identical; ``False``
         forces the reference loop).
+    batch:
+        Group eligible grid cells into lane-parallel batched tasks
+        (bit-identical; ``False`` restores one-task-per-cell dispatch).
     resilience:
         :class:`~repro.resilience.ResilienceOptions` for the simulation
         grid: checkpoint journal, per-task timeout, retry/quarantine.
@@ -245,7 +249,7 @@ def generate_panel(
             for _, policy_factory in arms
             for deadline in sim_points
         ]
-        executor = SweepExecutor(workers, resilience, metrics=metrics)
+        executor = SweepExecutor(workers, resilience, metrics=metrics, batch=batch)
         with trace.span(
             "figure7.sweep",
             rho=config.rho_prime,

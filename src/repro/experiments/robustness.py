@@ -223,6 +223,7 @@ def feedback_error_sweep(
     workers: Optional[int] = None,
     resilience=None,
     metrics=None,
+    batch: bool = True,
 ) -> RobustnessReport:
     """Loss versus symmetric feedback-error rate (the degradation curve).
 
@@ -251,7 +252,7 @@ def feedback_error_sweep(
         for error_rate in error_rates
         for i in range(config.n_seeds)
     ]
-    executor = SweepExecutor(workers, resilience, metrics=metrics)
+    executor = SweepExecutor(workers, resilience, metrics=metrics, batch=batch)
     with trace.span("robustness.feedback_errors", cells=len(specs)):
         results = executor.run_specs(specs)
     for row, error_rate in enumerate(error_rates):
@@ -279,6 +280,7 @@ def station_failure_scenario(
     workers: Optional[int] = None,
     resilience=None,
     metrics=None,
+    batch: bool = True,
 ) -> List[MACSimResult]:
     """Crash/restart + deafness soak at the standard operating point.
 
@@ -301,4 +303,6 @@ def station_failure_scenario(
         for i in range(config.n_seeds)
     ]
     with trace.span("robustness.station_failures", cells=len(specs)):
-        return SweepExecutor(workers, resilience, metrics=metrics).run_specs(specs)
+        return SweepExecutor(
+            workers, resilience, metrics=metrics, batch=batch
+        ).run_specs(specs)

@@ -67,6 +67,7 @@ def station_count_sensitivity(
     workers: Optional[int] = None,
     resilience=None,
     metrics=None,
+    batch: bool = True,
 ) -> List[AblationArm]:
     """Loss of the controlled protocol across population sizes."""
     lam = rho_prime / message_length
@@ -84,7 +85,9 @@ def station_count_sensitivity(
         for n_stations in station_counts
     ]
     with trace.span("sensitivity.stations", cells=len(specs)):
-        results = SweepExecutor(workers, resilience, metrics=metrics).run_specs(specs)
+        results = SweepExecutor(
+            workers, resilience, metrics=metrics, batch=batch
+        ).run_specs(specs)
     return _arms("{0} stations", station_counts, results)
 
 
@@ -100,6 +103,7 @@ def burstiness_sensitivity(
     workers: Optional[int] = None,
     resilience=None,
     metrics=None,
+    batch: bool = True,
 ) -> List[AblationArm]:
     """Loss under MMPP traffic of fixed mean rate, varying peak/mean.
 
@@ -137,7 +141,9 @@ def burstiness_sensitivity(
             )
         )
     with trace.span("sensitivity.burstiness", cells=len(specs)):
-        results = SweepExecutor(workers, resilience, metrics=metrics).run_specs(specs)
+        results = SweepExecutor(
+            workers, resilience, metrics=metrics, batch=batch
+        ).run_specs(specs)
     return _arms("peak/mean {0:g}", burst_ratios, results)
 
 

@@ -1,0 +1,210 @@
+"""Batch-aware sweep scheduling: chunking, journals, quarantine.
+
+The executor's contract from ISSUE 5: grouping seed replications into
+lane-parallel batched tasks is a *scheduling* decision — results,
+metrics, journal fingerprints, quarantine holes, and resume semantics
+are identical to one-task-per-cell dispatch, for any chunk size and
+worker count.
+"""
+
+import pytest
+
+from repro.core import ControlPolicy
+from repro.experiments import (
+    MACRunSpec,
+    ResilienceOptions,
+    SweepExecutor,
+    derive_seeds,
+)
+from repro.experiments import sweep as sweep_mod
+from repro.obs.metrics import MetricsRegistry
+
+M = 25
+LAM = 0.5 / M
+
+
+def _spec(seed, arm="optimal", **overrides):
+    policy = (
+        ControlPolicy.optimal(3.0 * M, LAM)
+        if arm == "optimal"
+        else ControlPolicy.uncontrolled_fcfs(LAM)
+    )
+    kwargs = dict(
+        policy=policy,
+        arrival_rate=LAM,
+        transmission_slots=M,
+        horizon=3_000.0,
+        warmup=500.0,
+        n_stations=25,
+        deadline=3.0 * M,
+        seed=seed,
+    )
+    kwargs.update(overrides)
+    return MACRunSpec(**kwargs)
+
+
+def _grid():
+    # Two arms x four seeds plus one batch-ineligible cell (reference
+    # loop), so every dispatch path appears in one sweep.
+    specs = [_spec(s) for s in derive_seeds(1, 4)]
+    specs += [_spec(s, arm="fcfs") for s in derive_seeds(9, 4)]
+    specs.append(_spec(77, fast=False))
+    return specs
+
+
+class TestSchedulingInvariance:
+    def test_results_invariant_to_batching_chunks_and_workers(self):
+        specs = _grid()
+        baseline = SweepExecutor(None, batch=False).run_specs(specs)
+        assert SweepExecutor(None).run_specs(specs) == baseline
+        assert (
+            SweepExecutor(None, batch_chunk=3).run_specs(specs) == baseline
+        )
+        assert SweepExecutor(2).run_specs(specs) == baseline
+        assert (
+            SweepExecutor(2, batch_chunk=2).run_specs(specs) == baseline
+        )
+
+    def test_chunks_group_same_arm_replications(self):
+        # Interleaved arms regroup into per-arm seed cohorts (first
+        # appearance order) before slicing into chunks.
+        specs = [
+            _spec(1),
+            _spec(1, arm="fcfs"),
+            _spec(2),
+            _spec(2, arm="fcfs"),
+        ]
+        executor = SweepExecutor(None)
+        assert executor._chunks(list(range(4)), specs) == [[0, 2, 1, 3]]
+        assert SweepExecutor(None, batch_chunk=2)._chunks(
+            list(range(4)), specs
+        ) == [[0, 2], [1, 3]]
+
+    def test_metrics_merge_invariant_across_batching(self):
+        specs = _grid()
+        unbatched = MetricsRegistry()
+        SweepExecutor(None, batch=False, metrics=unbatched).run_specs(specs)
+        batched = MetricsRegistry()
+        SweepExecutor(None, batch_chunk=3, metrics=batched).run_specs(specs)
+
+        # Every scored metric is bit-identical; only volatile telemetry
+        # (per-task wall clocks) may differ between scheduling modes.
+        def scored(registry):
+            return {
+                name: metric
+                for name, metric in registry.to_dict().items()
+                if not metric.get("volatile")
+            }
+
+        assert scored(batched) == scored(unbatched)
+        # Cells-executed accounting is member-weighted, so it too is
+        # scheduling-invariant even though it is volatile telemetry.
+        for registry in (batched, unbatched):
+            assert registry.to_dict()["sweep.cells.executed"]["value"] == len(
+                specs
+            )
+
+
+class TestQuarantine:
+    def test_poisoned_batched_task_holes_every_member(self, monkeypatch):
+        specs = [_spec(s) for s in derive_seeds(1, 6)]
+        poison_seed = specs[4].seed
+        real = sweep_mod.run_batch
+
+        def poisoned(batch):
+            if any(spec.seed == poison_seed for spec in batch):
+                raise RuntimeError("injected batch poison")
+            return real(batch)
+
+        monkeypatch.setattr(sweep_mod, "run_batch", poisoned)
+        executor = SweepExecutor(
+            None,
+            ResilienceOptions(max_retries=1, backoff_base=0.0),
+            batch_chunk=3,
+        )
+        results = executor.run_specs(specs)
+
+        # Chunks are [0..2] and [3..5]; the second is poisoned, and
+        # every member holes visibly — never a silent truncation.
+        assert [r is None for r in results] == [False] * 3 + [True] * 3
+        outcome = executor.last_outcome
+        assert outcome.holes() == [3, 4, 5]
+        assert len(outcome.quarantined) == 3
+        for record in outcome.quarantined:
+            assert "injected batch poison" in record.reason
+            assert "member of a 3-spec batched task" in record.reason
+            assert record.attempts == 2
+        # The healthy chunk's results are untouched by the neighbour.
+        healthy = SweepExecutor(None, batch=False).run_specs(specs[:3])
+        assert results[:3] == healthy
+
+
+class TestJournalInterop:
+    def test_batched_journal_resumes_unbatched_and_vice_versa(self, tmp_path):
+        specs = _grid()
+        baseline = SweepExecutor(None, batch=False).run_specs(specs)
+
+        # Journal written by batched scheduling, resumed without it.
+        j1 = str(tmp_path / "j-batched")
+        SweepExecutor(
+            None, ResilienceOptions(checkpoint=j1), batch_chunk=3
+        ).run_specs(specs)
+        resumer = SweepExecutor(
+            None, ResilienceOptions(checkpoint=j1, resume=True), batch=False
+        )
+        assert resumer.run_specs(specs) == baseline
+        assert resumer.last_outcome.replayed == len(specs)
+        assert resumer.last_outcome.executed == 0
+
+        # Journal written unbatched, resumed by batched scheduling.
+        j2 = str(tmp_path / "j-plain")
+        SweepExecutor(
+            None, ResilienceOptions(checkpoint=j2), batch=False
+        ).run_specs(specs)
+        resumer = SweepExecutor(
+            None, ResilienceOptions(checkpoint=j2, resume=True), batch_chunk=3
+        )
+        assert resumer.run_specs(specs) == baseline
+        assert resumer.last_outcome.replayed == len(specs)
+        assert resumer.last_outcome.executed == 0
+
+    def test_killed_batched_sweep_resumes_bit_identical(
+        self, tmp_path, monkeypatch
+    ):
+        # A sweep dies with one batched task poisoned (stand-in for a
+        # crash mid-grid): completed members are journaled per spec, so
+        # a fresh invocation replays them and re-runs only the hole —
+        # and the final grid is bit-identical to an undisturbed run.
+        specs = [_spec(s) for s in derive_seeds(1, 6)]
+        baseline = SweepExecutor(None, batch=False).run_specs(specs)
+        journal = str(tmp_path / "j-killed")
+        poison_seed = specs[4].seed
+        real = sweep_mod.run_batch
+
+        def poisoned(batch):
+            if any(spec.seed == poison_seed for spec in batch):
+                raise RuntimeError("injected batch poison")
+            return real(batch)
+
+        monkeypatch.setattr(sweep_mod, "run_batch", poisoned)
+        first = SweepExecutor(
+            None,
+            ResilienceOptions(
+                max_retries=1, backoff_base=0.0, checkpoint=journal
+            ),
+            batch_chunk=3,
+        )
+        partial = first.run_specs(specs)
+        assert partial[:3] == baseline[:3]
+        assert partial[3:] == [None] * 3
+
+        monkeypatch.setattr(sweep_mod, "run_batch", real)
+        resumer = SweepExecutor(
+            None,
+            ResilienceOptions(checkpoint=journal, resume=True),
+            batch_chunk=3,
+        )
+        resumed = resumer.run_specs(specs)
+        assert resumed == baseline
+        assert resumer.last_outcome.replayed == 3
+        assert resumer.last_outcome.executed == 3

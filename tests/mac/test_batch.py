@@ -1,0 +1,154 @@
+"""Bit-parity of the batched replication kernel.
+
+The contract under test (the tentpole of ISSUE 5): ``run_batch(specs)``
+is **field-for-field identical** to ``[run_spec(s) for s in specs]``
+for every spec — eligible specs ride the lane-parallel kernel, the rest
+fall back transparently — and the sequential fast kernel is itself
+bit-identical to the reference loop (the PR 2 guarantee), so all three
+execution paths are pinned against each other here.  Grids are tiny:
+the property is exact equality, not statistics.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ControlPolicy
+from repro.experiments.sweep import (
+    MACRunSpec,
+    derive_seeds,
+    run_spec,
+    run_spec_with_metrics,
+)
+from repro.mac.batch import batch_eligible, run_batch, run_batch_with_metrics
+from repro.resilience import invariants
+
+M = 25
+LAM = 0.5 / M
+
+PROTOCOLS = ("optimal", "uncontrolled_fcfs", "uncontrolled_lcfs", "uncontrolled_random")
+
+
+def _policy(name: str, deadline: float) -> ControlPolicy:
+    if name == "optimal":
+        return ControlPolicy.optimal(deadline, LAM)
+    return getattr(ControlPolicy, name)(LAM)
+
+
+def _spec(name: str, seed: int, **overrides) -> MACRunSpec:
+    kwargs = dict(
+        policy=_policy(name, 3.0 * M),
+        arrival_rate=LAM,
+        transmission_slots=M,
+        horizon=4_000.0,
+        warmup=500.0,
+        n_stations=25,
+        deadline=3.0 * M,
+        seed=seed,
+    )
+    kwargs.update(overrides)
+    return MACRunSpec(**kwargs)
+
+
+class TestBitParity:
+    @pytest.mark.parametrize("name", PROTOCOLS)
+    def test_batched_equals_sequential_fast_and_reference(self, name):
+        # All four disciplines, three seeds each: batched == fast ==
+        # reference loop, field for field (the acceptance criterion).
+        specs = [_spec(name, seed) for seed in (1, 7, 42)]
+        fast = [run_spec(s) for s in specs]
+        batched = run_batch(specs)
+        reference = [
+            run_spec(_spec(name, seed, fast=False)) for seed in (1, 7, 42)
+        ]
+        assert batched == fast
+        assert batched == reference
+
+    def test_mixed_arms_in_one_cohort(self):
+        # Heterogeneous lanes (different arms, deadlines, horizons,
+        # loss definitions) in a single call keep spec order.
+        specs = [
+            _spec("optimal", 3),
+            _spec("uncontrolled_lcfs", 5, horizon=2_500.0),
+            _spec("optimal", 3, deadline=1.0 * M, policy=_policy("optimal", 1.0 * M)),
+            _spec("uncontrolled_fcfs", 9, loss_definition="paper"),
+            _spec("uncontrolled_random", 2, transmission_slots=1),
+        ]
+        assert run_batch(specs) == [run_spec(s) for s in specs]
+
+    def test_replicated_seeds_match_derive_seeds_loop(self):
+        specs = [_spec("optimal", s) for s in derive_seeds(1, 8)]
+        assert run_batch(specs) == [run_spec(s) for s in specs]
+
+    def test_instrumented_parity_and_registry_equality(self):
+        # The instrumented variant must reproduce both the results and
+        # the exact per-run registry state of run_spec_with_metrics —
+        # this is what makes batched sweep metrics merge-invariant.
+        specs = [_spec(name, 11) for name in PROTOCOLS]
+        sequential = [run_spec_with_metrics(s) for s in specs]
+        batched = run_batch_with_metrics(specs)
+        for (res_a, reg_a), (res_b, reg_b) in zip(sequential, batched):
+            assert res_a == res_b
+            assert reg_a == reg_b
+
+
+class TestEligibilityAndFallback:
+    def test_fast_false_is_ineligible_but_still_served(self):
+        spec = _spec("optimal", 1, fast=False)
+        assert not batch_eligible(spec)
+        assert run_batch([spec, spec]) == [run_spec(spec)] * 2
+
+    def test_stream_seed_is_ineligible(self):
+        spec = _spec("optimal", 1, stream_seed=123)
+        assert not batch_eligible(spec)
+        assert run_batch([spec]) == [run_spec(spec)]
+
+    def test_invariant_mode_disables_batching(self, monkeypatch):
+        spec = _spec("optimal", 1)
+        assert batch_eligible(spec)
+        monkeypatch.setenv(invariants.INVARIANTS_ENV, "1")
+        assert not batch_eligible(spec)
+
+    def test_mixed_eligibility_preserves_order(self):
+        specs = [
+            _spec("optimal", 1),
+            _spec("optimal", 2, fast=False),
+            _spec("uncontrolled_fcfs", 3),
+        ]
+        assert run_batch(specs) == [run_spec(s) for s in specs]
+
+
+# Ragged lane lifetimes: lanes with very different horizons (some dying
+# many rounds before others), warmups, and sub-slot deadline fractions.
+_spec_strategy = st.builds(
+    lambda name, seed, horizon, warm_frac, dl_mult, m, loss: MACRunSpec(
+        policy=_policy(name, dl_mult * m),
+        arrival_rate=0.5 / m,
+        transmission_slots=m,
+        horizon=float(horizon),
+        warmup=math.floor(horizon * warm_frac),
+        n_stations=25,
+        deadline=dl_mult * m,
+        loss_definition=loss,
+        seed=seed,
+    ),
+    name=st.sampled_from(PROTOCOLS),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    horizon=st.integers(min_value=200, max_value=3_000),
+    warm_frac=st.sampled_from([0.0, 0.1, 0.25]),
+    dl_mult=st.sampled_from([0.5, 1.0, 3.0, 8.0]),
+    m=st.sampled_from([1, 2, 25]),
+    loss=st.sampled_from(["true", "paper"]),
+)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(specs=st.lists(_spec_strategy, min_size=1, max_size=6))
+def test_property_random_cohorts_are_bit_identical(specs):
+    assert run_batch(specs) == [run_spec(s) for s in specs]

@@ -107,8 +107,13 @@ def test_poison_cell_completes_as_partial_grid_with_marked_hole(monkeypatch):
         return real(spec)
 
     monkeypatch.setattr(sweep_mod, "run_spec", poisoned)
+    # batch=False pins the one-task-per-cell dispatch this test injects
+    # into; the batched-task quarantine path has its own coverage in
+    # tests/experiments/test_sweep_batch.py.
     executor = SweepExecutor(
-        None, ResilienceOptions(max_retries=1, backoff_base=0.0)
+        None,
+        ResilienceOptions(max_retries=1, backoff_base=0.0),
+        batch=False,
     )
     results = executor.run_specs(specs)
 
@@ -123,12 +128,16 @@ def test_poison_cell_completes_as_partial_grid_with_marked_hole(monkeypatch):
 
 def test_strict_sweep_still_fails_fast(monkeypatch):
     # Without resilience options the legacy contract holds: the first
-    # failure propagates instead of becoming a hole.
+    # failure propagates instead of becoming a hole — whichever dispatch
+    # (per-cell or batched) the executor picked.
     specs = _grid()[:2]
-    monkeypatch.setattr(
-        sweep_mod,
-        "run_spec",
-        lambda spec: (_ for _ in ()).throw(RuntimeError("boom")),
-    )
+
+    def boom(*_args):
+        raise RuntimeError("boom")
+
+    monkeypatch.setattr(sweep_mod, "run_spec", boom)
+    monkeypatch.setattr(sweep_mod, "run_batch", boom)
     with pytest.raises(RuntimeError, match="boom"):
         SweepExecutor(None).run_specs(specs)
+    with pytest.raises(RuntimeError, match="boom"):
+        SweepExecutor(None, batch=False).run_specs(specs)
