@@ -16,6 +16,7 @@ from .robustness import (
     RobustnessConfig,
     RobustnessReport,
     feedback_error_sweep,
+    point_spec,
     station_failure_scenario,
 )
 from .runner import ReplicationResult, replicate
@@ -28,7 +29,9 @@ from .sweep import (
     MACRunSpec,
     ResilienceOptions,
     SweepExecutor,
+    arm_key,
     derive_seeds,
+    plan_shards,
     run_spec,
     spec_fingerprint,
 )
@@ -75,4 +78,7 @@ __all__ = [
     "run_spec",
     "spec_fingerprint",
     "derive_seeds",
+    "arm_key",
+    "plan_shards",
+    "point_spec",
 ]

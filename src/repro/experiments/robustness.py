@@ -33,6 +33,7 @@ __all__ = [
     "RobustnessPoint",
     "RobustnessReport",
     "feedback_error_sweep",
+    "point_spec",
     "station_failure_scenario",
     "DEFAULT_ERROR_RATES",
 ]
@@ -158,7 +159,7 @@ class RobustnessReport:
         return table
 
 
-def _point_spec(
+def point_spec(
     config: RobustnessConfig,
     fault_model: FaultModel,
     seed: int,
@@ -240,7 +241,7 @@ def feedback_error_sweep(
     # Flat (error rate × replication) grid: one executor pass covers the
     # whole sweep, and the seeds stay pinned per replication index.
     specs = [
-        _point_spec(
+        point_spec(
             config,
             (
                 FaultModel.feedback_noise(error_rate)
@@ -299,7 +300,7 @@ def station_failure_scenario(
         mean_deaf_slots=mean_deaf_slots,
     )
     specs = [
-        _point_spec(config, model, config.base_seed + i)
+        point_spec(config, model, config.base_seed + i)
         for i in range(config.n_seeds)
     ]
     with trace.span("robustness.station_failures", cells=len(specs)):

@@ -79,6 +79,8 @@ __all__ = [
     "derive_seeds",
     "ResilienceOptions",
     "DEFAULT_BATCH_CHUNK",
+    "arm_key",
+    "plan_shards",
 ]
 
 #: Upper bound on lanes per batched task.  Wide enough to amortise the
@@ -237,14 +239,46 @@ def run_sweep_task(task: Tuple[str, Any]):
     raise ValueError(f"unknown sweep task kind: {kind!r}")
 
 
-def _arm_key(spec: MACRunSpec) -> str:
+def arm_key(spec: MACRunSpec) -> str:
     """Content hash of a spec's *arm* — every field except the seed.
 
     Batched tasks group same-arm seed replications together (the shape
     every headline grid has), so one task advances one arm's whole
-    cohort in lockstep.
+    cohort in lockstep.  The service's shard planner uses the same key,
+    so a shard is usually one arm's seed cohort and dispatching it to
+    one backend slot keeps the batched kernel fed.
     """
     return fingerprint(("mac-arm", replace(spec, seed=0)))
+
+
+def plan_shards(
+    specs: Sequence[MACRunSpec], shard_size: int = DEFAULT_BATCH_CHUNK
+) -> List[List[int]]:
+    """Partition a grid into dispatch shards, grouped by arm fingerprint.
+
+    Returns index lists that cover ``range(len(specs))`` exactly once:
+    same-arm seed replications become adjacent (one shard is usually one
+    arm's cohort, the shape the batched kernel wants), and no shard
+    exceeds ``shard_size`` cells.  The plan is a pure function of the
+    spec list and ``shard_size`` — never of worker layout or wall-clock
+    — so a restarted server re-plans a recovered job into *identical*
+    shards and every shard's journal keys still match.
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard size must be >= 1, got {shard_size}")
+    groups: Dict[str, List[int]] = {}
+    order: List[str] = []
+    for index, spec in enumerate(specs):
+        key = arm_key(spec)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(index)
+    ordered = [index for key in order for index in groups[key]]
+    return [
+        ordered[i : i + shard_size]
+        for i in range(0, len(ordered), shard_size)
+    ]
 
 
 class SweepExecutor:
@@ -287,6 +321,12 @@ class SweepExecutor:
     batch_chunk:
         Lanes per batched task (default: :data:`DEFAULT_BATCH_CHUNK`,
         halved down to balance across workers in parallel runs).
+    progress:
+        Optional callable invoked (in this process) with a completed
+        task's cell count each time a task finishes and is journaled.
+        The service backend points this at its lease heartbeat, so a
+        sweep that is making progress keeps its shard's lease alive and
+        a hung sweep lets it expire.
     """
 
     def __init__(
@@ -296,6 +336,7 @@ class SweepExecutor:
         metrics: Optional[MetricsRegistry] = None,
         batch: bool = True,
         batch_chunk: Optional[int] = None,
+        progress: Optional[Callable[[int], None]] = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"worker count must be >= 1, got {workers}")
@@ -305,6 +346,7 @@ class SweepExecutor:
         self.resilience = resilience
         self.batch = batch
         self.batch_chunk = batch_chunk
+        self.progress = progress
         self.metrics = metrics if metrics is not None and metrics.enabled else None
         #: Outcome of the most recent ``run_specs``/``map`` call.
         self.last_outcome: Optional[SweepOutcome] = None
@@ -346,7 +388,9 @@ class SweepExecutor:
                 ]
             except (AttributeError, TypeError):
                 fingerprints = None  # unfingerprintable: run without replay
-        outcome = self._engine(len(items)).run(fn, items, fingerprints)
+        outcome = self._engine(len(items)).run(
+            fn, items, fingerprints, progress=self.progress
+        )
         self.last_outcome = outcome
         return outcome.results
 
@@ -376,7 +420,9 @@ class SweepExecutor:
         fingerprints = None
         if self.resilience is not None:
             fingerprints = [spec_fingerprint(spec, instrumented) for spec in specs]
-        outcome = self._engine(len(specs)).run(fn, specs, fingerprints)
+        outcome = self._engine(len(specs)).run(
+            fn, specs, fingerprints, progress=self.progress
+        )
         self.last_outcome = outcome
         return self._fold_results(outcome.results, instrumented)
 
@@ -436,7 +482,7 @@ class SweepExecutor:
         groups: Dict[str, List[int]] = {}
         order: List[str] = []
         for index in indices:
-            key = _arm_key(specs[index])
+            key = arm_key(specs[index])
             if key not in groups:
                 groups[key] = []
                 order.append(key)
@@ -522,6 +568,7 @@ class SweepExecutor:
                 run_sweep_task, tasks, task_fps,
                 subkeys=task_subkeys, timeouts=task_timeouts,
                 sizes=[len(members) for members in owners],
+                progress=self.progress,
             )
             outcome.retries = engine_out.retries
             outcome.timeouts = engine_out.timeouts

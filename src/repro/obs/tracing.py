@@ -61,6 +61,9 @@ class NullTracer:
     def span(self, name: str, **args: Any) -> _NullSpan:
         return _NULL_SPAN
 
+    def instant(self, name: str, **args: Any) -> None:
+        pass
+
     def close(self) -> None:
         pass
 

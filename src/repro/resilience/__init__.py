@@ -39,12 +39,14 @@ from .journal import (
     JournalMismatchError,
     JournalSchemaError,
     RunJournal,
+    value_digest,
 )
 from .supervisor import (
     QuarantineRecord,
     ResilienceOptions,
     SupervisedExecutor,
     SweepOutcome,
+    backoff_delay,
 )
 
 __all__ = [
@@ -58,6 +60,8 @@ __all__ = [
     "SweepOutcome",
     "QuarantineRecord",
     "ResilienceOptions",
+    "backoff_delay",
+    "value_digest",
     "invariants_enabled",
     "require",
     "InvariantViolation",

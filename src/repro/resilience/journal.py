@@ -24,6 +24,7 @@ never silently satisfy new runs.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
@@ -36,6 +37,7 @@ __all__ = [
     "JournalSchemaError",
     "JournalMismatchError",
     "RunJournal",
+    "value_digest",
 ]
 
 #: Journal layout version; bump when the record format changes.
@@ -54,6 +56,18 @@ class JournalMismatchError(RuntimeError):
     code or a journal from a different code version — both worth a loud
     failure rather than a silently mixed grid.
     """
+
+
+def value_digest(value: Any, length: int = 12) -> str:
+    """Short content digest of a journaled (or journalable) value.
+
+    Error messages quote it for *both* sides of a replay mismatch so a
+    multi-journal service operator can see at a glance whether two
+    divergent records carry the same payload — without dumping the
+    payloads themselves into a log line.
+    """
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return hashlib.sha256(payload).hexdigest()[:length]
 
 
 def _package_version() -> str:
@@ -96,9 +110,9 @@ class RunJournal:
             schema = meta.get("schema")
             if schema != JOURNAL_SCHEMA:
                 raise JournalSchemaError(
-                    f"journal at {self.path} has schema {schema!r}, this "
-                    f"package writes {JOURNAL_SCHEMA!r}; delete the journal "
-                    "or point --checkpoint elsewhere"
+                    f"journal manifest {manifest} declares schema "
+                    f"{schema!r}, this package writes {JOURNAL_SCHEMA!r}; "
+                    "delete the journal or point --checkpoint elsewhere"
                 )
         else:
             self._records.mkdir(parents=True, exist_ok=True)
@@ -128,6 +142,14 @@ class RunJournal:
         """Fingerprints of every recorded result."""
         for entry in sorted(self._records.glob("*.pkl")):
             yield entry.stem
+
+    def record_path(self, fp: str) -> Path:
+        """On-disk path of a fingerprint's record (existing or not).
+
+        Error messages name it so "which journal file disagreed?" has
+        an immediate answer when a service juggles many journals.
+        """
+        return self._records / f"{fp}.pkl"
 
     # -- record I/O ---------------------------------------------------------------
 

@@ -29,6 +29,7 @@ and comparing.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -37,13 +38,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..obs.metrics import DURATION_BUCKETS_S, MetricsRegistry
-from .journal import JournalMismatchError, RunJournal
+from .journal import JournalMismatchError, RunJournal, value_digest
 
 __all__ = [
     "ResilienceOptions",
     "QuarantineRecord",
     "SweepOutcome",
     "SupervisedExecutor",
+    "backoff_delay",
 ]
 
 _UNSET = object()
@@ -73,6 +75,17 @@ class ResilienceOptions:
         fails ``max_retries + 1`` times is quarantined.
     backoff_base:
         First retry delay in seconds; doubles per subsequent attempt.
+    backoff_jitter:
+        Bounded multiplicative jitter on every retry delay: the delay is
+        stretched by a factor in ``[1, 1 + backoff_jitter]``, drawn
+        deterministically from ``(backoff_seed, task fingerprint,
+        attempt)``.  Simultaneous failures (every task caught in one
+        ``BrokenProcessPool``) then back off at *different* moments
+        instead of thundering-herd-ing the respawned pool — yet the
+        whole retry schedule is still a pure function of the options
+        and the task identities, so a re-run reproduces it exactly.
+    backoff_seed:
+        Seed of the jitter draw (see ``backoff_jitter``).
     verify_replay:
         Re-run journaled cells and require bit-identical results
         (determinism audit; defeats the time savings of resume).
@@ -83,6 +96,8 @@ class ResilienceOptions:
     task_timeout: Optional[float] = None
     max_retries: int = 2
     backoff_base: float = 0.5
+    backoff_jitter: float = 0.25
+    backoff_seed: int = 0
     verify_replay: bool = False
 
     def __post_init__(self):
@@ -94,8 +109,37 @@ class ResilienceOptions:
             )
         if self.backoff_base < 0:
             raise ValueError(f"backoff base must be >= 0, got {self.backoff_base}")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError(
+                f"backoff jitter must lie in [0, 1], got {self.backoff_jitter}"
+            )
         if self.resume and self.checkpoint is None:
             raise ValueError("resume requires a checkpoint path")
+
+
+def backoff_delay(
+    options: "ResilienceOptions", key: Optional[str], attempt: int
+) -> float:
+    """Retry delay for a task's ``attempt``-th failure (attempts count
+    from 1).
+
+    Exponential in the attempt number, stretched by the options'
+    bounded jitter.  The jitter fraction is a hash of
+    ``(backoff_seed, key, attempt)`` — no RNG state, so the schedule is
+    deterministic per task and distinct *across* tasks, which is what
+    de-synchronises a herd of simultaneous ``BrokenProcessPool``
+    retries without sacrificing reproducibility.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempts count from 1, got {attempt}")
+    delay = options.backoff_base * (2 ** (attempt - 1))
+    if delay > 0 and options.backoff_jitter > 0:
+        draw = hashlib.sha256(
+            f"{options.backoff_seed}\x1f{key or ''}\x1f{attempt}".encode()
+        ).digest()
+        unit = int.from_bytes(draw[:8], "big") / 2**64  # uniform [0, 1)
+        delay *= 1.0 + options.backoff_jitter * unit
+    return delay
 
 
 @dataclass(frozen=True)
@@ -216,6 +260,7 @@ class SupervisedExecutor:
         self.strict = options is None
         self.options = options or ResilienceOptions(max_retries=0)
         self.metrics = metrics if metrics is not None and metrics.enabled else None
+        self._progress: Optional[Callable[[int], None]] = None
         self.journal: Optional[RunJournal] = None
         if self.options.checkpoint is not None:
             if self.options.resume and not RunJournal.exists(self.options.checkpoint):
@@ -240,6 +285,7 @@ class SupervisedExecutor:
         subkeys: Optional[Sequence[Optional[Sequence[str]]]] = None,
         timeouts: Optional[Sequence[Optional[float]]] = None,
         sizes: Optional[Sequence[int]] = None,
+        progress: Optional[Callable[[int], None]] = None,
     ) -> SweepOutcome:
         """Apply ``fn`` to every item; results index-aligned with ``items``.
 
@@ -262,7 +308,14 @@ class SupervisedExecutor:
         (a batched task's member count, default 1) — it keeps the
         ``executed`` account and its telemetry counter invariant to how
         cells were packed into tasks.
+
+        ``progress`` (when given) is called in the *parent* with the
+        task's cell count each time a task completes and is journaled —
+        the liveness signal the service layer turns into lease
+        heartbeats.  It is never called for replayed or quarantined
+        tasks.
         """
+        self._progress = progress
         items = list(items)
         if fingerprints is None:
             fingerprints = [None] * len(items)
@@ -332,11 +385,18 @@ class SupervisedExecutor:
 
     def _complete(self, task: _Task, value: Any, outcome: SweepOutcome) -> None:
         if task.expected is not _UNSET and value != task.expected:
+            where = (
+                str(self.journal.record_path(task.fingerprint))
+                if self.journal is not None and task.fingerprint is not None
+                else "<unknown record>"
+            )
             raise JournalMismatchError(
                 f"replay of task #{task.index} "
                 f"[{(task.fingerprint or '?')[:12]}] diverged from the "
-                "journaled result — non-deterministic task or a journal "
-                "written by different code"
+                f"journaled result at {where}: journaled value digest "
+                f"{value_digest(task.expected)}, recomputed "
+                f"{value_digest(value)} — non-deterministic task or a "
+                "journal written by different code"
             )
         outcome.results[task.index] = value
         # A batched task completes ``size`` cells at once, so the cells-
@@ -348,6 +408,8 @@ class SupervisedExecutor:
             if task.subkeys is not None:
                 for key, member in zip(task.subkeys, value):
                     self.journal.record(key, member)
+        if self._progress is not None:
+            self._progress(task.size)
 
     def _register_failure(
         self,
@@ -374,8 +436,10 @@ class SupervisedExecutor:
             )
             return
         outcome.retries += 1
-        delay = self.options.backoff_base * (2 ** (task.attempts - 1))
-        task.not_before = time.monotonic() + delay
+        key = task.fingerprint or f"task-{task.index}"
+        task.not_before = time.monotonic() + backoff_delay(
+            self.options, key, task.attempts
+        )
         pending.append(task)
 
     # -- inline path --------------------------------------------------------------

@@ -1,0 +1,54 @@
+"""Sweep-as-a-service: a fault-tolerant job daemon over the sweep stack.
+
+``repro serve`` turns the package's sweep machinery into a long-running
+daemon: clients submit experiment grids (``repro submit``), the server
+shards them by arm fingerprint, dispatches shards to a backend under
+TTL **leases** with completion heartbeats, and journals every completed
+cell.  The failure story is uniform — a dead worker, a hung shard, or a
+SIGKILL'd server all reduce to "some lease expired / some bookkeeping
+was lost, and the journal has everything that completed":
+
+* a silent shard's lease expires and it is re-dispatched, resuming
+  **bit-identically** from its journal;
+* a restarted server reloads its atomically-checkpointed job table,
+  returns leased shards to pending, and carries on;
+* ``SIGTERM`` drains gracefully — admission stops (503), admitted jobs
+  finish, then the server checkpoints and exits 0;
+* an overloaded server sheds new jobs with an explicit 429;
+* a poison cell is retried then quarantined as an explicit hole, never
+  a silent truncation.
+
+Results of a service job are bit-identical to a direct
+:class:`~repro.experiments.sweep.SweepExecutor` run of the same grid —
+the chaos suite (``tests/service/test_chaos.py``) holds the daemon to
+that through worker kills and server restarts.  See ``docs/service.md``.
+"""
+
+from .backend import Backend, InProcessBackend, ShardResult, ShardWork
+from .client import ServiceClient
+from .grids import GRID_KINDS, expand_grid, summarize_cell
+from .jobs import JobRecord, JobTable, ShardRecord
+from .leases import Lease, LeaseTable
+from .server import ServiceConfig, ServiceThread, SweepService, serve
+from .wire import ServiceError
+
+__all__ = [
+    "Backend",
+    "InProcessBackend",
+    "ShardWork",
+    "ShardResult",
+    "ServiceClient",
+    "GRID_KINDS",
+    "expand_grid",
+    "summarize_cell",
+    "JobRecord",
+    "JobTable",
+    "ShardRecord",
+    "Lease",
+    "LeaseTable",
+    "ServiceConfig",
+    "SweepService",
+    "ServiceThread",
+    "serve",
+    "ServiceError",
+]

@@ -1,0 +1,157 @@
+"""Synchronous client for the sweep daemon.
+
+One request is one short-lived TCP connection: resolve the endpoint
+file, send a JSON line, read a JSON line, close.  The endpoint is
+re-read on **every** request — a restarted server (new ephemeral port,
+new pid) is picked up transparently, which is what lets a client
+``wait()`` straight through a server crash-and-restart.
+
+Failures are loud and typed: a refused request raises
+:class:`~repro.service.wire.ServiceError` with the server's code, and
+an unreachable server raises one with code
+:data:`~repro.service.wire.UNREACHABLE` — callers distinguish "the
+server said no" from "there is no server" without string matching.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from .jobs import TERMINAL_STATES
+from .wire import (
+    MAX_LINE_BYTES,
+    UNREACHABLE,
+    ServiceError,
+    decode,
+    encode,
+    raise_for,
+)
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talks to one daemon via its state directory's endpoint file."""
+
+    def __init__(self, state_dir, timeout: float = 30.0):
+        self.state_dir = Path(state_dir)
+        self.timeout = timeout
+
+    @property
+    def endpoint_path(self) -> Path:
+        return self.state_dir / "endpoint.json"
+
+    def _endpoint(self) -> Dict[str, Any]:
+        try:
+            with open(self.endpoint_path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError as error:
+            raise ServiceError(
+                UNREACHABLE,
+                f"no endpoint at {self.endpoint_path} — is the server "
+                "running? (repro serve --state ...)",
+            ) from error
+        except (OSError, json.JSONDecodeError) as error:
+            raise ServiceError(
+                UNREACHABLE, f"unreadable endpoint {self.endpoint_path}: {error}"
+            ) from error
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """One round-trip; returns the ok-response or raises its refusal."""
+        endpoint = self._endpoint()
+        payload = encode({"op": op, **fields})
+        try:
+            with socket.create_connection(
+                (endpoint["host"], int(endpoint["port"])), timeout=self.timeout
+            ) as sock:
+                sock.sendall(payload)
+                sock.shutdown(socket.SHUT_WR)
+                line = _read_line(sock, self.timeout)
+        except (ConnectionError, socket.timeout, OSError) as error:
+            raise ServiceError(
+                UNREACHABLE,
+                f"server at {endpoint['host']}:{endpoint['port']} "
+                f"unreachable: {error}",
+            ) from error
+        return raise_for(decode(line))
+
+    # -- operations ---------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def submit(self, grid: Dict[str, Any]) -> Dict[str, Any]:
+        return self.request("submit", grid=grid)
+
+    def status(self, job_id: str, results: bool = False) -> Dict[str, Any]:
+        return self.request("status", job_id=job_id, results=results)
+
+    def jobs(self) -> Dict[str, Any]:
+        return self.request("jobs")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request("cancel", job_id=job_id)
+
+    def drain(self) -> Dict[str, Any]:
+        return self.request("drain")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("metrics")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll: float = 0.2,
+        results: bool = False,
+        tolerate_unreachable: bool = True,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state.
+
+        With ``tolerate_unreachable`` (the default) a dead server is
+        treated as transient — the job's journals and table survive a
+        crash, so waiting through a restart is the normal recovery
+        story, not an error.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                response = self.status(job_id, results=results)
+            except ServiceError as error:
+                if not (tolerate_unreachable and error.code == UNREACHABLE):
+                    raise
+            else:
+                if response["job"]["state"] in TERMINAL_STATES:
+                    return response
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    UNREACHABLE,
+                    f"job {job_id!r} not terminal after {timeout}s",
+                )
+            time.sleep(poll)
+
+
+def _read_line(sock: socket.socket, timeout: float) -> bytes:
+    """Read one newline-terminated response (bounded size and time)."""
+    sock.settimeout(timeout)
+    chunks = []
+    total = 0
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        total += len(chunk)
+        if chunk.endswith(b"\n"):
+            break
+        if total > MAX_LINE_BYTES:
+            raise ServiceError(
+                UNREACHABLE, f"response exceeds {MAX_LINE_BYTES} bytes"
+            )
+    if not chunks:
+        raise ServiceError(UNREACHABLE, "server closed connection mid-request")
+    return b"".join(chunks)

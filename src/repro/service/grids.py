@@ -1,0 +1,284 @@
+"""Grid specs the service accepts, and their expansion to run specs.
+
+A submitted job is one JSON object, ``{"kind": <kind>, ...params}``.
+:func:`expand_grid` turns it into the same flat
+:class:`~repro.experiments.sweep.MACRunSpec` list the corresponding
+experiment driver would run directly — same policies, same seeds, same
+ordering — which is the whole durability story: the service's results
+are **bit-identical** to a local :class:`SweepExecutor` run of the same
+grid, and every cell's journal fingerprint matches across the two.
+
+Expansion is deterministic (a pure function of the payload), so a
+restarted server re-expands a recovered job into an identical grid and
+resumes it from its journal.
+
+Kinds
+-----
+``figure7``
+    The simulation arms of one Figure-7 panel (controlled/FCFS/LCFS ×
+    deadline grid), mirroring
+    :func:`repro.experiments.figure7.generate_panel`.
+``replicate``
+    One protocol arm × N replication seeds, mirroring
+    ``repro simulate --replications``.
+``feedback``
+    The robustness feedback-error sweep (error rate × replication),
+    sharing :func:`repro.experiments.robustness.point_spec`.
+``stations``
+    The station-count sensitivity grid of
+    :func:`repro.experiments.sensitivity.station_count_sensitivity`.
+``element4``
+    The sender-discard ablation of
+    :func:`repro.experiments.ablations.element4_ablation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, List
+
+from ..core.policy import ControlPolicy
+from ..experiments.figure7 import PanelConfig, default_deadlines
+from ..experiments.robustness import (
+    DEFAULT_ERROR_RATES,
+    RobustnessConfig,
+    point_spec,
+)
+from ..experiments.sweep import MACRunSpec, derive_seeds
+from ..faults import FaultModel
+from ..mac.simulator import MACSimResult
+
+__all__ = ["GRID_KINDS", "expand_grid", "summarize_cell"]
+
+GRID_KINDS = ("figure7", "replicate", "feedback", "stations", "element4")
+
+_PROTOCOLS = {
+    "controlled": lambda lam, deadline: ControlPolicy.optimal(deadline, lam),
+    "fcfs": lambda lam, deadline: ControlPolicy.uncontrolled_fcfs(lam),
+    "lcfs": lambda lam, deadline: ControlPolicy.uncontrolled_lcfs(lam),
+    "random": lambda lam, deadline: ControlPolicy.uncontrolled_random(lam),
+}
+
+
+def _require(payload: Dict[str, Any], kind: str, allowed: tuple) -> None:
+    unknown = set(payload) - set(allowed) - {"kind", "schema"}
+    if unknown:
+        raise ValueError(
+            f"grid kind {kind!r} does not take parameter(s) "
+            f"{', '.join(sorted(unknown))}; allowed: {', '.join(allowed)}"
+        )
+
+
+def _figure7_specs(p: Dict[str, Any]) -> List[MACRunSpec]:
+    _require(p, "figure7", ("rho", "m", "deadlines", "horizon", "warmup",
+                            "seed", "stations"))
+    config = PanelConfig(
+        rho_prime=float(p.get("rho", 0.5)),
+        message_length=int(p.get("m", 25)),
+    )
+    deadlines = sorted(
+        float(d) for d in p.get("deadlines", default_deadlines(config))
+    )
+    if not deadlines:
+        raise ValueError("figure7 grid needs at least one deadline")
+    horizon = float(p.get("horizon", 80_000.0))
+    warmup = float(p.get("warmup", horizon * 0.125))
+    seed = int(p.get("seed", 1))
+    lam = config.arrival_rate
+    # Same arm order and flat (arm × deadline) layout as generate_panel.
+    arms = [
+        lambda K: ControlPolicy.optimal(K, lam),
+        lambda K: ControlPolicy.uncontrolled_fcfs(lam),
+        lambda K: ControlPolicy.uncontrolled_lcfs(lam),
+    ]
+    return [
+        MACRunSpec(
+            policy=factory(deadline),
+            arrival_rate=lam,
+            transmission_slots=config.message_length,
+            horizon=horizon,
+            warmup=warmup,
+            n_stations=int(p.get("stations", 200)),
+            deadline=deadline,
+            seed=seed,
+        )
+        for factory in arms
+        for deadline in deadlines
+    ]
+
+
+def _replicate_specs(p: Dict[str, Any]) -> List[MACRunSpec]:
+    _require(p, "replicate", ("protocol", "rho", "m", "deadline", "stations",
+                              "horizon", "warmup", "seeds", "seed"))
+    protocol = str(p.get("protocol", "controlled"))
+    if protocol not in _PROTOCOLS:
+        raise ValueError(
+            f"unknown protocol {protocol!r}; "
+            f"expected one of {', '.join(_PROTOCOLS)}"
+        )
+    m = int(p.get("m", 25))
+    lam = float(p.get("rho", 0.5)) / m
+    deadline = float(p.get("deadline", 100.0))
+    horizon = float(p.get("horizon", 100_000.0))
+    warmup = float(p.get("warmup", horizon * 0.125))
+    n = int(p.get("seeds", 4))
+    policy = _PROTOCOLS[protocol](lam, deadline)
+    return [
+        MACRunSpec(
+            policy=policy,
+            arrival_rate=lam,
+            transmission_slots=m,
+            horizon=horizon,
+            warmup=warmup,
+            n_stations=int(p.get("stations", 200)),
+            deadline=deadline,
+            seed=seed,
+        )
+        for seed in derive_seeds(int(p.get("seed", 1)), n)
+    ]
+
+
+def _robustness_config(p: Dict[str, Any]) -> RobustnessConfig:
+    return RobustnessConfig(
+        rho_prime=float(p.get("rho", 0.5)),
+        message_length=int(p.get("m", 25)),
+        deadline_factor=float(p.get("deadline_factor", 3.0)),
+        n_stations=int(p.get("stations", 25)),
+        horizon=float(p.get("horizon", 60_000.0)),
+        n_seeds=int(p.get("seeds", 3)),
+        base_seed=int(p.get("seed", 1)),
+    )
+
+
+def _feedback_specs(p: Dict[str, Any]) -> List[MACRunSpec]:
+    _require(p, "feedback", ("rho", "m", "deadline_factor", "stations",
+                             "horizon", "seeds", "seed", "errors"))
+    config = _robustness_config(p)
+    error_rates = [float(e) for e in p.get("errors", DEFAULT_ERROR_RATES)]
+    for error_rate in error_rates:
+        if error_rate < 0:
+            raise ValueError(f"error rate must be non-negative, got {error_rate}")
+    # Flat (error rate × replication) grid, exactly feedback_error_sweep's.
+    return [
+        point_spec(
+            config,
+            (
+                FaultModel.feedback_noise(error_rate)
+                if error_rate > 0
+                else FaultModel.none()
+            ),
+            config.base_seed + i,
+        )
+        for error_rate in error_rates
+        for i in range(config.n_seeds)
+    ]
+
+
+def _stations_specs(p: Dict[str, Any]) -> List[MACRunSpec]:
+    _require(p, "stations", ("station_counts", "rho", "m", "deadline",
+                             "horizon", "warmup", "seed"))
+    m = int(p.get("m", 25))
+    lam = float(p.get("rho", 0.75)) / m
+    deadline = float(p.get("deadline", 75.0))
+    horizon = float(p.get("horizon", 100_000.0))
+    warmup = float(p.get("warmup", 12_000.0))
+    seed = int(p.get("seed", 41))
+    counts = [int(n) for n in p.get("station_counts", (4, 16, 64, 256))]
+    return [
+        MACRunSpec(
+            policy=ControlPolicy.optimal(deadline, lam),
+            arrival_rate=lam,
+            transmission_slots=m,
+            horizon=horizon,
+            warmup=warmup,
+            n_stations=n_stations,
+            deadline=deadline,
+            seed=seed,
+        )
+        for n_stations in counts
+    ]
+
+
+def _element4_specs(p: Dict[str, Any]) -> List[MACRunSpec]:
+    _require(p, "element4", ("rho", "m", "deadline", "horizon", "warmup",
+                             "seed"))
+    m = int(p.get("m", 25))
+    lam = float(p.get("rho", 0.75)) / m
+    deadline = float(p.get("deadline", 75.0))
+    horizon = float(p.get("horizon", 150_000.0))
+    warmup = float(p.get("warmup", 20_000.0))
+    seed = int(p.get("seed", 5))
+    with_discard = ControlPolicy.optimal(deadline, lam)
+    without_discard = replace(
+        with_discard, discard_deadline=None, name="no_discard"
+    )
+    return [
+        MACRunSpec(
+            policy=policy,
+            arrival_rate=lam,
+            transmission_slots=m,
+            horizon=horizon,
+            warmup=warmup,
+            deadline=deadline,
+            seed=seed,
+        )
+        for policy in (with_discard, without_discard)
+    ]
+
+
+_EXPANDERS = {
+    "figure7": _figure7_specs,
+    "replicate": _replicate_specs,
+    "feedback": _feedback_specs,
+    "stations": _stations_specs,
+    "element4": _element4_specs,
+}
+
+
+def expand_grid(grid: Dict[str, Any]) -> List[MACRunSpec]:
+    """Expand a JSON grid payload into its flat spec list.
+
+    Raises :class:`ValueError` for an unknown kind, an unknown
+    parameter, or a parameter the spec's own validation rejects — all
+    *before* any work is dispatched, so a bad submission is refused at
+    admission with a message naming the problem.
+    """
+    if not isinstance(grid, dict):
+        raise ValueError("grid must be a JSON object")
+    kind = grid.get("kind")
+    if kind not in _EXPANDERS:
+        raise ValueError(
+            f"unknown grid kind {kind!r}; expected one of {', '.join(GRID_KINDS)}"
+        )
+    try:
+        specs = _EXPANDERS[kind](grid)
+    except (TypeError,) as error:
+        raise ValueError(f"bad {kind} grid: {error}") from error
+    if not specs:
+        raise ValueError(f"grid kind {kind!r} expanded to zero cells")
+    return specs
+
+
+def summarize_cell(spec: MACRunSpec, result: MACSimResult) -> Dict[str, Any]:
+    """JSON-safe per-cell summary of one completed run.
+
+    Floats round-trip through JSON at full shortest-repr precision, so
+    two summaries are equal **iff** the underlying loss figures are
+    bit-identical — which is how the acceptance tests compare a service
+    job against a direct sweep without shipping pickles over the wire.
+    """
+    return {
+        "arm": spec.policy.name,
+        "seed": spec.stream_seed if spec.stream_seed is not None else spec.seed,
+        "deadline": spec.deadline,
+        "n_stations": spec.n_stations,
+        "loss_fraction": result.loss_fraction,
+        "loss_stderr": result.loss_stderr(),
+        "arrivals": result.arrivals,
+        "delivered_on_time": result.delivered_on_time,
+        "delivered_late": result.delivered_late,
+        "discarded": result.discarded,
+        "unresolved": result.unresolved,
+        "mean_true_wait": result.mean_true_wait,
+        "saturated": bool(result.saturated),
+    }

@@ -1,0 +1,322 @@
+"""The job table: every submitted grid, its shards, and their states.
+
+The table is the server's only mutable state that matters across a
+crash, so it is tiny, all-JSON, and checkpointed atomically (temp file +
+``os.replace``, the journal discipline) on every transition.  Results
+never live here — cells are journaled by content-addressed fingerprint
+as they complete (:mod:`repro.resilience.journal`), and a finished job's
+summaries are rebuilt *from the journal*, which is what makes the table
+safe to reload after a SIGKILL: the worst a crash can lose is bookkeeping
+that one shard finished, and re-running that shard replays every
+completed cell from its journal instead of recomputing it.
+
+States
+------
+Jobs: ``queued → running → completed`` with terminal ``failed`` and
+``cancelled`` branches.  Shards: ``pending → leased → done``; recovery
+(and lease expiry) moves ``leased`` back to ``pending``, never loses
+``done``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..resilience import fingerprint
+
+__all__ = [
+    "JOBS_SCHEMA",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JOB_COMPLETED",
+    "JOB_FAILED",
+    "JOB_CANCELLED",
+    "TERMINAL_STATES",
+    "SHARD_PENDING",
+    "SHARD_LEASED",
+    "SHARD_DONE",
+    "ShardRecord",
+    "JobRecord",
+    "JobTable",
+]
+
+#: Job-table layout version; a table written under another version is
+#: refused, never silently reinterpreted.
+JOBS_SCHEMA = "repro-service-jobs-v1"
+
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_COMPLETED = "completed"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+TERMINAL_STATES = (JOB_COMPLETED, JOB_FAILED, JOB_CANCELLED)
+
+SHARD_PENDING = "pending"
+SHARD_LEASED = "leased"
+SHARD_DONE = "done"
+
+
+class JobTableSchemaError(RuntimeError):
+    """The state directory holds a job table from a different layout."""
+
+
+@dataclass
+class ShardRecord:
+    """One dispatch unit: a slice of a job's grid.
+
+    ``attempts`` counts lease grants and doubles as the fencing token
+    source; ``redispatches`` counts grants beyond the first — the
+    "how often did robustness machinery actually fire" figure surfaced
+    in the metrics report.
+    """
+
+    shard_id: int
+    spec_indices: List[int]
+    state: str = SHARD_PENDING
+    attempts: int = 0
+    redispatches: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shard_id": self.shard_id,
+            "spec_indices": list(self.spec_indices),
+            "state": self.state,
+            "attempts": self.attempts,
+            "redispatches": self.redispatches,
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "ShardRecord":
+        return cls(
+            shard_id=int(state["shard_id"]),
+            spec_indices=[int(i) for i in state["spec_indices"]],
+            state=str(state["state"]),
+            attempts=int(state.get("attempts", 0)),
+            redispatches=int(state.get("redispatches", 0)),
+        )
+
+
+@dataclass
+class JobRecord:
+    """One submitted grid and the progress of its shards."""
+
+    job_id: str
+    grid: Dict[str, Any]
+    cells: int
+    shards: List[ShardRecord]
+    state: str = JOB_QUEUED
+    seq: int = 0
+    error: Optional[str] = None
+    #: Quarantined cells: ``{"index", "reason", "attempts"}`` per hole,
+    #: indices into the expanded grid.  A job with holes still completes
+    #: — degraded, explicit, never silently truncated.
+    holes: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def cells_done(self) -> int:
+        done = sum(
+            len(shard.spec_indices)
+            for shard in self.shards
+            if shard.state == SHARD_DONE
+        )
+        return done
+
+    @property
+    def all_shards_done(self) -> bool:
+        return all(shard.state == SHARD_DONE for shard in self.shards)
+
+    def hole_indices(self) -> List[int]:
+        return sorted(hole["index"] for hole in self.holes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "grid": self.grid,
+            "cells": self.cells,
+            "shards": [shard.to_dict() for shard in self.shards],
+            "state": self.state,
+            "seq": self.seq,
+            "error": self.error,
+            "holes": list(self.holes),
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "JobRecord":
+        return cls(
+            job_id=str(state["job_id"]),
+            grid=dict(state["grid"]),
+            cells=int(state["cells"]),
+            shards=[ShardRecord.from_dict(s) for s in state["shards"]],
+            state=str(state["state"]),
+            seq=int(state.get("seq", 0)),
+            error=state.get("error"),
+            holes=list(state.get("holes", [])),
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Wire-safe progress view (no results — see the server's
+        ``status`` op for those)."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.grid.get("kind"),
+            "state": self.state,
+            "cells": self.cells,
+            "cells_done": self.cells_done,
+            "shards": len(self.shards),
+            "shards_done": sum(
+                1 for shard in self.shards if shard.state == SHARD_DONE
+            ),
+            "redispatches": sum(shard.redispatches for shard in self.shards),
+            "holes": len(self.holes),
+            "error": self.error,
+        }
+
+
+class JobTable:
+    """All jobs the server knows, checkpointed to one JSON file."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.jobs: Dict[str, JobRecord] = {}
+        self._seq = 0
+
+    # -- persistence --------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path) -> "JobTable":
+        """Read the table at ``path``, or start an empty one."""
+        table = cls(path)
+        if not table.path.exists():
+            return table
+        try:
+            with open(table.path, "r", encoding="utf-8") as handle:
+                state = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise JobTableSchemaError(
+                f"unreadable job table at {table.path}: {error}"
+            ) from error
+        schema = state.get("schema")
+        if schema != JOBS_SCHEMA:
+            raise JobTableSchemaError(
+                f"job table at {table.path} has schema {schema!r}, this "
+                f"package writes {JOBS_SCHEMA!r}; delete the state "
+                "directory or point --state elsewhere"
+            )
+        for entry in state.get("jobs", []):
+            job = JobRecord.from_dict(entry)
+            table.jobs[job.job_id] = job
+        table._seq = int(state.get("seq", len(table.jobs)))
+        return table
+
+    def save(self) -> None:
+        """Atomic checkpoint: the table on disk is always a valid whole."""
+        payload = json.dumps(
+            {
+                "schema": JOBS_SCHEMA,
+                "seq": self._seq,
+                "jobs": [
+                    job.to_dict()
+                    for job in sorted(self.jobs.values(), key=lambda j: j.seq)
+                ],
+            },
+            indent=2,
+        ).encode()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- mutation -----------------------------------------------------------------
+
+    def submit(
+        self, grid: Dict[str, Any], shard_plan: List[List[int]], cells: int
+    ) -> JobRecord:
+        """Admit one grid; the job id is sequence + content so resubmitting
+        the same grid yields distinct, recognisably-related jobs."""
+        self._seq += 1
+        job_id = f"j{self._seq:04d}-{fingerprint(grid)[:8]}"
+        job = JobRecord(
+            job_id=job_id,
+            grid=grid,
+            cells=cells,
+            shards=[
+                ShardRecord(shard_id=i, spec_indices=list(indices))
+                for i, indices in enumerate(shard_plan)
+            ],
+            seq=self._seq,
+        )
+        self.jobs[job_id] = job
+        return job
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        return self.jobs.get(job_id)
+
+    def recover(self) -> Tuple[int, int]:
+        """Post-restart repair: leased shards lost their server, so they
+        go back to pending (their journals keep everything completed).
+
+        Returns ``(jobs touched, shards reset)``.
+        """
+        jobs_touched = 0
+        shards_reset = 0
+        for job in self.jobs.values():
+            if job.state in TERMINAL_STATES:
+                continue
+            touched = False
+            for shard in job.shards:
+                if shard.state == SHARD_LEASED:
+                    shard.state = SHARD_PENDING
+                    shards_reset += 1
+                    touched = True
+            if touched:
+                jobs_touched += 1
+        return jobs_touched, shards_reset
+
+    # -- scheduling queries -------------------------------------------------------
+
+    def active_jobs(self) -> List[JobRecord]:
+        """Queued or running jobs, in submission order."""
+        return sorted(
+            (
+                job
+                for job in self.jobs.values()
+                if job.state not in TERMINAL_STATES
+            ),
+            key=lambda job: job.seq,
+        )
+
+    def next_pending(self) -> Optional[Tuple[JobRecord, ShardRecord]]:
+        """The next shard to dispatch: FIFO over jobs, index order within."""
+        for job in self.active_jobs():
+            for shard in job.shards:
+                if shard.state == SHARD_PENDING:
+                    return job, shard
+        return None
+
+    def pending_shards(self) -> int:
+        """Current dispatch backlog (the queue-depth signal)."""
+        return sum(
+            1
+            for job in self.active_jobs()
+            for shard in job.shards
+            if shard.state == SHARD_PENDING
+        )
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for job in self.jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts

@@ -1,0 +1,121 @@
+"""TTL leases over dispatched shards: the liveness contract.
+
+Dispatch in the service is never fire-and-forget: a shard handed to the
+backend is *claimed* under a :class:`Lease` with a wall-clock TTL, and
+the executing attempt must keep the lease alive with heartbeats (the
+backend renews on every completed cell).  A worker that dies or hangs
+stops heartbeating, its lease expires, and the scheduler re-dispatches
+the shard — which resumes from the shard's journal bit-identically, so
+the crash costs wall-clock but never correctness.
+
+Fencing
+-------
+Every grant carries a monotonically increasing **token** (the shard's
+attempt number).  An abandoned attempt — a hung thread that eventually
+wakes up after its lease expired — can no longer renew or complete,
+because its token no longer matches: the stale result is discarded at
+the door.  Its journal writes are harmless by construction (atomic,
+content-addressed, deterministic payloads), so a zombie attempt can
+race a live one without corrupting anything.
+
+The table is pure bookkeeping over an injected clock — no asyncio, no
+threads — so the expiry/fencing rules are unit-testable with a fake
+clock, and the server owns all actual timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Lease", "LeaseTable"]
+
+
+@dataclass
+class Lease:
+    """One shard claim: who may report results, and until when."""
+
+    job_id: str
+    shard_id: int
+    token: int
+    granted_at: float
+    expires_at: float
+    ttl: float
+    renewals: int = 0
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return (self.job_id, self.shard_id)
+
+
+class LeaseTable:
+    """Live leases, keyed by ``(job_id, shard_id)``.
+
+    At most one lease per shard: granting over an existing claim fences
+    out the previous attempt (its token dies with its lease).
+    """
+
+    def __init__(self):
+        self._leases: Dict[Tuple[str, int], Lease] = {}
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def get(self, job_id: str, shard_id: int) -> Optional[Lease]:
+        return self._leases.get((job_id, shard_id))
+
+    def grant(
+        self, job_id: str, shard_id: int, token: int, ttl: float, now: float
+    ) -> Lease:
+        """Claim a shard for one attempt; replaces any previous claim."""
+        if ttl <= 0:
+            raise ValueError(f"lease TTL must be positive, got {ttl}")
+        lease = Lease(
+            job_id=job_id,
+            shard_id=shard_id,
+            token=token,
+            granted_at=now,
+            expires_at=now + ttl,
+            ttl=ttl,
+        )
+        self._leases[lease.key] = lease
+        return lease
+
+    def renew(self, job_id: str, shard_id: int, token: int, now: float) -> bool:
+        """Heartbeat: push the expiry out by one TTL.
+
+        Returns ``False`` (and changes nothing) for a stale token or a
+        shard with no live lease — the fencing rule that locks zombie
+        attempts out.
+        """
+        lease = self._leases.get((job_id, shard_id))
+        if lease is None or lease.token != token:
+            return False
+        lease.expires_at = now + lease.ttl
+        lease.renewals += 1
+        return True
+
+    def release(self, job_id: str, shard_id: int, token: int) -> bool:
+        """Drop a claim on completion; ``False`` if the token is stale
+        (the attempt was fenced out and its result must be discarded)."""
+        lease = self._leases.get((job_id, shard_id))
+        if lease is None or lease.token != token:
+            return False
+        del self._leases[(job_id, shard_id)]
+        return True
+
+    def release_job(self, job_id: str) -> int:
+        """Drop every claim of one job (cancellation); returns the count."""
+        keys = [key for key in self._leases if key[0] == job_id]
+        for key in keys:
+            del self._leases[key]
+        return len(keys)
+
+    def expire(self, now: float) -> List[Lease]:
+        """Pop and return every lease past its expiry."""
+        expired = [
+            lease for lease in self._leases.values() if lease.expires_at <= now
+        ]
+        for lease in expired:
+            del self._leases[lease.key]
+        return expired

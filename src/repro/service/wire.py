@@ -1,0 +1,124 @@
+"""Wire schema of the sweep service: newline-delimited JSON messages.
+
+One connection carries one request and one response, each a single JSON
+object on a single line.  The shape is deliberately tiny — the service
+is a *job* daemon, not a streaming API — and versioned: every message
+carries ``schema``, and a client or server refuses to talk across a
+schema change rather than mis-parse it.
+
+Requests are ``{"schema": ..., "op": <op>, ...}`` with ``op`` one of
+:data:`OPS`.  Responses are either ``{"ok": true, ...}`` or a refusal
+``{"ok": false, "code": <int>, "error": <str>}`` with HTTP-flavoured
+codes (:data:`BAD_REQUEST`, :data:`NOT_FOUND`, :data:`BUSY` for
+admission-control shedding, :data:`DRAINING`, :data:`INTERNAL`) — an
+explicit rejection the client can surface, never unbounded queueing or
+a dropped connection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Tuple
+
+__all__ = [
+    "WIRE_SCHEMA",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "BAD_REQUEST",
+    "NOT_FOUND",
+    "BUSY",
+    "DRAINING",
+    "INTERNAL",
+    "UNREACHABLE",
+    "ServiceError",
+    "encode",
+    "decode",
+    "ok",
+    "refusal",
+    "parse_request",
+    "raise_for",
+]
+
+#: Wire layout version; bump on any message-shape change.
+WIRE_SCHEMA = "repro-service-v1"
+
+#: Upper bound on one message line (a submit carries a grid spec, not
+#: results; anything bigger than this is a malformed or hostile client).
+MAX_LINE_BYTES = 1 << 20
+
+#: Operations the server understands.
+OPS = ("ping", "submit", "status", "jobs", "cancel", "drain", "metrics")
+
+BAD_REQUEST = 400
+NOT_FOUND = 404
+BUSY = 429  # admission control: job table full — retry later
+DRAINING = 503  # graceful drain in progress: not admitting new work
+INTERNAL = 500
+UNREACHABLE = 0  # client-side: no server behind the endpoint
+
+
+class ServiceError(RuntimeError):
+    """A refused request (or an unreachable server), with its code."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(message)
+        self.code = code
+
+    def __str__(self) -> str:  # e.g. "[429] job table full ..."
+        return f"[{self.code}] {super().__str__()}"
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One message as a JSON line (schema stamped, newline terminated)."""
+    message.setdefault("schema", WIRE_SCHEMA)
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    """Parse one received line; malformed input is a loud 400, and a
+    schema mismatch is refused rather than guessed at."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ServiceError(BAD_REQUEST, f"message exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServiceError(BAD_REQUEST, f"malformed message: {error}") from error
+    if not isinstance(message, dict):
+        raise ServiceError(BAD_REQUEST, "message must be a JSON object")
+    schema = message.get("schema")
+    if schema != WIRE_SCHEMA:
+        raise ServiceError(
+            BAD_REQUEST,
+            f"message schema {schema!r} does not match {WIRE_SCHEMA!r}",
+        )
+    return message
+
+
+def ok(**fields: Any) -> Dict[str, Any]:
+    """A success response."""
+    return {"schema": WIRE_SCHEMA, "ok": True, **fields}
+
+
+def refusal(code: int, message: str) -> Dict[str, Any]:
+    """An explicit rejection response."""
+    return {"schema": WIRE_SCHEMA, "ok": False, "code": code, "error": message}
+
+
+def parse_request(message: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
+    """Validate a decoded request; returns ``(op, message)``."""
+    op = message.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ServiceError(
+            BAD_REQUEST, f"unknown op {op!r}; expected one of {', '.join(OPS)}"
+        )
+    return op, message
+
+
+def raise_for(response: Dict[str, Any]) -> Dict[str, Any]:
+    """Return a success response, or raise its refusal as an error."""
+    if response.get("ok"):
+        return response
+    raise ServiceError(
+        int(response.get("code", INTERNAL)),
+        str(response.get("error", "unspecified service error")),
+    )

@@ -62,6 +62,39 @@ def test_foreign_schema_is_a_hard_error(tmp_path):
         RunJournal(tmp_path / "j")
 
 
+def test_schema_error_names_path_and_both_schemas(tmp_path):
+    # The message must say which file is wrong, what it declares, and
+    # what this package writes — enough to act on without a debugger.
+    RunJournal(tmp_path / "j")
+    manifest = tmp_path / "j" / "manifest.json"
+    manifest.write_text(json.dumps({"schema": "repro-journal-v0"}))
+    with pytest.raises(JournalSchemaError) as excinfo:
+        RunJournal(tmp_path / "j")
+    message = str(excinfo.value)
+    assert str(manifest) in message
+    assert "repro-journal-v0" in message
+    assert JOURNAL_SCHEMA in message
+
+
+def test_record_path_points_at_the_record_file(tmp_path):
+    journal = RunJournal(tmp_path / "j")
+    journal.record("abc", 1)
+    path = journal.record_path("abc")
+    assert path.exists()
+    assert path == tmp_path / "j" / "records" / "abc.pkl"
+    # record_path answers for misses too (that's the point: error
+    # messages name where the record *would* live).
+    assert not journal.record_path("absent").exists()
+
+
+def test_value_digest_is_stable_and_discriminating(tmp_path):
+    from repro.resilience import value_digest
+
+    assert value_digest({"loss": 0.25}) == value_digest({"loss": 0.25})
+    assert value_digest({"loss": 0.25}) != value_digest({"loss": 0.35})
+    assert len(value_digest(1, length=12)) == 12
+
+
 def test_unreadable_manifest_is_a_hard_error(tmp_path):
     RunJournal(tmp_path / "j")
     (tmp_path / "j" / "manifest.json").write_text("{not json")

@@ -13,6 +13,8 @@ from repro.resilience import (
     ResilienceOptions,
     RunJournal,
     SupervisedExecutor,
+    backoff_delay,
+    value_digest,
 )
 
 from . import _workers
@@ -42,6 +44,54 @@ class TestOptions:
             SupervisedExecutor(
                 None, _opts(checkpoint=str(tmp_path / "absent"), resume=True)
             )
+
+    def test_jitter_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ResilienceOptions(backoff_jitter=1.5)
+        with pytest.raises(ValueError):
+            ResilienceOptions(backoff_jitter=-0.1)
+
+
+class TestBackoffDelay:
+    def test_no_jitter_is_pure_exponential(self):
+        options = _opts(backoff_base=0.5, backoff_jitter=0.0)
+        delays = [backoff_delay(options, "task-a", a) for a in (1, 2, 3)]
+        assert delays == [0.5, 1.0, 2.0]
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError):
+            backoff_delay(_opts(), "task-a", 0)
+
+    def test_jitter_is_bounded(self):
+        options = _opts(backoff_base=1.0, backoff_jitter=0.25)
+        for attempt in (1, 2, 3):
+            base = 2.0 ** (attempt - 1)
+            delay = backoff_delay(options, f"task-{attempt}", attempt)
+            assert base <= delay <= base * 1.25
+
+    def test_deterministic_under_fixed_seed(self):
+        # The whole retry schedule must be a pure function of the
+        # options and the task identity — a re-run reproduces it.
+        options = _opts(backoff_base=0.5, backoff_jitter=0.25, backoff_seed=7)
+        first = [backoff_delay(options, "fp", a) for a in (1, 2, 3)]
+        second = [backoff_delay(options, "fp", a) for a in (1, 2, 3)]
+        assert first == second
+
+    def test_different_tasks_spread_out(self):
+        # The anti-thundering-herd property: tasks failing at the same
+        # instant (one BrokenProcessPool) back off at distinct moments.
+        options = _opts(backoff_base=1.0, backoff_jitter=0.25)
+        delays = {backoff_delay(options, f"task-{i}", 1) for i in range(16)}
+        assert len(delays) == 16
+
+    def test_seed_changes_the_draw(self):
+        a = backoff_delay(_opts(backoff_base=1.0, backoff_seed=0), "fp", 1)
+        b = backoff_delay(_opts(backoff_base=1.0, backoff_seed=1), "fp", 1)
+        assert a != b
+
+    def test_zero_base_stays_zero(self):
+        options = _opts(backoff_base=0.0, backoff_jitter=0.25)
+        assert backoff_delay(options, "fp", 3) == 0.0
 
 
 class TestInline:
@@ -156,12 +206,19 @@ class TestJournal:
     def test_verify_replay_rejects_divergence(self, tmp_path):
         opts = _opts(checkpoint=str(tmp_path / "j"))
         SupervisedExecutor(None, opts).run(_workers.square, [2], ["fp-2"])
-        RunJournal(tmp_path / "j").record("fp-2", 999)  # tamper
+        journal = RunJournal(tmp_path / "j")
+        journal.record("fp-2", 999)  # tamper
         verify = _opts(
             checkpoint=str(tmp_path / "j"), resume=True, verify_replay=True
         )
-        with pytest.raises(JournalMismatchError):
+        with pytest.raises(JournalMismatchError) as excinfo:
             SupervisedExecutor(None, verify).run(_workers.square, [2], ["fp-2"])
+        # The error must name the offending record file and both value
+        # digests, so a CI failure is actionable without a debugger.
+        message = str(excinfo.value)
+        assert str(journal.record_path("fp-2")) in message
+        assert value_digest(999) in message  # what the journal held
+        assert value_digest(4) in message  # what re-execution produced
 
 
 class TestParallel:

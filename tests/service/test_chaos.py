@@ -1,0 +1,322 @@
+"""Chaos tests for the sweep daemon: the failure matrix, end to end.
+
+The contract under test (docs/service.md): a grid submitted to the
+daemon completes **bit-identically** to a direct
+:class:`SweepExecutor` run of the same grid, despite
+
+* a shard attempt going silent (lease expiry -> re-dispatch),
+* a SIGKILL'd worker process mid-shard (pool supervision),
+* a SIGKILL'd *server* mid-grid (job-table recovery + journal replay),
+* SIGTERM under load (graceful drain, exit 0),
+
+with zero quarantine holes and the robustness counters visible in the
+metrics report.
+
+Set ``REPRO_SERVICE_STATE_DIR`` to keep the acceptance test's state
+directory (journals, job table, metrics report) for CI artifact upload.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.sweep import SweepExecutor
+from repro.obs.metrics import MetricsRegistry
+from repro.service import (
+    InProcessBackend,
+    ServiceClient,
+    ServiceConfig,
+    ServiceThread,
+    expand_grid,
+    summarize_cell,
+)
+
+pytestmark = pytest.mark.chaos
+
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+
+GRID = {
+    "kind": "replicate",
+    "seeds": 6,
+    "stations": 20,
+    "horizon": 3000.0,
+    "deadline": 50.0,
+}
+
+
+def direct_summaries(grid):
+    specs = expand_grid(grid)
+    results = SweepExecutor().run_specs(specs)
+    return json.loads(
+        json.dumps([summarize_cell(s, r) for s, r in zip(specs, results)])
+    )
+
+
+def state_dir(tmp_path, name: str) -> str:
+    """Honour REPRO_SERVICE_STATE_DIR so CI can upload the evidence."""
+    root = os.environ.get("REPRO_SERVICE_STATE_DIR")
+    base = Path(root) / name if root else tmp_path / name
+    base.mkdir(parents=True, exist_ok=True)
+    return str(base)
+
+
+class HeartbeatLost(InProcessBackend):
+    """First attempt of every shard executes but never heartbeats and
+    never reports — a hung network, a partitioned host.  The lease must
+    expire and the re-dispatched attempt must resume from the journal."""
+
+    async def run_shard(self, work, heartbeat):
+        if work.token == 1:
+            await super().run_shard(work, lambda cells: None)
+            await asyncio.sleep(120.0)  # abandoned; fenced out long before
+        return await super().run_shard(work, heartbeat)
+
+
+class NeverStarts(InProcessBackend):
+    """Every attempt stalls (heartbeating) until the crash; used to hold
+    a job mid-flight while the test kills the server."""
+
+    async def run_shard(self, work, heartbeat):
+        while True:
+            heartbeat(0)
+            await asyncio.sleep(0.01)
+
+
+class TestLeaseExpiry:
+    def test_silent_shard_is_redispatched_bit_identically(self, tmp_path):
+        config = ServiceConfig(
+            state_dir=state_dir(tmp_path, "lease-expiry"),
+            lease_ttl=0.4,
+            poll_interval=0.02,
+            shard_size=3,
+        )
+        registry = MetricsRegistry()
+        backend = HeartbeatLost(slots=2)
+        with ServiceThread(config, backend=backend, metrics=registry):
+            client = ServiceClient(config.state_dir)
+            job_id = client.submit(GRID)["job_id"]
+            done = client.wait(job_id, timeout=120.0, results=True)
+        job = done["job"]
+        assert job["state"] == "completed"
+        assert job["holes"] == 0
+        assert job["redispatches"] >= 1
+        assert registry.value("service.leases.expired") >= 1
+        assert registry.value("service.shards.redispatched") >= 1
+        # The second attempt resumed from the first attempt's journal —
+        # and the merged grid is bit-identical to a direct run.
+        assert done["results"]["summaries"] == direct_summaries(GRID)
+
+    def test_stale_attempt_result_is_fenced_out(self, tmp_path):
+        # The zombie's completion (attempt 1, after expiry) must be
+        # counted as stale, not double-complete the shard.
+        config = ServiceConfig(
+            state_dir=state_dir(tmp_path, "fencing"),
+            lease_ttl=0.3,
+            poll_interval=0.02,
+        )
+        registry = MetricsRegistry()
+
+        class SlowFirstAttempt(InProcessBackend):
+            async def run_shard(self, work, heartbeat):
+                if work.token == 1:
+                    # Runs fine but reports only after its lease died.
+                    result = await super().run_shard(work, lambda c: None)
+                    await asyncio.sleep(1.0)
+                    return result
+                return await super().run_shard(work, heartbeat)
+
+        with ServiceThread(
+            config, backend=SlowFirstAttempt(slots=2), metrics=registry
+        ):
+            client = ServiceClient(config.state_dir)
+            job_id = client.submit(GRID)["job_id"]
+            done = client.wait(job_id, timeout=120.0)
+            # Give the zombie time to report and be discarded.
+            time.sleep(1.5)
+        assert done["job"]["state"] == "completed"
+        assert registry.value("service.shards.stale_results") >= 1
+
+
+class TestServerCrash:
+    def test_kill_and_restart_recovers_midflight_job(self, tmp_path):
+        sdir = state_dir(tmp_path, "server-crash")
+        config = ServiceConfig(
+            state_dir=sdir, lease_ttl=5.0, poll_interval=0.02, shard_size=3
+        )
+        crashed = ServiceThread(config, backend=NeverStarts(slots=2)).start()
+        client = ServiceClient(sdir)
+        job_id = client.submit(GRID)["job_id"]
+        deadline = time.monotonic() + 30.0
+        while client.status(job_id)["job"]["state"] != "running":
+            assert time.monotonic() < deadline, "job never started"
+            time.sleep(0.05)
+        crashed.kill()  # no drain, no cleanup — SIGKILL semantics
+
+        registry = MetricsRegistry()
+        with ServiceThread(config, metrics=registry):
+            done = client.wait(job_id, timeout=120.0, results=True)
+        job = done["job"]
+        assert job["state"] == "completed"
+        assert job["holes"] == 0
+        assert registry.value("service.shards.recovered") >= 1
+        assert registry.value("service.jobs.recovered") >= 1
+        # Leased-at-crash shards were re-granted: that is a re-dispatch.
+        assert registry.value("service.shards.redispatched") >= 1
+        assert done["results"]["summaries"] == direct_summaries(GRID)
+
+
+def _serve_args(sdir, *extra):
+    return [
+        sys.executable, "-m", "repro", "serve", "--state", sdir,
+        "--lease-ttl", "5", "--slots", "1", "--shard-size", "3",
+        "--metrics", str(Path(sdir) / "report.json"), *extra,
+    ]
+
+
+def _spawn_serve(sdir, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        _serve_args(sdir, *extra), env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_for_server(client, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            return client.ping()
+        except Exception:
+            time.sleep(0.1)
+    raise AssertionError("server never came up")
+
+
+def _child_pids(pid):
+    """Linux /proc scan: direct children (the shard pool's workers)."""
+    children = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            stat = (Path("/proc") / entry / "stat").read_text()
+        except OSError:
+            continue
+        fields = stat.rsplit(")", 1)[1].split()
+        if int(fields[1]) == pid:
+            children.append(int(entry))
+    return children
+
+
+def _kill_quietly(pid):
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except (ProcessLookupError, PermissionError):
+        pass
+
+
+class TestDaemonProcess:
+    """Subprocess-level chaos: real signals against the real CLI."""
+
+    def test_sigterm_drains_under_load_and_exits_zero(self, tmp_path):
+        sdir = state_dir(tmp_path, "drain-under-load")
+        proc = _spawn_serve(sdir)
+        try:
+            client = ServiceClient(sdir)
+            _wait_for_server(client)
+            job_id = client.submit(GRID)["job_id"]
+            # SIGTERM while the grid is in flight: the daemon must stop
+            # admitting, finish the admitted job, and exit 0.
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=120.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        results = json.loads(
+            (Path(sdir) / "results" / f"{job_id}.json").read_text()
+        )
+        assert results["holes"] == []
+        assert results["summaries"] == direct_summaries(GRID)
+        # The drain duration landed in the metrics report.
+        report = json.loads((Path(sdir) / "report.json").read_text())
+        assert "service.drain.wall_s" in report["metrics"]
+
+    def test_acceptance_worker_kill_then_server_kill(self, tmp_path):
+        """ISSUE acceptance: one worker SIGKILLed mid-shard AND one full
+        server restart mid-grid; the grid still completes with zero
+        holes, bit-identical to a direct run, with the lease-expiry and
+        re-dispatch counters visible in the --metrics report."""
+        sdir = state_dir(tmp_path, "acceptance")
+        # Heavy enough that the grid is reliably mid-flight when the
+        # server dies (~1s of compute per shard, three shards).
+        grid = {
+            "kind": "replicate",
+            "seeds": 8,
+            "stations": 200,
+            "horizon": 1_000_000.0,
+            "deadline": 50.0,
+        }
+        orphans = []
+        proc = _spawn_serve(sdir, "--workers", "2")
+        try:
+            client = ServiceClient(sdir)
+            _wait_for_server(client)
+            job_id = client.submit(grid)["job_id"]
+
+            # (a) SIGKILL a pool worker mid-shard.  Workers are direct
+            # children of the serve process; wait for them to spawn.
+            deadline = time.monotonic() + 60.0
+            while not (workers := _child_pids(proc.pid)):
+                assert time.monotonic() < deadline, "pool never spawned"
+                time.sleep(0.05)
+            orphans = list(workers)
+            _kill_quietly(workers[0])
+
+            # (b) SIGKILL the whole server mid-grid: wait for some
+            # progress (so the journal has cells to replay), confirm the
+            # job is still running (so a shard is leased), then kill.
+            deadline = time.monotonic() + 120.0
+            while True:
+                job = client.status(job_id)["job"]
+                if job["shards_done"] >= 1:
+                    break
+                assert time.monotonic() < deadline, "no shard progress"
+                time.sleep(0.05)
+            assert job["state"] == "running", "grid finished too fast"
+            time.sleep(0.15)  # let the next shard's lease be granted
+            orphans.extend(_child_pids(proc.pid))
+            proc.kill()
+            proc.wait(timeout=30.0)
+
+            # Restart on the same state dir: the job table recovers,
+            # leased shards re-dispatch, journals replay.
+            proc = _spawn_serve(sdir, "--workers", "2")
+            done = client.wait(job_id, timeout=300.0, results=True)
+            job = done["job"]
+            assert job["state"] == "completed"
+            assert job["holes"] == 0
+            assert done["results"]["summaries"] == direct_summaries(grid)
+
+            # Graceful drain; the report is written on exit.
+            client.drain()
+            assert proc.wait(timeout=120.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            for pid in orphans:  # orphaned pool workers, if any
+                _kill_quietly(pid)
+        report = json.loads((Path(sdir) / "report.json").read_text())
+        metrics = report["metrics"]
+        # The robustness counters are registered up front, so the report
+        # always shows them; recovery makes redispatched positive.
+        assert "service.leases.expired" in metrics
+        assert metrics["service.shards.redispatched"]["value"] >= 1
+        assert metrics["service.shards.recovered"]["value"] >= 1
+        assert metrics["service.jobs.completed"]["value"] >= 1

@@ -1,0 +1,103 @@
+"""Grid-expansion tests: the service runs exactly the drivers' grids."""
+
+import pytest
+
+from repro.experiments.figure7 import PanelConfig, default_deadlines
+from repro.experiments.sweep import spec_fingerprint
+from repro.service.grids import GRID_KINDS, expand_grid, summarize_cell
+from repro.experiments.sweep import SweepExecutor
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown grid kind"):
+            expand_grid({"kind": "mystery"})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown grid kind"):
+            expand_grid({})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            expand_grid(["figure7"])
+
+    def test_unknown_parameter_named_in_error(self):
+        with pytest.raises(ValueError, match="typo_param"):
+            expand_grid({"kind": "replicate", "typo_param": 3})
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="psychic"):
+            expand_grid({"kind": "replicate", "protocol": "psychic"})
+
+    def test_negative_error_rate_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            expand_grid({"kind": "feedback", "errors": [-0.1]})
+
+    def test_empty_deadlines_rejected(self):
+        with pytest.raises(ValueError, match="at least one deadline"):
+            expand_grid({"kind": "figure7", "deadlines": []})
+
+
+class TestExpansion:
+    def test_every_kind_expands(self):
+        for kind in GRID_KINDS:
+            specs = expand_grid({"kind": kind})
+            assert specs, kind
+
+    def test_expansion_is_deterministic(self):
+        # A restarted server re-expands a recovered job; the grids (and
+        # therefore the journal keys) must match exactly.
+        grid = {"kind": "figure7", "deadlines": [50.0, 100.0], "seed": 7}
+        first = [spec_fingerprint(s) for s in expand_grid(grid)]
+        second = [spec_fingerprint(s) for s in expand_grid(dict(grid))]
+        assert first == second
+
+    def test_figure7_matches_panel_layout(self):
+        config = PanelConfig(rho_prime=0.5, message_length=25)
+        specs = expand_grid({"kind": "figure7"})
+        deadlines = default_deadlines(config)
+        # Three arms (controlled, FCFS, LCFS) x the default deadline grid.
+        assert len(specs) == 3 * len(deadlines)
+        assert specs[0].policy.name == "controlled"
+        assert {s.deadline for s in specs} == set(deadlines)
+
+    def test_replicate_derives_distinct_seeds(self):
+        specs = expand_grid({"kind": "replicate", "seeds": 5})
+        assert len(specs) == 5
+        assert len({s.seed for s in specs}) == 5
+
+    def test_feedback_covers_error_grid(self):
+        specs = expand_grid(
+            {"kind": "feedback", "errors": [0.0, 0.05], "seeds": 2}
+        )
+        assert len(specs) == 4
+        noisy = [
+            s
+            for s in specs
+            if s.fault_model is not None
+            and s.fault_model.p_idle_as_collision > 0
+        ]
+        assert len(noisy) == 2  # the 0.05-error arm's two replications
+
+    def test_element4_pairs_discard_arms(self):
+        specs = expand_grid({"kind": "element4"})
+        assert [s.policy.discard_deadline is not None for s in specs] == [
+            True,
+            False,
+        ]
+
+
+class TestSummaries:
+    def test_summary_is_json_round_trippable(self):
+        import json
+
+        spec = expand_grid(
+            {"kind": "replicate", "seeds": 1, "stations": 10,
+             "horizon": 500.0, "deadline": 40.0}
+        )[0]
+        result = SweepExecutor().run_specs([spec])[0]
+        summary = summarize_cell(spec, result)
+        assert json.loads(json.dumps(summary)) == summary
+        assert summary["arm"] == spec.policy.name
+        assert summary["seed"] == spec.seed
+        assert 0.0 <= summary["loss_fraction"] <= 1.0

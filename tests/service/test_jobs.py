@@ -1,0 +1,148 @@
+"""Job-table tests: persistence, recovery, FIFO scheduling."""
+
+import json
+
+import pytest
+
+from repro.service.jobs import (
+    JOB_CANCELLED,
+    JOB_COMPLETED,
+    JOB_RUNNING,
+    SHARD_DONE,
+    SHARD_LEASED,
+    SHARD_PENDING,
+    JobTable,
+    JobTableSchemaError,
+)
+
+GRID = {"kind": "replicate", "seeds": 4}
+PLAN = [[0, 1], [2, 3]]
+
+
+class TestSubmit:
+    def test_job_ids_are_sequenced_and_content_addressed(self, tmp_path):
+        table = JobTable(tmp_path / "jobs.json")
+        first = table.submit(dict(GRID), PLAN, cells=4)
+        second = table.submit(dict(GRID), PLAN, cells=4)
+        assert first.job_id.startswith("j0001-")
+        assert second.job_id.startswith("j0002-")
+        # Same grid -> same content suffix, different sequence.
+        assert first.job_id.split("-")[1] == second.job_id.split("-")[1]
+
+    def test_shards_mirror_the_plan(self, tmp_path):
+        table = JobTable(tmp_path / "jobs.json")
+        job = table.submit(dict(GRID), PLAN, cells=4)
+        assert [s.spec_indices for s in job.shards] == PLAN
+        assert all(s.state == SHARD_PENDING for s in job.shards)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        table = JobTable(path)
+        job = table.submit(dict(GRID), PLAN, cells=4)
+        job.state = JOB_RUNNING
+        job.shards[0].state = SHARD_DONE
+        job.shards[0].attempts = 2
+        job.shards[0].redispatches = 1
+        job.holes.append({"index": 3, "reason": "poison", "attempts": 3})
+        table.save()
+
+        loaded = JobTable.load(path)
+        copy = loaded.get(job.job_id)
+        assert copy.state == JOB_RUNNING
+        assert copy.shards[0].state == SHARD_DONE
+        assert copy.shards[0].redispatches == 1
+        assert copy.holes == job.holes
+        # The sequence continues, never collides.
+        again = loaded.submit(dict(GRID), PLAN, cells=4)
+        assert again.job_id.startswith("j0002-")
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        table = JobTable.load(tmp_path / "absent.json")
+        assert table.jobs == {}
+
+    def test_foreign_schema_refused(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({"schema": "someone-else-v9", "jobs": []}))
+        with pytest.raises(JobTableSchemaError, match="someone-else-v9"):
+            JobTable.load(path)
+
+    def test_corrupt_file_refused(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text("{truncated")
+        with pytest.raises(JobTableSchemaError, match="unreadable"):
+            JobTable.load(path)
+
+    def test_save_is_atomic_no_stray_temp(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        table = JobTable(path)
+        table.submit(dict(GRID), PLAN, cells=4)
+        table.save()
+        table.save()
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+
+class TestRecovery:
+    def test_leased_shards_return_to_pending(self, tmp_path):
+        table = JobTable(tmp_path / "jobs.json")
+        job = table.submit(dict(GRID), PLAN, cells=4)
+        job.state = JOB_RUNNING
+        job.shards[0].state = SHARD_LEASED
+        job.shards[0].attempts = 1
+        job.shards[1].state = SHARD_DONE
+        jobs_touched, shards_reset = table.recover()
+        assert (jobs_touched, shards_reset) == (1, 1)
+        assert job.shards[0].state == SHARD_PENDING
+        assert job.shards[0].attempts == 1  # attempts survive: next grant fences
+        assert job.shards[1].state == SHARD_DONE  # done is never lost
+
+    def test_terminal_jobs_left_alone(self, tmp_path):
+        table = JobTable(tmp_path / "jobs.json")
+        job = table.submit(dict(GRID), PLAN, cells=4)
+        job.state = JOB_COMPLETED
+        job.shards[0].state = SHARD_LEASED
+        assert table.recover() == (0, 0)
+        assert job.shards[0].state == SHARD_LEASED
+
+
+class TestScheduling:
+    def test_fifo_across_jobs(self, tmp_path):
+        table = JobTable(tmp_path / "jobs.json")
+        first = table.submit(dict(GRID), PLAN, cells=4)
+        second = table.submit(dict(GRID), PLAN, cells=4)
+        job, shard = table.next_pending()
+        assert job is first and shard.shard_id == 0
+        shard.state = SHARD_LEASED
+        job, shard = table.next_pending()
+        assert job is first and shard.shard_id == 1
+        shard.state = SHARD_DONE
+        job, shard = table.next_pending()
+        assert job is second
+
+    def test_cancelled_jobs_are_skipped(self, tmp_path):
+        table = JobTable(tmp_path / "jobs.json")
+        first = table.submit(dict(GRID), PLAN, cells=4)
+        second = table.submit(dict(GRID), PLAN, cells=4)
+        first.state = JOB_CANCELLED
+        job, _ = table.next_pending()
+        assert job is second
+
+    def test_pending_counts(self, tmp_path):
+        table = JobTable(tmp_path / "jobs.json")
+        job = table.submit(dict(GRID), PLAN, cells=4)
+        assert table.pending_shards() == 2
+        job.shards[0].state = SHARD_DONE
+        assert table.pending_shards() == 1
+
+    def test_snapshot_shape(self, tmp_path):
+        table = JobTable(tmp_path / "jobs.json")
+        job = table.submit(dict(GRID), PLAN, cells=4)
+        job.shards[0].state = SHARD_DONE
+        job.shards[1].redispatches = 2
+        snap = job.snapshot()
+        assert snap["cells_done"] == 2
+        assert snap["shards_done"] == 1
+        assert snap["redispatches"] == 2
+        assert snap["kind"] == "replicate"

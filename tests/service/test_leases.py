@@ -1,0 +1,92 @@
+"""Lease-table tests: TTL expiry and token fencing, under a fake clock."""
+
+import pytest
+
+from repro.service.leases import LeaseTable
+
+
+class TestGrant:
+    def test_grant_and_get(self):
+        table = LeaseTable()
+        lease = table.grant("j1", 0, token=1, ttl=10.0, now=100.0)
+        assert table.get("j1", 0) is lease
+        assert lease.expires_at == 110.0
+        assert len(table) == 1
+
+    def test_ttl_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LeaseTable().grant("j1", 0, token=1, ttl=0.0, now=0.0)
+
+    def test_regrant_fences_previous_attempt(self):
+        table = LeaseTable()
+        table.grant("j1", 0, token=1, ttl=10.0, now=0.0)
+        table.grant("j1", 0, token=2, ttl=10.0, now=5.0)
+        # The old attempt can no longer renew or release.
+        assert not table.renew("j1", 0, token=1, now=6.0)
+        assert not table.release("j1", 0, token=1)
+        # The new one can.
+        assert table.renew("j1", 0, token=2, now=6.0)
+        assert table.release("j1", 0, token=2)
+
+
+class TestRenewal:
+    def test_renew_pushes_expiry(self):
+        table = LeaseTable()
+        table.grant("j1", 0, token=1, ttl=10.0, now=0.0)
+        assert table.renew("j1", 0, token=1, now=8.0)
+        lease = table.get("j1", 0)
+        assert lease.expires_at == 18.0
+        assert lease.renewals == 1
+
+    def test_renew_unknown_shard_is_refused(self):
+        assert not LeaseTable().renew("j1", 0, token=1, now=0.0)
+
+    def test_heartbeats_keep_a_slow_shard_alive(self):
+        # Progress, not runtime, is what the TTL bounds: renew inside
+        # every window and the lease never expires.
+        table = LeaseTable()
+        table.grant("j1", 0, token=1, ttl=10.0, now=0.0)
+        for tick in range(1, 20):
+            now = tick * 8.0
+            assert table.renew("j1", 0, token=1, now=now)
+            assert table.expire(now) == []
+        assert len(table) == 1
+
+
+class TestExpiry:
+    def test_silent_lease_expires(self):
+        table = LeaseTable()
+        table.grant("j1", 0, token=1, ttl=10.0, now=0.0)
+        assert table.expire(9.9) == []
+        expired = table.expire(10.0)
+        assert [lease.key for lease in expired] == [("j1", 0)]
+        assert len(table) == 0
+
+    def test_expire_pops_only_the_overdue(self):
+        table = LeaseTable()
+        table.grant("j1", 0, token=1, ttl=5.0, now=0.0)
+        table.grant("j1", 1, token=1, ttl=50.0, now=0.0)
+        expired = table.expire(10.0)
+        assert [lease.shard_id for lease in expired] == [0]
+        assert table.get("j1", 1) is not None
+
+    def test_expired_attempt_cannot_release(self):
+        # The zombie scenario: lease expired, shard re-granted, the old
+        # attempt finally finishes — its completion must be discarded.
+        table = LeaseTable()
+        table.grant("j1", 0, token=1, ttl=5.0, now=0.0)
+        table.expire(5.0)
+        table.grant("j1", 0, token=2, ttl=5.0, now=6.0)
+        assert not table.release("j1", 0, token=1)
+        assert table.release("j1", 0, token=2)
+
+
+class TestRelease:
+    def test_release_job_drops_all_claims(self):
+        table = LeaseTable()
+        table.grant("j1", 0, token=1, ttl=5.0, now=0.0)
+        table.grant("j1", 1, token=1, ttl=5.0, now=0.0)
+        table.grant("j2", 0, token=1, ttl=5.0, now=0.0)
+        assert table.release_job("j1") == 2
+        assert len(table) == 1
+        assert table.get("j2", 0) is not None

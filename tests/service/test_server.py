@@ -1,0 +1,236 @@
+"""In-process daemon tests: the full submit/dispatch/finalize loop.
+
+Everything here runs against a :class:`ServiceThread` with tiny grids
+(hundreds of slots), so the whole file stays in the default suite; the
+crash/SIGKILL scenarios live in ``test_chaos.py``.
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.experiments.sweep import SweepExecutor
+from repro.obs.metrics import MetricsRegistry
+from repro.service import (
+    InProcessBackend,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceThread,
+    expand_grid,
+    summarize_cell,
+)
+from repro.service import wire
+
+TINY_GRID = {
+    "kind": "replicate",
+    "seeds": 3,
+    "stations": 15,
+    "horizon": 1500.0,
+    "deadline": 50.0,
+}
+
+
+def tiny_config(tmp_path, **overrides) -> ServiceConfig:
+    defaults = dict(
+        state_dir=str(tmp_path / "state"),
+        lease_ttl=20.0,
+        poll_interval=0.02,
+        shard_size=4,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def direct_summaries(grid):
+    """What the daemon must reproduce bit-identically (via JSON)."""
+    specs = expand_grid(grid)
+    results = SweepExecutor().run_specs(specs)
+    summaries = [summarize_cell(s, r) for s, r in zip(specs, results)]
+    return json.loads(json.dumps(summaries))
+
+
+class GatedBackend(InProcessBackend):
+    """Holds every shard at the door until the test opens the gate
+    (heartbeating while it waits, so leases stay alive)."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.gate = threading.Event()
+
+    async def run_shard(self, work, heartbeat):
+        while not self.gate.is_set():
+            heartbeat(0)
+            await asyncio.sleep(0.01)
+        return await super().run_shard(work, heartbeat)
+
+
+class TestLifecycle:
+    def test_submit_wait_results_bit_identical(self, tmp_path):
+        config = tiny_config(tmp_path)
+        with ServiceThread(config):
+            client = ServiceClient(config.state_dir)
+            job_id = client.submit(TINY_GRID)["job_id"]
+            done = client.wait(job_id, timeout=60.0, results=True)
+        job = done["job"]
+        assert job["state"] == "completed"
+        assert job["holes"] == 0
+        assert done["results"]["summaries"] == direct_summaries(TINY_GRID)
+
+    def test_results_survive_on_disk(self, tmp_path):
+        config = tiny_config(tmp_path)
+        with ServiceThread(config):
+            client = ServiceClient(config.state_dir)
+            job_id = client.submit(TINY_GRID)["job_id"]
+            client.wait(job_id, timeout=60.0)
+        payload = json.loads(config.results_path(job_id).read_text())
+        assert payload["schema"] == "repro-service-results-v1"
+        assert payload["holes"] == []
+        assert len(payload["summaries"]) == 3
+
+    def test_multi_shard_job(self, tmp_path):
+        config = tiny_config(tmp_path, shard_size=2)
+        grid = dict(TINY_GRID, seeds=5)
+        with ServiceThread(config):
+            client = ServiceClient(config.state_dir)
+            response = client.submit(grid)
+            assert response["shards"] == 3
+            done = client.wait(response["job_id"], timeout=60.0, results=True)
+        assert done["job"]["shards_done"] == 3
+        assert done["results"]["summaries"] == direct_summaries(grid)
+
+    def test_drain_exits_cleanly_and_removes_endpoint(self, tmp_path):
+        config = tiny_config(tmp_path)
+        thread = ServiceThread(config).start()
+        client = ServiceClient(config.state_dir)
+        assert client.ping()["draining"] is False
+        thread.drain()
+        assert not config.endpoint_path.exists()
+
+    def test_ping_reports_state(self, tmp_path):
+        config = tiny_config(tmp_path)
+        with ServiceThread(config):
+            client = ServiceClient(config.state_dir)
+            response = client.ping()
+        assert response["ok"]
+        assert "InProcessBackend" in response["backend"]
+
+
+class TestAdmission:
+    def test_full_table_refused_with_429(self, tmp_path):
+        config = tiny_config(tmp_path, max_jobs=1)
+        backend = GatedBackend(slots=1)
+        with ServiceThread(config, backend=backend):
+            client = ServiceClient(config.state_dir)
+            first = client.submit(TINY_GRID)["job_id"]
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(TINY_GRID)
+            assert excinfo.value.code == wire.BUSY
+            backend.gate.set()
+            done = client.wait(first, timeout=60.0)
+            assert done["job"]["state"] == "completed"
+            # With the table clear again, admission reopens.
+            second = client.submit(TINY_GRID)["job_id"]
+            client.wait(second, timeout=60.0)
+
+    def test_draining_server_refuses_with_503(self, tmp_path):
+        config = tiny_config(tmp_path)
+        with ServiceThread(config) as thread:
+            client = ServiceClient(config.state_dir)
+            job_id = client.submit(TINY_GRID)["job_id"]
+            client.drain()
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(TINY_GRID)
+            assert excinfo.value.code == wire.DRAINING
+            # Drain still finishes the admitted job before exiting.
+            thread.drain()
+        payload = json.loads(config.results_path(job_id).read_text())
+        assert payload["holes"] == []
+
+    def test_bad_grid_refused_with_400(self, tmp_path):
+        config = tiny_config(tmp_path)
+        with ServiceThread(config):
+            client = ServiceClient(config.state_dir)
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit({"kind": "mystery"})
+            assert excinfo.value.code == wire.BAD_REQUEST
+            assert "mystery" in str(excinfo.value)
+
+    def test_unknown_job_is_404(self, tmp_path):
+        config = tiny_config(tmp_path)
+        with ServiceThread(config):
+            client = ServiceClient(config.state_dir)
+            with pytest.raises(ServiceError) as excinfo:
+                client.status("j9999-deadbeef")
+            assert excinfo.value.code == wire.NOT_FOUND
+
+
+class TestCancel:
+    def test_cancel_pending_job(self, tmp_path):
+        config = tiny_config(tmp_path, max_jobs=4)
+        backend = GatedBackend(slots=1)
+        with ServiceThread(config, backend=backend):
+            client = ServiceClient(config.state_dir)
+            running = client.submit(TINY_GRID)["job_id"]
+            queued = client.submit(TINY_GRID)["job_id"]
+            response = client.cancel(queued)
+            assert response["state"] == "cancelled"
+            backend.gate.set()
+            client.wait(running, timeout=60.0)
+            states = {
+                j["job_id"]: j["state"] for j in client.jobs()["jobs"]
+            }
+            assert states[queued] == "cancelled"
+            assert states[running] == "completed"
+
+    def test_cancel_terminal_job_is_idempotent(self, tmp_path):
+        config = tiny_config(tmp_path)
+        with ServiceThread(config):
+            client = ServiceClient(config.state_dir)
+            job_id = client.submit(TINY_GRID)["job_id"]
+            client.wait(job_id, timeout=60.0)
+            response = client.cancel(job_id)
+            assert response["already"] is True
+            assert response["state"] == "completed"
+
+
+class TestMetricsOp:
+    def test_counters_visible_over_the_wire(self, tmp_path):
+        config = tiny_config(tmp_path)
+        registry = MetricsRegistry()
+        with ServiceThread(config, metrics=registry):
+            client = ServiceClient(config.state_dir)
+            job_id = client.submit(TINY_GRID)["job_id"]
+            client.wait(job_id, timeout=60.0)
+            metrics = client.metrics()["metrics"]
+        assert metrics["service.jobs.submitted"]["value"] == 1
+        assert metrics["service.jobs.completed"]["value"] == 1
+        assert metrics["service.leases.granted"]["value"] >= 1
+        assert metrics["service.shards.completed"]["value"] >= 1
+
+    def test_disabled_registry_reports_none(self, tmp_path):
+        config = tiny_config(tmp_path)
+        with ServiceThread(config):
+            client = ServiceClient(config.state_dir)
+            assert client.metrics()["metrics"] is None
+
+
+class TestClientErrors:
+    def test_no_endpoint_is_unreachable(self, tmp_path):
+        client = ServiceClient(tmp_path / "nowhere")
+        with pytest.raises(ServiceError) as excinfo:
+            client.ping()
+        assert excinfo.value.code == wire.UNREACHABLE
+
+    def test_stale_endpoint_is_unreachable(self, tmp_path):
+        state = tmp_path / "state"
+        state.mkdir()
+        (state / "endpoint.json").write_text(
+            json.dumps({"host": "127.0.0.1", "port": 1, "pid": 0})
+        )
+        client = ServiceClient(state, timeout=2.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.ping()
+        assert excinfo.value.code == wire.UNREACHABLE

@@ -1,0 +1,92 @@
+"""Wire-protocol tests: framing, schema guard, refusal mapping."""
+
+import json
+
+import pytest
+
+from repro.service.wire import (
+    BAD_REQUEST,
+    BUSY,
+    MAX_LINE_BYTES,
+    OPS,
+    WIRE_SCHEMA,
+    ServiceError,
+    decode,
+    encode,
+    ok,
+    parse_request,
+    raise_for,
+    refusal,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        line = encode({"op": "ping"})
+        assert line.endswith(b"\n")
+        message = decode(line)
+        assert message["op"] == "ping"
+        assert message["schema"] == WIRE_SCHEMA
+
+    def test_single_line(self):
+        line = encode({"op": "submit", "grid": {"kind": "figure7"}})
+        assert line.count(b"\n") == 1
+
+    def test_malformed_json_is_400(self):
+        with pytest.raises(ServiceError) as excinfo:
+            decode(b"{not json\n")
+        assert excinfo.value.code == BAD_REQUEST
+
+    def test_non_object_is_400(self):
+        with pytest.raises(ServiceError) as excinfo:
+            decode(b"[1, 2, 3]\n")
+        assert excinfo.value.code == BAD_REQUEST
+
+    def test_oversized_line_is_400(self):
+        line = b"x" * (MAX_LINE_BYTES + 1)
+        with pytest.raises(ServiceError) as excinfo:
+            decode(line)
+        assert excinfo.value.code == BAD_REQUEST
+
+    def test_schema_mismatch_refused(self):
+        line = json.dumps({"schema": "repro-service-v999", "op": "ping"})
+        with pytest.raises(ServiceError) as excinfo:
+            decode(line.encode() + b"\n")
+        assert excinfo.value.code == BAD_REQUEST
+        assert "schema" in str(excinfo.value)
+
+
+class TestRequests:
+    def test_known_ops_parse(self):
+        for op in OPS:
+            parsed_op, message = parse_request({"op": op})
+            assert parsed_op == op
+            assert message["op"] == op
+
+    def test_unknown_op_is_400(self):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_request({"op": "explode"})
+        assert excinfo.value.code == BAD_REQUEST
+
+    def test_missing_op_is_400(self):
+        with pytest.raises(ServiceError):
+            parse_request({})
+
+
+class TestResponses:
+    def test_ok_shape(self):
+        response = ok(job_id="j1")
+        assert response["ok"] is True
+        assert response["job_id"] == "j1"
+        assert raise_for(response) is response
+
+    def test_refusal_raises_with_code(self):
+        response = refusal(BUSY, "job table full")
+        assert response["ok"] is False
+        with pytest.raises(ServiceError) as excinfo:
+            raise_for(response)
+        assert excinfo.value.code == BUSY
+        assert "job table full" in str(excinfo.value)
+
+    def test_error_str_includes_code(self):
+        assert str(ServiceError(429, "busy")) == "[429] busy"

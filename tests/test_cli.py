@@ -72,6 +72,11 @@ class TestSeedFlag:
             ["sensitivity", "--seed", "5"],
             ["robustness", "--seed", "5"],
             ["cache", "info", "--seed", "5"],
+            ["serve", "--state", "/tmp/s", "--seed", "5"],
+            ["submit", "--state", "/tmp/s", "{}", "--seed", "5"],
+            ["status", "--state", "/tmp/s", "--seed", "5"],
+            ["cancel", "--state", "/tmp/s", "j1", "--seed", "5"],
+            ["drain", "--state", "/tmp/s", "--seed", "5"],
         ):
             assert parser.parse_args(argv).seed == 5
 
@@ -344,3 +349,42 @@ class TestCacheCommand:
         assert main(["cache", "clear"]) == 0
         assert "removed 1 cached entry" in capsys.readouterr().out
         assert not list(tmp_path.glob("*.pkl"))
+
+
+class TestServiceCommands:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--state", "/tmp/s"])
+        assert args.port == 0
+        assert args.lease_ttl == 30.0
+        assert args.max_jobs == 8
+        assert args.batch is True
+
+    def test_submit_accepts_inline_json_and_wait_flags(self):
+        args = build_parser().parse_args([
+            "submit", "--state", "/tmp/s", '{"kind": "figure7"}',
+            "--wait", "--timeout", "60", "--results", "out.json",
+        ])
+        assert args.grid == '{"kind": "figure7"}'
+        assert args.wait and args.timeout == 60.0
+        assert args.results == "out.json"
+
+    def test_status_job_id_is_optional(self):
+        parser = build_parser()
+        assert parser.parse_args(["status", "--state", "/tmp/s"]).job_id is None
+        args = parser.parse_args(["status", "--state", "/tmp/s", "j0001-ab"])
+        assert args.job_id == "j0001-ab"
+
+    def test_cancel_requires_job_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cancel", "--state", "/tmp/s"])
+
+    def test_unreachable_server_exits_4(self, tmp_path, capsys):
+        code = main(["status", "--state", str(tmp_path / "nowhere")])
+        assert code == 4
+        assert "service error" in capsys.readouterr().err
+
+    def test_submit_rejects_bad_json_grid(self, tmp_path, capsys):
+        # Grid validation fails before any connection is attempted.
+        code = main(["submit", "--state", str(tmp_path), "{not json"])
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err
