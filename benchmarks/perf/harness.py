@@ -260,6 +260,115 @@ def measure_batch(
     }
 
 
+def measure_compiled(config: PerfConfig, rounds: int = 5) -> dict:
+    """Compiled backend versus the fast kernel (the ISSUE 7 tentpole).
+
+    Always measured at the full-size Figure-7 acceptance cell (like the
+    16-seed batch arm): a shrunken horizon would understate the sprint
+    and fast-forward amortisation the flat engine exists to exploit.
+    Bit-parity between the compiled backend and the fast kernel is
+    asserted on **every** timed round.  ``numba`` records which flavour
+    ran — the ≥10x CI floor holds for the pure-NumPy fallback too, so
+    the gate is meaningful on runners without the optional extra.
+    """
+    from repro.mac.kernels.compiled import numba_available
+
+    policy = ControlPolicy.optimal(config.deadline, config.arrival_rate)
+
+    def once(backend):
+        simulator = WindowMACSimulator(
+            policy,
+            arrival_rate=config.arrival_rate,
+            transmission_slots=config.message_length,
+            deadline=config.deadline,
+            seed=config.seed,
+            backend=backend,
+        )
+        return _timed(
+            lambda: simulator.run(config.horizon, warmup_slots=config.warmup)
+        )
+
+    fast_times, compiled_times = [], []
+    for _ in range(rounds):
+        elapsed, fast_result = once("fast")
+        fast_times.append(elapsed)
+        elapsed, compiled_result = once("compiled")
+        compiled_times.append(elapsed)
+        if compiled_result != fast_result:
+            raise AssertionError(
+                "compiled backend diverged from the fast kernel "
+                "while being timed"
+            )
+    fast_s = min(fast_times)
+    compiled_s = min(compiled_times)
+    slots = config.horizon + config.warmup
+    return {
+        "rounds": rounds,
+        "slots": slots,
+        "numba": numba_available(),
+        "fast_s": fast_s,
+        "compiled_s": compiled_s,
+        "fast_slots_per_s": slots / fast_s,
+        "compiled_slots_per_s": slots / compiled_s,
+        "speedup": fast_s / compiled_s,
+    }
+
+
+def measure_stations(
+    config: PerfConfig, n_stations: int = 100_000, rounds: int = 3
+) -> dict:
+    """The large-population scaling arm (``stations_1e5`` by default).
+
+    Times simulator *construction* (must stay O(1) in the population —
+    the lazy struct-of-arrays registry allocates nothing per station)
+    and a full compiled-backend run at ``n_stations``, with bit-parity
+    against the fast kernel asserted every round.  The same measurement
+    at ``n_stations=1_000_000`` is the documented local run
+    (``docs/performance.md``); CI keeps the 1e5 arm inside the
+    perf-smoke budget.
+    """
+    policy = ControlPolicy.optimal(config.deadline, config.arrival_rate)
+
+    def once(backend):
+        construct_s, simulator = _timed(
+            lambda: WindowMACSimulator(
+                policy,
+                arrival_rate=config.arrival_rate,
+                transmission_slots=config.message_length,
+                n_stations=n_stations,
+                deadline=config.deadline,
+                seed=config.seed,
+                backend=backend,
+            )
+        )
+        run_s, result = _timed(
+            lambda: simulator.run(config.horizon, warmup_slots=config.warmup)
+        )
+        return construct_s, run_s, result
+
+    construct_times, run_times = [], []
+    for _ in range(rounds):
+        _, _, fast_result = once("fast")
+        construct_s, run_s, compiled_result = once("compiled")
+        construct_times.append(construct_s)
+        run_times.append(run_s)
+        if compiled_result != fast_result:
+            raise AssertionError(
+                f"compiled backend diverged from the fast kernel at "
+                f"n_stations={n_stations}"
+            )
+    slots = config.horizon + config.warmup
+    compiled_s = min(run_times)
+    return {
+        "n_stations": n_stations,
+        "rounds": rounds,
+        "slots": slots,
+        "construct_s": min(construct_times),
+        "compiled_s": compiled_s,
+        "compiled_slots_per_s": slots / compiled_s,
+    }
+
+
 def _time_sweep(
     config: PerfConfig, fast: bool, workers: Optional[int], batch: bool = True
 ):
@@ -337,6 +446,10 @@ def run_benchmarks(config: PerfConfig, mode: str, end_to_end: bool = True) -> di
         # shrunken arm would understate the amortised per-run overheads
         # the batched kernel exists to remove.
         "batch_16seed": measure_batch(PerfConfig()),
+        # Also full-size, for the same reason: the compiled-vs-fast
+        # ratio and the 1e5-station scaling arm are acceptance gates.
+        "compiled": measure_compiled(PerfConfig()),
+        "stations_1e5": measure_stations(PerfConfig()),
     }
     if end_to_end:
         # Warm the analytic memo so neither timed arm pays for eq. 4.7.
@@ -414,6 +527,26 @@ def render_table(payload: dict) -> str:
             f"{batch['batched_s']:>9.2f}s "
             f"{batch['batched_slots_per_s']:>12,.0f}",
             f"{'batched replication speedup':<34} {batch['speedup']:>9.1f}x",
+        ]
+    if "compiled" in payload:
+        comp = payload["compiled"]
+        flavour = "numba jit" if comp["numba"] else "numpy fallback"
+        lines += [
+            "",
+            f"{'kernel, compiled (' + flavour + ')':<34} "
+            f"{comp['compiled_s']:>9.2f}s "
+            f"{comp['compiled_slots_per_s']:>12,.0f}",
+            f"{'compiled speedup over fast':<34} {comp['speedup']:>9.1f}x",
+        ]
+    if "stations_1e5" in payload:
+        st = payload["stations_1e5"]
+        label = f"compiled, {st['n_stations']:,} stations"
+        lines += [
+            f"{label:<34} "
+            f"{st['compiled_s']:>9.2f}s "
+            f"{st['compiled_slots_per_s']:>12,.0f}",
+            f"{'  construction (O(1) registry)':<34} "
+            f"{st['construct_s'] * 1000:>8.1f}ms",
         ]
     if "end_to_end" in payload:
         e2e = payload["end_to_end"]

@@ -224,6 +224,7 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
         sim_seed=args.seed,
         workers=args.workers,
         sim_fast=not args.no_fast_path,
+        sim_backend=args.backend,
         batch=args.batch,
         resilience=_resilience_from(args),
         metrics=getattr(args, "obs_registry", None),
@@ -273,6 +274,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         fault_model=fault_model,
         streams=RandomStreams(args.seed),
         fast=not args.no_fast_path,
+        backend=args.backend,
         metrics=getattr(args, "obs_registry", None),
     )
     total_slots = args.horizon * 1.125  # warmup is an eighth of the horizon
@@ -344,6 +346,7 @@ def _simulate_replicated(args, policy, fault_model) -> int:
             fault_model=fault_model,
             seed=seed,
             fast=not args.no_fast_path,
+            backend=args.backend,
         )
         for seed in derive_seeds(args.seed, args.replications)
     ]
@@ -754,6 +757,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-fast-path", action="store_true",
                    help="force the reference simulation loop (the fast "
                         "kernel is bit-identical; this is the escape hatch)")
+    p.add_argument("--backend", choices=("auto", "reference", "fast", "compiled"),
+                   default=None,
+                   help="simulation kernel for the arms: auto (default "
+                        "chain), reference loop, fast kernel, or the "
+                        "compiled struct-of-arrays backend (jitted when "
+                        "numba is installed; all are bit-identical)")
     _add_batch_flag(p)
     _add_resilience_flags(p)
     _add_obs_flags(p)
@@ -786,6 +795,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-fast-path", action="store_true",
                    help="force the reference simulation loop (the fast "
                         "kernel is bit-identical; this is the escape hatch)")
+    p.add_argument("--backend", choices=("auto", "reference", "fast", "compiled"),
+                   default=None,
+                   help="simulation kernel: auto (default chain), reference "
+                        "loop, fast kernel, or the compiled struct-of-arrays "
+                        "backend (jitted when numba is installed; all are "
+                        "bit-identical — see docs/performance.md)")
     p.add_argument("--replications", type=int, default=1, metavar="N",
                    help="run N independent replications of the arm as "
                         "lane-parallel batched lanes (seeds spawned from "

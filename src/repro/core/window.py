@@ -24,10 +24,11 @@ simply remain in the backlog.
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
+from .splits import examination_order, split_parts
 from .timeline import Span
 
 __all__ = ["ChannelFeedback", "WindowingProcess"]
@@ -174,29 +175,13 @@ class WindowingProcess:
                 "window splitting exceeded the maximum depth; two arrivals "
                 "are indistinguishable at double precision"
             )
-        parts = _split_parts(span, self.arity)
-        order = self._examination_order(len(parts))
+        parts = split_parts(span, self.arity)
+        order = examination_order(self.split, len(parts), self._rng)
         ordered = [parts[i] for i in order]
         self.current_span = ordered[0]
         self._siblings = ordered[1:]
 
-    def _examination_order(self, n_parts: int) -> Sequence[int]:
-        if self.split == "older":
-            return range(n_parts)
-        if self.split == "newer":
-            return range(n_parts - 1, -1, -1)
-        order = list(range(n_parts))
-        self._rng.shuffle(order)
-        return order
 
-
-def _split_parts(span: Span, arity: int) -> List[Span]:
-    """Split a span into ``arity`` equal-measure parts, oldest first."""
-    parts: List[Span] = []
-    rest = span
-    total = span.measure
-    for index in range(arity - 1):
-        piece, rest = rest.split_at_measure(total / arity)
-        parts.append(piece)
-    parts.append(rest)
-    return parts
+#: Backward-compatible alias; the canonical implementation moved to
+#: :func:`repro.core.splits.split_parts` so every kernel shares it.
+_split_parts = split_parts

@@ -130,6 +130,7 @@ def generate_panel(
     sim_deadlines: Optional[Sequence[float]] = None,
     workers: Optional[int] = None,
     sim_fast: bool = True,
+    sim_backend: Optional[str] = None,
     batch: bool = True,
     resilience=None,
     metrics=None,
@@ -153,6 +154,11 @@ def generate_panel(
     sim_fast:
         Run simulations on the fast kernel (bit-identical; ``False``
         forces the reference loop).
+    sim_backend:
+        Explicit kernel selection per simulation run (``"auto"``,
+        ``"reference"``, ``"fast"`` or ``"compiled"``); ``None`` keeps
+        the historical ``sim_fast`` behaviour.  All backends are
+        bit-identical.
     batch:
         Group eligible grid cells into lane-parallel batched tasks
         (bit-identical; ``False`` restores one-task-per-cell dispatch).
@@ -245,6 +251,7 @@ def generate_panel(
                 deadline=deadline,
                 seed=sim_seed,
                 fast=sim_fast,
+                backend=sim_backend,
             )
             for _, policy_factory in arms
             for deadline in sim_points

@@ -119,6 +119,7 @@ class MACRunSpec:
     workload: Optional[object] = None
     fault_model: Optional[FaultModel] = None
     fast: bool = True
+    backend: Optional[str] = None
 
     def __post_init__(self):
         # Bad grid parameters must fail here, at spec construction, with
@@ -174,6 +175,7 @@ def _build_simulator(
         workload=spec.workload,
         fault_model=spec.fault_model,
         fast=spec.fast,
+        backend=spec.backend,
         metrics=metrics,
     )
     if spec.stream_seed is not None:

@@ -1,0 +1,486 @@
+"""The flat struct-of-arrays engine behind the compiled backend.
+
+:class:`FlatLane` is a :class:`~repro.mac.kernels.lane.LaneState` whose
+GEN epochs never touch the object stack: the unresolved pseudo-time set
+lives in two parallel ``list[float]`` columns (``u_lo``/``u_hi``) plus a
+frontier scalar, and one decision epoch — controller bookkeeping, window
+selection, the splitting state machine, scoring — runs as straight-line
+Python over those columns.  No :class:`~repro.core.controller.ProtocolController`
+method, :class:`~repro.core.window.WindowingProcess` object or
+:class:`~repro.core.timeline.IntervalSet` is created per epoch, which is
+where the remaining per-epoch cost of the lane kernel lived.
+
+**Bit parity.**  Every helper here is a literal transcription of the
+corresponding :mod:`repro.core.timeline` method — same epsilon
+(``1e-12``), same bisect bounds, same branch structure, same sequential
+measure folds — so each float operation happens in the same order with
+the same operands as the reference loop's.  The split rules are not
+transcribed at all: a collision calls the canonical
+:func:`repro.core.splits.split_parts` / ``examination_order`` on a real
+:class:`~repro.core.timeline.Span` (collisions are rare; the shared code
+path is worth more than the microseconds).  Two deliberate deviations
+that provably cannot change results:
+
+* resolved sub-spans are subtracted from the unresolved columns *as the
+  process resolves them* rather than batched in
+  ``complete_process`` — the same subtract calls in the same order on a
+  set nothing reads in between;
+* ``advance_time``'s backwards-clock guard is dropped — the lane clock
+  is strictly monotone by construction.
+
+**RNG.**  The flat epoch draws from the same generator at the same two
+sites as the reference loop: the :class:`~repro.core.policy.RandomPosition`
+placement draw (only when the slack is positive) and the random split
+shuffle inside ``examination_order``.  All other paths are draw-free.
+
+The steady-state sprint walk is inherited from :class:`LaneState`; when
+the compiled backend has a ``numba``-jitted twin available it is swapped
+in via ``jit_walk`` and runs over NumPy views of the same tables —
+identical operation sequence, identical IEEE-754 results (numba's
+default config does not enable fastmath).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ...core.splits import examination_order, split_parts
+from ...core.timeline import Span
+from ...core.window import _MAX_SPLIT_DEPTH
+from .lane import LaneState
+from .primitives import LATE, ON_TIME
+
+__all__ = ["FlatLane"]
+
+_EPS = 1e-12
+
+_SPLIT_DEPTH_MESSAGE = (
+    "window splitting exceeded the maximum depth; two arrivals "
+    "are indistinguishable at double precision"
+)
+
+
+def _iv_add(lows: List[float], highs: List[float], lo: float, hi: float) -> None:
+    """``IntervalSet.add`` on parallel columns (verbatim arithmetic)."""
+    if hi <= lo + _EPS:
+        return
+    i = bisect_left(highs, lo)
+    j = bisect_right(lows, hi)
+    if i < j:
+        lo = min(lo, lows[i])
+        hi = max(hi, highs[j - 1])
+    lows[i:j] = [lo]
+    highs[i:j] = [hi]
+
+
+def _iv_subtract(lows: List[float], highs: List[float], lo: float, hi: float) -> None:
+    """``IntervalSet.subtract`` on parallel columns (verbatim arithmetic)."""
+    if hi <= lo + _EPS:
+        return
+    i = bisect_right(highs, lo + _EPS)
+    j = bisect_left(lows, hi - _EPS)
+    if i >= j:
+        # Check the single interval possibly containing [lo, hi].
+        if i < len(lows) and lows[i] < lo and hi < highs[i]:
+            # Split one interval in two.
+            old_hi = highs[i]
+            highs[i] = lo
+            lows.insert(i + 1, hi)
+            highs.insert(i + 1, old_hi)
+        return
+    new_lows: List[float] = []
+    new_highs: List[float] = []
+    if lows[i] < lo - _EPS:
+        new_lows.append(lows[i])
+        new_highs.append(lo)
+    if highs[j - 1] > hi + _EPS:
+        new_lows.append(hi)
+        new_highs.append(highs[j - 1])
+    lows[i:j] = new_lows
+    highs[i:j] = new_highs
+
+
+def _iv_clamp_before(lows: List[float], highs: List[float], t: float) -> None:
+    """``IntervalSet.clamp_before`` on parallel columns.
+
+    The removed-measure return value feeds only the
+    :class:`~repro.core.controller.DiscardReport` nobody on this path
+    reads, so it is not computed.
+    """
+    while lows and highs[0] <= t + _EPS:
+        del lows[0]
+        del highs[0]
+    if lows and lows[0] < t:
+        lows[0] = t
+
+
+def _split_pieces(
+    pieces: Tuple[Tuple[float, float], ...], offset: float
+) -> Tuple[List[Tuple[float, float]], List[Tuple[float, float]]]:
+    """``Span.split_at_measure``'s walk on a raw piece sequence.
+
+    Callers clamp ``offset`` into range exactly like the slicing
+    helpers, so the out-of-range guard (which would raise) is
+    unreachable and elided.
+    """
+    older: List[Tuple[float, float]] = []
+    newer: List[Tuple[float, float]] = []
+    remaining = offset
+    for lo, hi in pieces:
+        width = hi - lo
+        if remaining >= width - _EPS:
+            older.append((lo, hi))
+            remaining -= width
+        elif remaining <= _EPS:
+            newer.append((lo, hi))
+        else:
+            older.append((lo, lo + remaining))
+            newer.append((lo + remaining, hi))
+            remaining = 0.0
+    return older, newer
+
+
+class FlatLane(LaneState):
+    """A lane whose GEN epochs run on flat columns instead of objects.
+
+    ``pos_code`` is derived from the policy's position rule: 0 for
+    oldest-first, 1 for newest-first, 2 for random placement.  The
+    eligibility gate (:func:`repro.mac.kernels.compiled.compiled_eligible`)
+    guarantees the rule is one of the three canonical classes before a
+    ``FlatLane`` is built.
+    """
+
+    __slots__ = ("rng", "u_lo", "u_hi", "fr", "pos_code", "jit_walk",
+                 "arr_np", "ceil_np", "true_np", "iso_np")
+
+    def __init__(self, *args, pos_code: int = 0, jit_walk=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.rng = self.controller.rng
+        self.pos_code = pos_code
+        # The flat image of the controller state the superclass seeded:
+        # fresh (∅, 0) — valid for closed-form and exotic lanes alike.
+        self.u_lo: List[float] = []
+        self.u_hi: List[float] = []
+        self.fr = 0.0
+        self.jit_walk = jit_walk
+        if jit_walk is not None and self.iso is not None:
+            self.arr_np = np.asarray(self.arr_t, dtype=np.float64)
+            self.ceil_np = np.asarray(self.ceil_t, dtype=np.float64)
+            self.true_np = np.asarray(self.true_t, dtype=np.float64)
+            self.iso_np = np.asarray(self.iso, dtype=np.bool_)
+        else:
+            self.arr_np = None
+            self.ceil_np = None
+            self.true_np = None
+            self.iso_np = None
+
+    # -- sprint hook ---------------------------------------------------------
+
+    def _sprint_walk(
+        self, arrl, cl, tl, iso, p, n, prev_now, last_fr, warmup, sdl_f, m,
+        kf, tot, wc, wt, wp,
+    ):
+        walk = self.jit_walk
+        if walk is None:
+            return LaneState._sprint_walk(
+                arrl, cl, tl, iso, p, n, prev_now, last_fr,
+                warmup, sdl_f, m, kf, tot, wc, wt, wp,
+            )
+        return walk(
+            self.arr_np, self.ceil_np, self.true_np, self.iso_np,
+            p, n, prev_now, last_fr, warmup, sdl_f, m, kf, tot, wc, wt, wp,
+        )
+
+    # -- flat controller state ----------------------------------------------
+
+    def _materialize(self, frontier: float) -> None:
+        """Enter GEN mode at the closed-form state (∅, F), flat columns."""
+        del self.u_lo[:]
+        del self.u_hi[:]
+        self.fr = frontier
+        self.vec = False
+
+    def gen_step(self, now_f: float) -> None:
+        """One post-ingest iteration: flat fast-forward, else flat epoch."""
+        u_lo = self.u_lo
+        u_hi = self.u_hi
+        if not self.backlog_t and self.entry_ok:
+            # try_fast_forward, flat: the advance/discard mutations
+            # persist whether or not the jump happens, exactly as the
+            # subsequent epoch expects.
+            fr = self.fr
+            if now_f > fr:
+                _iv_add(u_lo, u_hi, fr, now_f)
+                self.fr = now_f
+            deadline = self.discard_deadline
+            if deadline is not None:
+                _iv_clamp_before(u_lo, u_hi, now_f - deadline)
+            meas = 0.0
+            for k in range(len(u_lo)):
+                meas += u_hi[k] - u_lo[k]
+            if meas > _EPS:
+                if self.covers:
+                    length = meas
+                elif self.const is not None:
+                    length = self.const
+                else:
+                    length = self.policy.length.length(meas)
+                if length >= meas:
+                    # Every slot until the next arrival (or the horizon)
+                    # resolves the whole backlog and comes back idle.
+                    stop = min(self.upcoming, self.total_time)
+                    skipped = (
+                        math.ceil(stop - now_f) if self.steady else 1
+                    )
+                    del u_lo[:]
+                    del u_hi[:]
+                    self.fr = now_f + skipped - 1.0
+                    self.idle += skipped
+                    self.now = now_f + skipped
+                    self.frontier = self.fr
+                    self.vec = self.traits.closed_form
+                    if self.ob is not None:
+                        self.ob.ff_skips.append(skipped)
+                    return
+        ob = self.ob
+        if ob is not None:
+            ob.epochs += 1
+            ob.backlog_sizes.append(len(self.backlog_t))
+        self._gen_epoch(now_f)
+
+    # -- the flat decision epoch ---------------------------------------------
+
+    def _select(self, length: float, meas: float) -> List[Tuple[float, float]]:
+        """Element 1 on the flat columns (the three canonical rules).
+
+        Replicates the slicing helpers' float arithmetic: every measure
+        is the same sequential fold, every clamp the same ``min``, and
+        the random placement draws ``rng.uniform(0.0, slack)`` exactly
+        when the slack is positive.
+        """
+        pieces = tuple(zip(self.u_lo, self.u_hi))
+        code = self.pos_code
+        if code == 0:  # oldest-first: slice_oldest(length)
+            window, _ = _split_pieces(pieces, length)
+            return window
+        if code == 1:  # newest-first: slice_youngest(length)
+            _, window = _split_pieces(pieces, meas - length)
+            return window
+        # random placement: slice_offset(offset, length)
+        slack = max(0.0, meas - length)
+        offset = self.rng.uniform(0.0, slack) if slack > 0 else 0.0
+        _, after = _split_pieces(pieces, min(offset, meas))
+        after_meas = 0.0
+        for lo, hi in after:
+            after_meas += hi - lo
+        window, _ = _split_pieces(tuple(after), min(length, after_meas))
+        return window
+
+    def _gen_epoch(self, now_f: float) -> None:
+        """One decision epoch, flat: begin + resolve + score, no objects.
+
+        The call sequence is ``begin_process`` (advance, discard,
+        measure, length, select), the element-4 backlog cut, then the
+        windowing state machine of ``execute_epoch`` /
+        :class:`~repro.core.window.WindowingProcess` with resolved spans
+        subtracted eagerly, and finally the verbatim scoring epilogue.
+        """
+        u_lo = self.u_lo
+        u_hi = self.u_hi
+        now = now_f
+
+        # -- begin_process ---------------------------------------------------
+        fr = self.fr
+        if now > fr:
+            _iv_add(u_lo, u_hi, fr, now)
+            self.fr = now
+        deadline = self.discard_deadline
+        if deadline is not None:
+            _iv_clamp_before(u_lo, u_hi, now - deadline)
+        meas = 0.0
+        for k in range(len(u_lo)):
+            meas += u_hi[k] - u_lo[k]
+        cur: Optional[List[Tuple[float, float]]] = None
+        wmeas = 0.0
+        if meas > _EPS:
+            if self.covers:
+                length = meas  # min(measure, measure)
+            elif self.const is not None:
+                const = self.const
+                length = const if const < meas else meas
+            else:
+                value = self.policy.length.length(meas)
+                length = value if value < meas else meas
+            cur = self._select(length, meas)
+            for lo, hi in cur:
+                wmeas += hi - lo
+            if wmeas <= _EPS:  # Span.is_empty
+                cur = None
+
+        # -- element-4 backlog cut (after begin, exactly as execute_epoch) --
+        self._cut(now)
+
+        if cur is None:
+            self.wait += 1.0
+            self.now = now + 1.0
+            return
+
+        process_start = now
+        ob = self.ob
+        if ob is not None:
+            ob.window_sizes.append(wmeas)
+
+        # Per-process arrival bins: snapshot the initial window's
+        # messages once; the backlog cannot change until it completes.
+        backlog_t = self.backlog_t
+        backlog_i = self.backlog_i
+        arr_s = self.arr_s
+        snap_t: List[float] = []
+        snap_s: List[int] = []
+        snap_i: List[int] = []
+        for lo, hi in cur:
+            left = bisect_left(backlog_t, lo)
+            right = bisect_right(backlog_t, hi)
+            for k in range(left, right):
+                snap_t.append(backlog_t[k])
+                index = backlog_i[k]
+                snap_s.append(arr_s[index])
+                snap_i.append(index)
+
+        # -- the windowing state machine ------------------------------------
+        m_slots = self.m_slots
+        split = self.policy.split
+        arity = self.policy.split_arity
+        rng = self.rng
+        sibs: Optional[List] = None
+        depth = 0
+        idle_d = 0.0
+        collision_d = 0.0
+        transmission_d = 0.0
+        transmitted = -1
+        tx_instant = 0.0
+        stranded: List[int] = []
+        while True:
+            # Resolve one slot against the snapshot: distinct enabled
+            # stations decide idle/success/collision.
+            first = -1
+            first_station = -1
+            collided = False
+            for lo, hi in cur:
+                left = bisect_left(snap_t, lo)
+                right = bisect_right(snap_t, hi)
+                for k in range(left, right):
+                    if first < 0:
+                        first = k
+                        first_station = snap_s[k]
+                    elif snap_s[k] != first_station:
+                        collided = True
+                        break
+                if collided:
+                    break
+            if first < 0:
+                now += 1.0
+                idle_d += 1.0
+                # IDLE: the examined span is resolved.
+                for lo, hi in cur:
+                    _iv_subtract(u_lo, u_hi, lo, hi)
+                if sibs is None:
+                    break  # empty initial window: no transmission
+                if len(sibs) == 1:
+                    # All earlier siblings idle: the last one holds every
+                    # colliding arrival (>= 2) and is split immediately.
+                    cur, sibs, depth = self._split(sibs[0], depth, split, arity, rng)
+                else:
+                    cur = sibs[0]
+                    sibs = sibs[1:]
+            elif collided:
+                now += 1.0
+                collision_d += 1.0
+                cur, sibs, depth = self._split(cur, depth, split, arity, rng)
+            else:
+                # Single enabled station: SUCCESS; the examined span is
+                # resolved, remaining siblings are abandoned.
+                transmitted = snap_i[first]
+                tx_instant = now
+                if deadline is None:
+                    for lo, hi in cur:
+                        left = bisect_left(snap_t, lo)
+                        right = bisect_right(snap_t, hi)
+                        for k in range(left, right):
+                            if k != first:
+                                stranded.append(snap_i[k])
+                now += m_slots
+                transmission_d += m_slots
+                for lo, hi in cur:
+                    _iv_subtract(u_lo, u_hi, lo, hi)
+                break
+
+        # -- scoring epilogue (verbatim from execute_epoch) ------------------
+        ctx = self.ctx
+        arr_t = self.arr_t
+        warmup = self.warmup
+        on_time_d = 0
+        late_d = 0
+        if transmitted >= 0:
+            arrival = arr_t[transmitted]
+            position = bisect_left(backlog_t, arrival)
+            while backlog_i[position] != transmitted:
+                position += 1
+            del backlog_t[position]
+            del backlog_i[position]
+            stuck_i = self.stuck_i
+            for index in stranded:
+                position = bisect_left(backlog_t, arr_t[index])
+                while backlog_i[position] != index:
+                    position += 1
+                del backlog_t[position]
+                del backlog_i[position]
+                stuck_i.append(index)
+            ctx.tx_start[transmitted] = tx_instant
+            ctx.process_start_of[transmitted] = process_start
+            true_value = tx_instant - arrival
+            paper_value = max(0.0, process_start - arrival)
+            wait = true_value if ctx.true_definition else paper_value
+            sdl = self.score_deadline
+            late = sdl is not None and wait > sdl
+            ctx.fate[transmitted] = LATE if late else ON_TIME
+            if arrival >= warmup:
+                if late:
+                    late_d += 1
+                else:
+                    on_time_d += 1
+                ctx.waits.observe(true_value, paper_value)
+
+        self.idle += idle_d
+        self.coll += collision_d
+        self.tx += transmission_d
+        self.now = now
+        if on_time_d:
+            self.on_time += on_time_d
+        if late_d:
+            self.late += late_d
+        if self.traits.closed_form and not u_lo:
+            self.vec = True
+            self.frontier = self.fr
+
+    @staticmethod
+    def _split(pieces, depth: int, split: str, arity: int, rng):
+        """One split: the canonical primitives on a real span.
+
+        Collisions are rare (the paper's arms spend well under 1% of
+        epochs here), so this path goes through the shared
+        :func:`~repro.core.splits.split_parts` rather than a private
+        transcription — the one place the flat engine pays an object
+        allocation, in exchange for split semantics that cannot drift.
+        """
+        depth += 1
+        if depth > _MAX_SPLIT_DEPTH:
+            raise RuntimeError(_SPLIT_DEPTH_MESSAGE)
+        parts = split_parts(Span(tuple(pieces)), arity)
+        order = examination_order(split, len(parts), rng)
+        ordered = [parts[i].pieces for i in order]
+        return ordered[0], ordered[1:], depth

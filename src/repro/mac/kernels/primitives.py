@@ -1,0 +1,444 @@
+"""Shared protocol primitives consumed by every simulation kernel.
+
+The decision-epoch body, the idle fast-forward shortcut, the policy
+trait derivation, the wait/instrumentation accumulators and the fate
+codes all live here — one implementation, four consumers (reference
+loop, fast kernel, batched lanes, compiled backend).  The split rules of
+policy element 3 are re-exported from :mod:`repro.core.splits`, where
+the reference :class:`~repro.core.window.WindowingProcess` takes them
+from as well, so no kernel carries private split logic.
+
+Everything in this module is bound by the bit-parity contract: any
+kernel built from these primitives must reproduce the reference loop's
+results field for field — identical RNG draw order, identical float
+arithmetic on every recorded quantity.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from ...core.splits import examination_order, split_parts
+from ...core.timeline import IntervalSet
+from ...core.window import ChannelFeedback
+from ...resilience.invariants import require
+from ..messages import MessageFate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ...core.controller import ProtocolController
+    from ...core.policy import ControlPolicy
+    from ...obs.metrics import MetricsRegistry
+
+__all__ = [
+    "PENDING",
+    "ON_TIME",
+    "LATE",
+    "DISCARDED",
+    "FATE_OF_CODE",
+    "KernelTraits",
+    "kernel_traits",
+    "WaitStats",
+    "ObsBuffers",
+    "EpochContext",
+    "execute_epoch",
+    "try_fast_forward",
+    "split_parts",
+    "examination_order",
+]
+
+# Integer fate codes of the struct-of-arrays bookkeeping.
+PENDING = 0
+ON_TIME = 1
+LATE = 2
+DISCARDED = 3
+
+FATE_OF_CODE = {
+    PENDING: MessageFate.PENDING,
+    ON_TIME: MessageFate.DELIVERED_ON_TIME,
+    LATE: MessageFate.DELIVERED_LATE,
+    DISCARDED: MessageFate.DISCARDED_AT_SENDER,
+}
+
+
+@dataclass(frozen=True)
+class KernelTraits:
+    """Shortcut eligibility of a control policy, derived once per run.
+
+    These are exactly the tests the fast kernel used to perform inline;
+    they are shared across kernels so all agree — by construction — on
+    when a closed-form step is legal.
+    """
+
+    #: Policy element 2 is :class:`~repro.core.policy.FullBacklogLength`:
+    #: the initial window always spans the whole unresolved set.
+    covers_backlog: bool
+    #: ``policy.length.constant_length()`` — lets a kernel skip the
+    #: per-epoch WindowSizer round trip when the rule is state-free.
+    const_length: Optional[float]
+    #: Whether epochs *after* the entry epoch (backlog measure exactly
+    #: one slot) also resolve in one full-window examination.
+    steady_skippable: bool
+    #: Whether element 4 cannot clip a one-slot backlog (K ≥ 1), the
+    #: gate on attempting the idle fast-forward at all.
+    entry_discard_ok: bool
+
+    @property
+    def closed_form(self) -> bool:
+        """Whether the window length is computable without the policy object.
+
+        The batched kernel's vectorised lanes require this; exotic
+        length rules fall back to stepping the real controller.
+        """
+        return self.covers_backlog or self.const_length is not None
+
+
+def kernel_traits(policy: "ControlPolicy") -> KernelTraits:
+    """Derive the :class:`KernelTraits` of ``policy``."""
+    from ...core.policy import FullBacklogLength
+
+    discard_deadline = policy.discard_deadline
+    covers_backlog = isinstance(policy.length, FullBacklogLength)
+    const_length = policy.length.constant_length()
+    steady_skippable = covers_backlog or (
+        const_length is not None
+        and const_length >= 1.0
+        and (discard_deadline is None or discard_deadline >= 1.0)
+    )
+    entry_discard_ok = discard_deadline is None or discard_deadline >= 1.0
+    return KernelTraits(
+        covers_backlog=covers_backlog,
+        const_length=const_length,
+        steady_skippable=steady_skippable,
+        entry_discard_ok=entry_discard_ok,
+    )
+
+
+class WaitStats:
+    """Streaming means of the two wait definitions.
+
+    Same Welford update (and therefore the same float arithmetic on the
+    mean) as :class:`~repro.des.monitor.Tally.observe`, with the
+    moments the result never reads (m2/min/max) dropped.
+    """
+
+    __slots__ = ("count", "true_mean", "paper_mean")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.true_mean = 0.0
+        self.paper_mean = 0.0
+
+    def observe(self, true_value: float, paper_value: float) -> None:
+        self.count += 1
+        delta = true_value - self.true_mean
+        self.true_mean += delta / self.count
+        delta = paper_value - self.paper_mean
+        self.paper_mean += delta / self.count
+
+    @property
+    def mean_true(self) -> float:
+        return self.true_mean if self.count else math.nan
+
+    @property
+    def mean_paper(self) -> float:
+        return self.paper_mean if self.count else math.nan
+
+
+class ObsBuffers:
+    """Per-run instrumentation buffers, flushed into the registry once.
+
+    The hot loop appends plain ints/floats; :meth:`flush` reproduces the
+    exact registry state the per-epoch ``inc``/``observe`` calls used to
+    build (counter sums of integral amounts are order-free, histogram
+    observations are replayed in recording order).
+    """
+
+    __slots__ = ("epochs", "backlog_sizes", "window_sizes", "ff_skips")
+
+    def __init__(self) -> None:
+        self.epochs = 0
+        self.backlog_sizes: List[int] = []
+        self.window_sizes: List[float] = []
+        self.ff_skips: List[int] = []
+
+    def flush(self, registry: "MetricsRegistry") -> None:
+        registry.counter("mac.epochs").inc(self.epochs)
+        registry.histogram("mac.backlog.size").observe_many(self.backlog_sizes)
+        registry.histogram("mac.window.size", unit="slots").observe_many(
+            self.window_sizes
+        )
+        registry.counter("mac.fastforward.spans").inc(len(self.ff_skips))
+        registry.counter("mac.fastforward.slots", unit="slots").inc(
+            sum(self.ff_skips)
+        )
+        registry.histogram("mac.fastforward.span", unit="slots").observe_many(
+            self.ff_skips
+        )
+
+
+def try_fast_forward(
+    controller: "ProtocolController",
+    policy: "ControlPolicy",
+    traits: KernelTraits,
+    now: float,
+    upcoming: float,
+    total_time: float,
+    check: bool,
+) -> int:
+    """Attempt the idle fast-forward at an empty-backlog epoch.
+
+    Mirrors ``begin_process``'s epoch bookkeeping (advance + discard;
+    those mutations persist whether or not the jump happens, exactly as
+    the subsequent reference epoch expects), then decides whether this
+    epoch is a full-window idle examination.  Returns the number of
+    slots jumped (≥ 1, with the controller left in the closed-form
+    post-jump state) or 0 if the epoch must run for real.  The caller
+    advances the clock and the idle-slot account by the return value.
+    """
+    controller.advance_time(now)
+    controller.apply_discard(now)
+    measure = controller.unresolved.measure
+    if check:
+        require(
+            measure >= 0.0,
+            f"unresolved backlog has negative measure at slot {now}",
+        )
+    if measure <= 1e-12:
+        return 0
+    length = (
+        measure
+        if traits.covers_backlog
+        else (
+            traits.const_length
+            if traits.const_length is not None
+            else policy.length.length(measure)
+        )
+    )
+    if length < measure:
+        return 0
+    # Every slot until the next arrival (or the horizon) resolves the
+    # whole backlog and comes back idle.
+    stop = min(upcoming, total_time)
+    skipped = math.ceil(stop - now) if traits.steady_skippable else 1
+    controller.unresolved = IntervalSet()
+    controller.frontier = now + skipped - 1.0
+    return skipped
+
+
+class EpochContext:
+    """Run-constant state threaded through :func:`execute_epoch`.
+
+    One instance per run (or per batched lane); the epoch helper reads
+    everything through it so the sequential, batched and compiled
+    kernels share the same epoch code verbatim.
+    """
+
+    __slots__ = (
+        "controller",
+        "m_slots",
+        "discard_deadline",
+        "score_deadline",
+        "true_definition",
+        "warmup_slots",
+        "arr_t",
+        "arr_s",
+        "backlog_t",
+        "backlog_i",
+        "stuck_i",
+        "fate",
+        "tx_start",
+        "process_start_of",
+        "waits",
+        "obs",
+    )
+
+    def __init__(
+        self,
+        controller: "ProtocolController",
+        m_slots: int,
+        discard_deadline: Optional[float],
+        score_deadline: Optional[float],
+        true_definition: bool,
+        warmup_slots: float,
+        arr_t: List[float],
+        arr_s: List[int],
+        backlog_t: List[float],
+        backlog_i: List[int],
+        stuck_i: List[int],
+        fate: np.ndarray,
+        tx_start: np.ndarray,
+        process_start_of: np.ndarray,
+        waits: WaitStats,
+        obs: Optional[ObsBuffers],
+    ) -> None:
+        self.controller = controller
+        self.m_slots = m_slots
+        self.discard_deadline = discard_deadline
+        self.score_deadline = score_deadline
+        self.true_definition = true_definition
+        self.warmup_slots = warmup_slots
+        self.arr_t = arr_t
+        self.arr_s = arr_s
+        self.backlog_t = backlog_t
+        self.backlog_i = backlog_i
+        self.stuck_i = stuck_i
+        self.fate = fate
+        self.tx_start = tx_start
+        self.process_start_of = process_start_of
+        self.waits = waits
+        self.obs = obs
+
+
+def execute_epoch(ctx: EpochContext, now: float):
+    """One reference decision epoch (same call sequence as the slow path).
+
+    Returns ``(now, idle, collision, transmission, wait, on_time, late,
+    discarded)``: the advanced clock plus this epoch's deltas.  All slot
+    deltas are integral-valued floats and all count deltas are ints, so
+    the caller's accumulation is bit-exact regardless of how epochs are
+    grouped — the property the batched kernel relies on.
+    """
+    controller = ctx.controller
+    backlog_t = ctx.backlog_t
+    backlog_i = ctx.backlog_i
+    arr_t = ctx.arr_t
+    warmup_slots = ctx.warmup_slots
+    fate = ctx.fate
+    discard_deadline = ctx.discard_deadline
+
+    idle_d = 0.0
+    collision_d = 0.0
+    transmission_d = 0.0
+    discarded_d = 0
+
+    process = controller.begin_process(now)
+    if discard_deadline is not None:
+        horizon = now - discard_deadline
+        cut = bisect_left(backlog_t, horizon)
+        if cut:
+            for index in backlog_i[:cut]:
+                fate[index] = DISCARDED
+                if arr_t[index] >= warmup_slots:
+                    discarded_d += 1
+            del backlog_t[:cut]
+            del backlog_i[:cut]
+
+    if process is None:
+        return (now + 1.0, 0.0, 0.0, 0.0, 1.0, 0, 0, discarded_d)
+
+    process_start = now
+    if ctx.obs is not None:
+        ctx.obs.window_sizes.append(process.current_span.measure)
+    # Per-process arrival bins: snapshot the initial window's messages
+    # once; the backlog cannot change until the process completes.
+    snap_t: List[float] = []
+    snap_s: List[int] = []
+    snap_i: List[int] = []
+    arr_s = ctx.arr_s
+    for lo, hi in process.current_span.pieces:
+        left = bisect_left(backlog_t, lo)
+        right = bisect_right(backlog_t, hi)
+        for k in range(left, right):
+            snap_t.append(backlog_t[k])
+            index = backlog_i[k]
+            snap_s.append(arr_s[index])
+            snap_i.append(index)
+
+    m_slots = ctx.m_slots
+    transmitted = -1
+    tx_instant = 0.0
+    stranded: List[int] = []
+    while not process.done:
+        # Resolve one slot against the snapshot: distinct enabled
+        # stations decide idle/success/collision, exactly like
+        # StationRegistry.enabled_stations on the live backlog.
+        first = -1
+        first_station = -1
+        collided = False
+        for lo, hi in process.current_span.pieces:
+            left = bisect_left(snap_t, lo)
+            right = bisect_right(snap_t, hi)
+            for k in range(left, right):
+                if first < 0:
+                    first = k
+                    first_station = snap_s[k]
+                elif snap_s[k] != first_station:
+                    collided = True
+                    break
+            if collided:
+                break
+        if first < 0:
+            now += 1.0
+            idle_d += 1.0
+            process.on_feedback(ChannelFeedback.IDLE)
+        elif collided:
+            now += 1.0
+            collision_d += 1.0
+            process.on_feedback(ChannelFeedback.COLLISION)
+        else:
+            # Single enabled station: it transmits its oldest message
+            # inside the span — the first snapshot entry, since the
+            # snapshot is arrival-ordered.
+            transmitted = snap_i[first]
+            tx_instant = now
+            if discard_deadline is None:
+                # Same-station messages sharing the success span are
+                # stranded: the span is resolved but they are not
+                # transmitted (see stuck_i in run_fast).
+                for lo, hi in process.current_span.pieces:
+                    left = bisect_left(snap_t, lo)
+                    right = bisect_right(snap_t, hi)
+                    for k in range(left, right):
+                        if k != first:
+                            stranded.append(snap_i[k])
+            now += m_slots
+            transmission_d += m_slots
+            process.on_feedback(ChannelFeedback.SUCCESS)
+    controller.complete_process(process)
+
+    on_time_d = 0
+    late_d = 0
+    if transmitted >= 0:
+        arrival = arr_t[transmitted]
+        position = bisect_left(backlog_t, arrival)
+        while backlog_i[position] != transmitted:
+            position += 1
+        del backlog_t[position]
+        del backlog_i[position]
+        stuck_i = ctx.stuck_i
+        for index in stranded:
+            position = bisect_left(backlog_t, arr_t[index])
+            while backlog_i[position] != index:
+                position += 1
+            del backlog_t[position]
+            del backlog_i[position]
+            stuck_i.append(index)
+        ctx.tx_start[transmitted] = tx_instant
+        ctx.process_start_of[transmitted] = process_start
+        true_value = tx_instant - arrival
+        paper_value = max(0.0, process_start - arrival)
+        wait = true_value if ctx.true_definition else paper_value
+        late = ctx.score_deadline is not None and wait > ctx.score_deadline
+        fate[transmitted] = LATE if late else ON_TIME
+        if arrival >= warmup_slots:
+            if late:
+                late_d += 1
+            else:
+                on_time_d += 1
+            ctx.waits.observe(true_value, paper_value)
+
+    return (
+        now,
+        idle_d,
+        collision_d,
+        transmission_d,
+        0.0,
+        on_time_d,
+        late_d,
+        discarded_d,
+    )

@@ -16,6 +16,7 @@ length, split rule, arity, priorities).
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
 from typing import Optional
@@ -40,6 +41,11 @@ __all__ = ["MACSimResult", "WindowMACSimulator", "flush_result_metrics"]
 #: Sub-seed mixed into the fault stream when no RandomStreams family is
 #: given, keeping fault draws independent of the traffic sample path.
 _FAULT_STREAM_KEY = 0xFA17
+
+#: Valid values of the ``backend`` selector (``None`` ≡ ``"auto"``).
+_BACKENDS = ("auto", "reference", "fast", "compiled")
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -177,6 +183,16 @@ class WindowMACSimulator:
         automatically for fault-injected runs and §5 priority stations.
         ``fast=False`` forces the reference loop (the escape hatch and
         the benchmark baseline).
+    backend:
+        Explicit kernel selector overriding ``fast``: ``"reference"``
+        forces the reference loop, ``"fast"`` the fast kernel (when
+        available), ``"compiled"`` the compiled backend
+        (:mod:`repro.mac.kernels.compiled` — jitted hot loops when
+        ``numba`` is importable, the pure-NumPy struct-of-arrays
+        fallback otherwise; bit-identical either way).  ``None`` /
+        ``"auto"`` keeps the historical ``fast`` dispatch.  An
+        ineligible run falls down the chain (compiled → fast →
+        reference) with a one-time logged notice.
     seed / streams:
         Randomness source.  A :class:`~repro.des.rng.RandomStreams`
         family (when given) supersedes ``seed`` and draws traffic and
@@ -212,6 +228,7 @@ class WindowMACSimulator:
         streams: Optional[RandomStreams] = None,
         fast: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        backend: Optional[str] = None,
     ):
         if arrival_rate <= 0:
             raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
@@ -219,6 +236,11 @@ class WindowMACSimulator:
             raise ValueError(f"unknown loss definition: {loss_definition!r}")
         if deadline is not None and deadline <= 0:
             raise ValueError(f"deadline must be positive, got {deadline}")
+        if backend is not None and backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend: {backend!r} (expected one of {_BACKENDS})"
+            )
+        self.backend = backend
         self.policy = policy
         self.arrival_rate = arrival_rate
         self.transmission_slots = transmission_slots
@@ -241,6 +263,10 @@ class WindowMACSimulator:
         )
 
         self.registry = StationRegistry(n_stations)
+        if invariants_enabled():
+            # Guard the lazy struct-of-arrays station bookkeeping
+            # (O(1) construction at any population size).
+            self.registry.check_invariants()
         self.channel = SlottedChannel(self.registry, transmission_slots)
         self.controller = ProtocolController(policy, rng=self.rng)
         self.fault_model = fault_model
@@ -290,8 +316,24 @@ class WindowMACSimulator:
         total_time = warmup_slots + horizon_slots
         if self.bank is not None:
             return self._run_replicated(total_time, warmup_slots)
-        if self.fast and fastpath.fast_path_available(self):
-            return fastpath.run_fast(self, total_time, warmup_slots)
+        backend = self.backend
+        if backend == "reference":
+            return self._run_shared(total_time, warmup_slots)
+        if backend == "compiled":
+            from .kernels import compiled
+
+            if compiled.compiled_eligible(self):
+                return compiled.run_compiled(self, total_time, warmup_slots)
+            logger.info(
+                "backend=compiled requested but the run is ineligible "
+                "(see compiled_eligible); falling back to the fast-kernel "
+                "chain"
+            )
+        if backend == "fast" or (
+            (backend is None or backend == "auto") and self.fast
+        ):
+            if fastpath.fast_path_available(self):
+                return fastpath.run_fast(self, total_time, warmup_slots)
         return self._run_shared(total_time, warmup_slots)
 
     def _run_shared(self, total_time: float, warmup_slots: float) -> MACSimResult:

@@ -8,16 +8,27 @@ message), and a collision occurs iff two or more *distinct* stations are
 enabled simultaneously.
 
 :class:`StationRegistry` provides that view efficiently on top of the
-simulator's global arrival-ordered backlog.
+simulator's global arrival-ordered backlog.  Per-station state is
+struct-of-arrays and *lazy*: the paper's protocol needs nothing per
+station beyond its id (arrivals carry the station index), so a registry
+costs O(1) to build regardless of the population — ``n_stations`` of
+10⁵–10⁶, as the compiled-backend scaling arms use, allocates nothing.
+Only the §5 priority extension materialises per-station data: the first
+:meth:`~StationRegistry.set_window_scale` call allocates one float64
+scale column for the whole population (a single linear preallocation,
+never per-station Python objects).
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..core.timeline import Span
+from ..resilience.invariants import require
 from .messages import Message
 
 __all__ = ["Station", "StationRegistry"]
@@ -48,6 +59,33 @@ class Station:
             )
 
 
+class _StationView(Sequence):
+    """Read-only sequence view materialising :class:`Station` on demand.
+
+    Keeps the historical ``registry.stations[i].window_scale`` access
+    pattern working without the registry ever holding a list of
+    ``n_stations`` Python objects.
+    """
+
+    __slots__ = ("_registry",)
+
+    def __init__(self, registry: "StationRegistry"):
+        self._registry = registry
+
+    def __len__(self) -> int:
+        return self._registry.n_stations
+
+    def __getitem__(self, index):
+        n = self._registry.n_stations
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(n))]
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"station {index} out of range ({n} stations)")
+        return Station(index, window_scale=self._registry.window_scale(index))
+
+
 class StationRegistry:
     """Global backlog indexed for window queries.
 
@@ -59,7 +97,10 @@ class StationRegistry:
     def __init__(self, n_stations: int):
         if n_stations < 1:
             raise ValueError(f"need at least one station, got {n_stations}")
-        self.stations: List[Station] = [Station(i) for i in range(n_stations)]
+        self._n_stations = int(n_stations)
+        # §5 scale column, allocated on first set_window_scale only.
+        # None ⇔ every station at the default scale 1.0.
+        self._scales: Optional[np.ndarray] = None
         self._arrivals: List[float] = []  # sorted arrival instants
         self._messages: List[Message] = []  # parallel to _arrivals
         self._n_scaled = 0  # stations with window_scale < 1 (kept in sync)
@@ -70,7 +111,49 @@ class StationRegistry:
     @property
     def n_stations(self) -> int:
         """Number of stations in the network."""
-        return len(self.stations)
+        return self._n_stations
+
+    @property
+    def stations(self) -> _StationView:
+        """Sequence view of the stations (materialised on access)."""
+        return _StationView(self)
+
+    def window_scale(self, station_id: int) -> float:
+        """The §5 window scale of one station (1.0 unless set)."""
+        if self._scales is None:
+            return 1.0
+        return float(self._scales[station_id])
+
+    def check_invariants(self) -> None:
+        """Registry structural invariants (REPRO_CHECK_INVARIANTS runs).
+
+        Guards the lazy struct-of-arrays bookkeeping: the backlog
+        columns stay parallel, the scale column is either absent or
+        exactly population-sized (a shape mismatch would mean the
+        preallocation was not the single linear allocation it claims to
+        be), and the scaled-station counter matches the column.
+        """
+        require(
+            len(self._arrivals) == len(self._messages),
+            "station backlog columns out of sync: "
+            f"{len(self._arrivals)} arrivals vs {len(self._messages)} messages",
+        )
+        if self._scales is None:
+            require(
+                self._n_scaled == 0,
+                f"{self._n_scaled} scaled stations recorded without a scale column",
+            )
+        else:
+            require(
+                len(self._scales) == self._n_stations,
+                f"scale column has {len(self._scales)} entries "
+                f"for {self._n_stations} stations",
+            )
+            actual = int(np.count_nonzero(self._scales < 1.0))
+            require(
+                self._n_scaled == actual,
+                f"scaled-station counter {self._n_scaled} != column count {actual}",
+            )
 
     # -- backlog maintenance ---------------------------------------------------
 
@@ -164,7 +247,7 @@ class StationRegistry:
         prefix_cache: Dict[float, Span] = {}
         eligible: Dict[int, Message] = {}
         for message in self.messages_in_span(initial_window):
-            scale = self.stations[message.station].window_scale
+            scale = self.window_scale(message.station)
             if scale < 1.0:
                 prefix = prefix_cache.get(scale)
                 if prefix is None:
@@ -180,9 +263,21 @@ class StationRegistry:
         return eligible
 
     def set_window_scale(self, station_id: int, scale: float) -> None:
-        """Set a station's priority window scale (§5 extension)."""
-        was_scaled = self.stations[station_id].window_scale < 1.0
-        self.stations[station_id] = Station(station_id, window_scale=scale)
+        """Set a station's priority window scale (§5 extension).
+
+        First call allocates the scale column — one linear float64
+        preallocation for the whole population.
+        """
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"window scale must be in (0, 1], got {scale}")
+        if not 0 <= station_id < self._n_stations:
+            raise IndexError(
+                f"station {station_id} out of range ({self._n_stations} stations)"
+            )
+        if self._scales is None:
+            self._scales = np.ones(self._n_stations, dtype=np.float64)
+        was_scaled = bool(self._scales[station_id] < 1.0)
+        self._scales[station_id] = scale
         self._n_scaled += (scale < 1.0) - was_scaled
 
     def oldest_pending(self) -> Optional[Message]:
