@@ -314,6 +314,65 @@ def measure_compiled(config: PerfConfig, rounds: int = 5) -> dict:
     }
 
 
+def measure_robustness_faulted(config: PerfConfig, rounds: int = 3) -> dict:
+    """Faulted fast kernel versus the reference loop (the ISSUE 8 gate).
+
+    Times a feedback-noise run (2% misdetection — the midpoint of the
+    ``repro robustness --feedback-errors`` degradation axis) on the
+    full-size Figure-7 acceptance cell with ``backend="fast"`` against
+    the same cell forced onto the reference loop.  Before ISSUE 8 every
+    faulted run fell all the way down the compiled→fast→reference chain,
+    so this ratio is exactly the speedup the robustness sweeps gained.
+    Bit-parity — result *and* fault telemetry — is asserted on every
+    timed round.
+    """
+    from repro.faults import FeedbackFaultModel
+
+    policy = ControlPolicy.optimal(config.deadline, config.arrival_rate)
+
+    def once(backend):
+        simulator = WindowMACSimulator(
+            policy,
+            arrival_rate=config.arrival_rate,
+            transmission_slots=config.message_length,
+            deadline=config.deadline,
+            seed=config.seed,
+            backend=backend,
+            feedback_faults=FeedbackFaultModel.noise(0.02),
+        )
+        return _timed(
+            lambda: simulator.run(config.horizon, warmup_slots=config.warmup)
+        )
+
+    fast_times, reference_times = [], []
+    for _ in range(rounds):
+        elapsed, reference_result = once("reference")
+        reference_times.append(elapsed)
+        elapsed, fast_result = once("fast")
+        fast_times.append(elapsed)
+        if (
+            fast_result != reference_result
+            or fast_result.faults != reference_result.faults
+        ):
+            raise AssertionError(
+                "faulted fast kernel diverged from the reference loop "
+                "while being timed"
+            )
+    fast_s = min(fast_times)
+    reference_s = min(reference_times)
+    slots = config.horizon + config.warmup
+    return {
+        "rounds": rounds,
+        "slots": slots,
+        "noise_rate": 0.02,
+        "fast_s": fast_s,
+        "reference_s": reference_s,
+        "fast_slots_per_s": slots / fast_s,
+        "reference_slots_per_s": slots / reference_s,
+        "speedup": reference_s / fast_s,
+    }
+
+
 def measure_stations(
     config: PerfConfig, n_stations: int = 100_000, rounds: int = 3
 ) -> dict:
@@ -450,6 +509,9 @@ def run_benchmarks(config: PerfConfig, mode: str, end_to_end: bool = True) -> di
         # ratio and the 1e5-station scaling arm are acceptance gates.
         "compiled": measure_compiled(PerfConfig()),
         "stations_1e5": measure_stations(PerfConfig()),
+        # Full-size as well: the faulted-kernel ratio is the ISSUE 8
+        # acceptance gate for the robustness sweeps.
+        "robustness_faulted": measure_robustness_faulted(PerfConfig()),
     }
     if end_to_end:
         # Warm the analytic memo so neither timed arm pays for eq. 4.7.
@@ -537,6 +599,19 @@ def render_table(payload: dict) -> str:
             f"{comp['compiled_s']:>9.2f}s "
             f"{comp['compiled_slots_per_s']:>12,.0f}",
             f"{'compiled speedup over fast':<34} {comp['speedup']:>9.1f}x",
+        ]
+    if "robustness_faulted" in payload:
+        rob = payload["robustness_faulted"]
+        noise = f"{rob['noise_rate']:g} noise"
+        lines += [
+            "",
+            f"{'faulted run (' + noise + '), reference':<34} "
+            f"{rob['reference_s']:>9.2f}s "
+            f"{rob['reference_slots_per_s']:>12,.0f}",
+            f"{'faulted run, fast kernel':<34} "
+            f"{rob['fast_s']:>9.2f}s "
+            f"{rob['fast_slots_per_s']:>12,.0f}",
+            f"{'faulted kernel speedup':<34} {rob['speedup']:>9.1f}x",
         ]
     if "stations_1e5" in payload:
         st = payload["stations_1e5"]

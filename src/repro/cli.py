@@ -52,6 +52,7 @@ Examples
     python -m repro sensitivity --scenario burstiness
     python -m repro robustness --seeds 3
     python -m repro robustness --scenario failures
+    python -m repro robustness --feedback-errors --recovery gated-rejoin
     python -m repro cache info
 """
 
@@ -80,6 +81,7 @@ from .experiments import (
     element4_ablation,
     feedback_error_sweep,
     generate_panel,
+    protocol_degradation_sweep,
     run_theorem1_experiment,
     scheduling_model_sensitivity,
     split_rule_ablation,
@@ -89,7 +91,7 @@ from .experiments import (
     window_length_ablation,
 )
 from .experiments.sweep import MACRunSpec, derive_seeds, run_spec, run_spec_with_metrics
-from .faults import FaultModel
+from .faults import RECOVERY_POLICIES, FaultModel
 from .mac import WindowMACSimulator
 from .mac.batch import run_batch, run_batch_with_metrics
 from .obs import (
@@ -429,16 +431,25 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     )
     resilience = _resilience_from(args)
     metrics = getattr(args, "obs_registry", None)
+    if args.feedback_errors:
+        report = protocol_degradation_sweep(
+            config, error_rates=tuple(args.errors), recovery=args.recovery,
+            workers=args.workers, resilience=resilience, metrics=metrics,
+            batch=args.batch, backend=args.backend,
+        )
+        print(report.to_table())
+        return 0
     if args.scenario == "feedback":
         report = feedback_error_sweep(
             config, error_rates=tuple(args.errors), workers=args.workers,
             resilience=resilience, metrics=metrics, batch=args.batch,
+            backend=args.backend,
         )
         print(report.to_table())
         return 0
     results = station_failure_scenario(
         config, workers=args.workers, resilience=resilience, metrics=metrics,
-        batch=args.batch,
+        batch=args.batch, backend=args.backend,
     )
     rows = []
     holes = 0
@@ -519,22 +530,22 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
          element4_ablation(
              horizon=horizon, warmup=warmup, seed=args.seed,
              workers=args.workers, resilience=resilience, metrics=metrics,
-             batch=args.batch)),
+             batch=args.batch, backend=args.backend)),
         ("Element 2: loss vs window occupancy (simulated)",
          window_length_ablation(
              simulate=True, horizon=horizon, warmup=warmup, seed=args.seed + 1,
              workers=args.workers, resilience=resilience, metrics=metrics,
-             batch=args.batch)),
+             batch=args.batch, backend=args.backend)),
         ("Element 3: split order (simulated)",
          split_rule_ablation(
              horizon=horizon, warmup=warmup, seed=args.seed + 2,
              workers=args.workers, resilience=resilience, metrics=metrics,
-             batch=args.batch)),
+             batch=args.batch, backend=args.backend)),
         ("Section 5: split arity (simulated)",
          arity_ablation(
              horizon=horizon, warmup=warmup, seed=args.seed + 3,
              workers=args.workers, resilience=resilience, metrics=metrics,
-             batch=args.batch)),
+             batch=args.batch, backend=args.backend)),
     ]
     print("\n\n".join(ablation_table(arms, title) for title, arms in sections))
     return 0
@@ -559,13 +570,15 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     if args.scenario == "stations":
         arms = station_count_sensitivity(
             seed=args.seed, workers=args.workers, resilience=resilience,
-            metrics=metrics, batch=args.batch, **overrides,
+            metrics=metrics, batch=args.batch, backend=args.backend,
+            **overrides,
         )
         title = "Loss vs station population (controlled protocol)"
     else:
         arms = burstiness_sensitivity(
             seed=args.seed, workers=args.workers, resilience=resilience,
-            metrics=metrics, batch=args.batch, **overrides,
+            metrics=metrics, batch=args.batch, backend=args.backend,
+            **overrides,
         )
         title = "Loss vs traffic burstiness (MMPP, fixed mean rate)"
     print(ablation_table(arms, title))
@@ -828,6 +841,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="fan simulation arms over N worker processes "
                         "(results are identical for any N)")
+    p.add_argument("--backend", choices=("auto", "reference", "fast", "compiled"),
+                   default=None,
+                   help="simulation kernel for the arms: auto (default "
+                        "chain), reference loop, fast kernel, or the "
+                        "compiled struct-of-arrays backend (all are "
+                        "bit-identical)")
     _add_batch_flag(p)
     _add_resilience_flags(p)
     _add_obs_flags(p)
@@ -849,6 +868,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="fan sweep cells over N worker processes "
                         "(results are identical for any N)")
+    p.add_argument("--backend", choices=("auto", "reference", "fast", "compiled"),
+                   default=None,
+                   help="simulation kernel for the arms: auto (default "
+                        "chain), reference loop, fast kernel, or the "
+                        "compiled struct-of-arrays backend (all are "
+                        "bit-identical)")
     _add_batch_flag(p)
     _add_resilience_flags(p)
     _add_obs_flags(p)
@@ -859,6 +884,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default="feedback",
                    help="feedback = loss vs error-rate sweep; "
                         "failures = crash/deafness soak")
+    p.add_argument("--feedback-errors", action="store_true",
+                   help="run the per-protocol degradation sweep (fraction "
+                        "late vs feedback error rate for all four window "
+                        "protocols on the Figure-7 grid) instead of the "
+                        "single-protocol scenario sweeps")
+    p.add_argument("--recovery", choices=RECOVERY_POLICIES,
+                   default="reset-to-epoch",
+                   help="divergence-recovery policy of the degradation "
+                        "sweep (with --feedback-errors)")
     p.add_argument("--rho", type=float, default=0.5)
     p.add_argument("--m", type=int, default=25)
     p.add_argument("--deadline-factor", type=float, default=3.0,
@@ -875,6 +909,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="fan replications over N worker processes "
                         "(results are identical for any N)")
+    p.add_argument("--backend", choices=("auto", "reference", "fast", "compiled"),
+                   default=None,
+                   help="simulation kernel for the runs: auto (default "
+                        "chain), reference loop, fast kernel, or the "
+                        "compiled struct-of-arrays backend (all are "
+                        "bit-identical; faulted runs fall back from "
+                        "compiled to the fast kernel)")
     _add_batch_flag(p)
     _add_resilience_flags(p)
     _add_obs_flags(p)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import List, Tuple
 
 __all__ = ["Span", "IntervalSet"]
@@ -38,10 +39,20 @@ class Span:
 
     pieces: Tuple[Tuple[float, float], ...]
 
-    @property
+    @cached_property
     def measure(self) -> float:
-        """Total length of all pieces."""
-        return sum(hi - lo for lo, hi in self.pieces)
+        """Total length of all pieces.
+
+        Cached: spans are frozen, and the hot kernels (split descents
+        under feedback faults especially) query the same span's measure
+        several times per slot.  The cached value is the identical
+        left-to-right float sum, so bit-parity is unaffected.
+        """
+        pieces = self.pieces
+        if len(pieces) == 1:
+            lo, hi = pieces[0]
+            return hi - lo
+        return sum(hi - lo for lo, hi in pieces)
 
     @property
     def start(self) -> float:
@@ -68,6 +79,25 @@ class Span:
 
     def split_at_measure(self, offset: float) -> Tuple["Span", "Span"]:
         """Split into (oldest ``offset`` of measure, the rest)."""
+        pieces = self.pieces
+        if len(pieces) == 1:
+            # Single-interval fast path: the overwhelmingly common case
+            # in the slot kernels (contiguous windows).  Reproduces the
+            # generic walk below exactly — same branches, same float
+            # endpoint ``lo + offset`` — so every kernel still produces
+            # bit-identical spans.
+            lo, hi = pieces[0]
+            width = hi - lo
+            if offset < -_EPS or offset > width + _EPS:
+                raise ValueError(
+                    f"split offset {offset} outside span measure {width}"
+                )
+            if offset >= width - _EPS:
+                return self, Span(())
+            if offset <= _EPS:
+                return Span(()), self
+            cut = lo + offset
+            return Span(((lo, cut),)), Span(((cut, hi),))
         if offset < -_EPS or offset > self.measure + _EPS:
             raise ValueError(
                 f"split offset {offset} outside span measure {self.measure}"

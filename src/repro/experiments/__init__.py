@@ -13,10 +13,14 @@ from .figure7 import PAPER_PANELS, PanelConfig, default_deadlines, generate_pane
 from .records import PanelResult, Series, SeriesPoint, ascii_table
 from .robustness import (
     DEFAULT_ERROR_RATES,
+    DegradationPoint,
+    DegradationReport,
     RobustnessConfig,
     RobustnessReport,
     feedback_error_sweep,
     point_spec,
+    protocol_arms,
+    protocol_degradation_sweep,
     station_failure_scenario,
 )
 from .runner import ReplicationResult, replicate
@@ -65,7 +69,11 @@ __all__ = [
     "RobustnessConfig",
     "RobustnessReport",
     "DEFAULT_ERROR_RATES",
+    "DegradationPoint",
+    "DegradationReport",
     "feedback_error_sweep",
+    "protocol_arms",
+    "protocol_degradation_sweep",
     "station_failure_scenario",
     "ReplicationResult",
     "replicate",

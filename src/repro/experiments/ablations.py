@@ -56,10 +56,13 @@ class AblationArm:
         return [self.label, cell]
 
 
-def _spec(policy: ControlPolicy, lam, m, deadline, horizon, warmup, seed) -> MACRunSpec:
+def _spec(
+    policy: ControlPolicy, lam, m, deadline, horizon, warmup, seed,
+    backend=None,
+) -> MACRunSpec:
     return MACRunSpec(
         policy=policy, arrival_rate=lam, transmission_slots=m, horizon=horizon,
-        warmup=warmup, deadline=deadline, seed=seed,
+        warmup=warmup, deadline=deadline, seed=seed, backend=backend,
     )
 
 
@@ -98,6 +101,7 @@ def element4_ablation(
     resilience=None,
     metrics=None,
     batch: bool = True,
+    backend: Optional[str] = None,
 ) -> List[AblationArm]:
     """Controlled protocol with and without the sender discard (A-EL4)."""
     lam = rho_prime / message_length
@@ -107,7 +111,8 @@ def element4_ablation(
     return _arms_from(
         [policy.name for policy in policies],
         [
-            _spec(policy, lam, message_length, deadline, horizon, warmup, seed)
+            _spec(policy, lam, message_length, deadline, horizon, warmup, seed,
+                  backend)
             for policy in policies
         ],
         workers,
@@ -130,6 +135,7 @@ def window_length_ablation(
     resilience=None,
     metrics=None,
     batch: bool = True,
+    backend: Optional[str] = None,
 ) -> List[AblationArm]:
     """Loss versus window occupancy around the heuristic optimum (A-WIN).
 
@@ -153,6 +159,7 @@ def window_length_ablation(
                     name=f"controlled_mu_{occupancy:g}",
                 ),
                 lam, message_length, deadline, horizon, warmup, seed,
+                backend,
             )
             for occupancy in occupancies
         ]
@@ -176,6 +183,7 @@ def split_rule_ablation(
     resilience=None,
     metrics=None,
     batch: bool = True,
+    backend: Optional[str] = None,
 ) -> List[AblationArm]:
     """Split-order comparison under the controlled protocol (A-SPLIT)."""
     lam = rho_prime / message_length
@@ -187,6 +195,7 @@ def split_rule_ablation(
             _spec(
                 replace(base, split=split, name=f"split_{split}"),
                 lam, message_length, deadline, horizon, warmup, seed,
+                backend,
             )
             for split in splits
         ],
@@ -209,6 +218,7 @@ def arity_ablation(
     resilience=None,
     metrics=None,
     batch: bool = True,
+    backend: Optional[str] = None,
 ) -> List[AblationArm]:
     """Binary versus k-ary window splitting (§5 extension, A-ARITY)."""
     lam = rho_prime / message_length
@@ -219,6 +229,7 @@ def arity_ablation(
             _spec(
                 replace(base, split_arity=arity, name=f"arity_{arity}"),
                 lam, message_length, deadline, horizon, warmup, seed,
+                backend,
             )
             for arity in arities
         ],

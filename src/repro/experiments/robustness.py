@@ -3,26 +3,31 @@
 The paper assumes perfect ternary feedback; :mod:`repro.faults` removes
 that assumption.  This module measures what the assumption was worth:
 
-* :func:`feedback_error_sweep` — loss versus symmetric feedback-error
-  rate at a fixed operating point (the headline degradation curve; the
-  protocol should degrade smoothly, not cliff);
+* :func:`feedback_error_sweep` — loss versus symmetric per-station
+  feedback-error rate at a fixed operating point (the replica-bank
+  degradation curve; the protocol should degrade smoothly, not cliff);
+* :func:`protocol_degradation_sweep` — the degradation *figure*:
+  fraction-late versus common-mode feedback error rate for all four
+  Figure-7 protocols, running at full kernel speed on the faulted fast
+  kernel (:mod:`repro.mac.kernels.faults`) with a selectable
+  divergence-recovery policy;
 * :func:`station_failure_scenario` — a crash/restart + deafness soak
   that must run to completion (no deadlock, no permanent divergence)
   and report the resilience telemetry.
 
-Both average over a few replications (distinct master seeds) so the
+All average over a few replications (distinct master seeds) so the
 degradation trend is not an artifact of one sample path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core import ControlPolicy
-from ..faults import FaultModel
+from ..faults import RECOVERY_POLICIES, FaultModel, FeedbackFaultModel
 from ..mac import MACSimResult
 from ..obs import tracing as trace
 from .records import ascii_table
@@ -32,8 +37,12 @@ __all__ = [
     "RobustnessConfig",
     "RobustnessPoint",
     "RobustnessReport",
+    "DegradationPoint",
+    "DegradationReport",
     "feedback_error_sweep",
     "point_spec",
+    "protocol_arms",
+    "protocol_degradation_sweep",
     "station_failure_scenario",
     "DEFAULT_ERROR_RATES",
 ]
@@ -161,9 +170,11 @@ class RobustnessReport:
 
 def point_spec(
     config: RobustnessConfig,
-    fault_model: FaultModel,
+    fault_model: Optional[FaultModel],
     seed: int,
     policy: Optional[ControlPolicy] = None,
+    backend: Optional[str] = None,
+    feedback_faults: Optional[FeedbackFaultModel] = None,
 ) -> MACRunSpec:
     """Spec for one replication at one fault setting.
 
@@ -182,7 +193,9 @@ def point_spec(
         n_stations=config.n_stations,
         deadline=config.deadline,
         fault_model=fault_model,
+        feedback_faults=feedback_faults,
         stream_seed=seed,
+        backend=backend,
     )
 
 
@@ -225,6 +238,7 @@ def feedback_error_sweep(
     resilience=None,
     metrics=None,
     batch: bool = True,
+    backend: Optional[str] = None,
 ) -> RobustnessReport:
     """Loss versus symmetric feedback-error rate (the degradation curve).
 
@@ -249,6 +263,7 @@ def feedback_error_sweep(
                 else FaultModel.none()
             ),
             config.base_seed + i,
+            backend=backend,
         )
         for error_rate in error_rates
         for i in range(config.n_seeds)
@@ -272,6 +287,212 @@ def feedback_error_sweep(
     return report
 
 
+@dataclass(frozen=True)
+class DegradationPoint:
+    """Seed-averaged outcome for one protocol at one error rate."""
+
+    protocol: str
+    error_rate: float
+    loss_fraction: float
+    loss_stderr: float
+    lost_to_faults: float
+    resyncs: float
+    diverged_slots: float
+    saturated: bool
+
+
+@dataclass
+class DegradationReport:
+    """The degradation figure: fraction-late per protocol per error rate.
+
+    The tabular sibling of Figure 7's loss panel with the x-axis swapped
+    from offered load to feedback error rate: each protocol contributes
+    one curve, and the gap between the controlled curve and the
+    uncontrolled ones shows how much of the paper's advantage survives a
+    noisy feedback channel.
+    """
+
+    config: RobustnessConfig
+    recovery: str
+    error_rates: Tuple[float, ...] = ()
+    points: List[DegradationPoint] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def title(self) -> str:
+        c = self.config
+        return (
+            f"Feedback-error degradation: rho'={c.rho_prime:g}, "
+            f"M={c.message_length}, K={c.deadline:g}, "
+            f"recovery={self.recovery}, "
+            f"{c.n_seeds} seeds x {c.horizon:g} slots"
+        )
+
+    def curve(self, protocol: str) -> List[float]:
+        """One protocol's fraction-late values in sweep order."""
+        return [p.loss_fraction for p in self.points if p.protocol == protocol]
+
+    def to_table(self) -> str:
+        """Render the figure as an aligned text table."""
+        rows = []
+        for p in self.points:
+            rows.append(
+                [
+                    p.protocol,
+                    f"{p.error_rate:g}",
+                    f"{p.loss_fraction:.4f}±{2 * p.loss_stderr:.4f}",
+                    f"{p.lost_to_faults:.1f}",
+                    f"{p.resyncs:.1f}",
+                    f"{p.diverged_slots:.0f}",
+                    "yes" if p.saturated else "",
+                ]
+            )
+        table = ascii_table(
+            [
+                "protocol",
+                "error rate",
+                "fraction late",
+                "fault-lost",
+                "resyncs",
+                "diverged slots",
+                "saturated",
+            ],
+            rows,
+            title=self.title,
+        )
+        if self.notes:
+            table += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return table
+
+
+def protocol_arms(
+    config: RobustnessConfig,
+) -> "List[Tuple[str, ControlPolicy]]":
+    """The four Figure-7 protocol arms at the config's operating point."""
+    lam = config.arrival_rate
+    return [
+        ("controlled", ControlPolicy.optimal(config.deadline, lam)),
+        ("fcfs", ControlPolicy.uncontrolled_fcfs(lam)),
+        ("lcfs", ControlPolicy.uncontrolled_lcfs(lam)),
+        ("random", ControlPolicy.uncontrolled_random(lam)),
+    ]
+
+
+def _aggregate_degradation(
+    protocol: str, error_rate: float, results: Sequence[MACSimResult]
+) -> DegradationPoint:
+    if not results:
+        nan = float("nan")
+        return DegradationPoint(
+            protocol=protocol, error_rate=error_rate, loss_fraction=nan,
+            loss_stderr=nan, lost_to_faults=nan, resyncs=nan,
+            diverged_slots=nan, saturated=False,
+        )
+    losses = np.array([r.loss_fraction for r in results], dtype=float)
+    # Zero-rate cells run the clean kernels (faults=None).
+    resyncs = [r.faults.resyncs if r.faults else 0 for r in results]
+    diverged = [r.faults.diverged_slots if r.faults else 0.0 for r in results]
+    return DegradationPoint(
+        protocol=protocol,
+        error_rate=error_rate,
+        loss_fraction=float(np.mean(losses)),
+        loss_stderr=(
+            float(np.std(losses, ddof=1) / np.sqrt(len(losses)))
+            if len(losses) > 1
+            else float(results[0].loss_stderr())
+        ),
+        lost_to_faults=float(np.mean([r.lost_to_faults for r in results])),
+        resyncs=float(np.mean(resyncs)),
+        diverged_slots=float(np.mean(diverged)),
+        saturated=any(r.saturated for r in results),
+    )
+
+
+def protocol_degradation_sweep(
+    config: Optional[RobustnessConfig] = None,
+    error_rates: Sequence[float] = DEFAULT_ERROR_RATES,
+    recovery: str = "reset-to-epoch",
+    workers: Optional[int] = None,
+    resilience=None,
+    metrics=None,
+    batch: bool = True,
+    backend: Optional[str] = None,
+) -> DegradationReport:
+    """Fraction-late vs feedback error rate, per Figure-7 protocol.
+
+    Drives the *common-mode* feedback-error family
+    (:class:`~repro.faults.FeedbackFaultModel`), so every cell — faulted
+    or not — executes on the fast kernel (``repro robustness
+    --feedback-errors`` is a full-speed sweep; the perf harness holds it
+    to the kernel speedup floor).  Zero-rate cells carry no fault model
+    at all and reproduce today's clean kernels bit for bit.
+
+    Every (protocol, rate) cell replays the same ``n_seeds`` traffic
+    sample paths — the fault stream is seed-derived independently of the
+    arrival stream — so the curves isolate the marginal damage of
+    mis-observed feedback per discipline.
+    """
+    if config is None:
+        config = RobustnessConfig()
+    if recovery not in RECOVERY_POLICIES:
+        raise ValueError(
+            f"recovery must be one of {RECOVERY_POLICIES}, got {recovery!r}"
+        )
+    for error_rate in error_rates:
+        if not 0.0 <= error_rate <= 0.5:
+            raise ValueError(
+                f"symmetric error rate must be in [0, 0.5], got {error_rate}"
+            )
+    arms = protocol_arms(config)
+    report = DegradationReport(
+        config, recovery, error_rates=tuple(error_rates)
+    )
+    # Flat (protocol × error rate × replication) grid, one executor pass.
+    specs = [
+        point_spec(
+            config,
+            None,
+            config.base_seed + i,
+            policy=policy,
+            backend=backend,
+            feedback_faults=(
+                FeedbackFaultModel.noise(error_rate, recovery=recovery)
+                if error_rate > 0
+                else None
+            ),
+        )
+        for _, policy in arms
+        for error_rate in error_rates
+        for i in range(config.n_seeds)
+    ]
+    executor = SweepExecutor(workers, resilience, metrics=metrics, batch=batch)
+    with trace.span(
+        "robustness.protocol_degradation",
+        cells=len(specs),
+        recovery=recovery,
+    ):
+        results = executor.run_specs(specs)
+    row = 0
+    for name, _ in arms:
+        for error_rate in error_rates:
+            chunk = results[row : row + config.n_seeds]
+            row += config.n_seeds
+            survivors = [r for r in chunk if r is not None]
+            if len(survivors) < len(chunk):
+                report.notes.append(
+                    f"{name} at error rate {error_rate:g}: "
+                    f"{len(chunk) - len(survivors)} of {len(chunk)} "
+                    "replication(s) quarantined; cell averages the survivors"
+                )
+            report.points.append(
+                _aggregate_degradation(name, error_rate, survivors)
+            )
+    outcome = executor.last_outcome
+    if outcome is not None and (outcome.replayed or outcome.quarantined):
+        report.notes.append(f"sweep: {outcome.summary()}")
+    return report
+
+
 def station_failure_scenario(
     config: Optional[RobustnessConfig] = None,
     crash_rate: float = 5e-4,
@@ -282,6 +503,7 @@ def station_failure_scenario(
     resilience=None,
     metrics=None,
     batch: bool = True,
+    backend: Optional[str] = None,
 ) -> List[MACSimResult]:
     """Crash/restart + deafness soak at the standard operating point.
 
@@ -300,7 +522,7 @@ def station_failure_scenario(
         mean_deaf_slots=mean_deaf_slots,
     )
     specs = [
-        point_spec(config, model, config.base_seed + i)
+        point_spec(config, model, config.base_seed + i, backend=backend)
         for i in range(config.n_seeds)
     ]
     with trace.span("robustness.station_failures", cells=len(specs)):

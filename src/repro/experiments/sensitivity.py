@@ -68,6 +68,7 @@ def station_count_sensitivity(
     resilience=None,
     metrics=None,
     batch: bool = True,
+    backend: Optional[str] = None,
 ) -> List[AblationArm]:
     """Loss of the controlled protocol across population sizes."""
     lam = rho_prime / message_length
@@ -81,6 +82,7 @@ def station_count_sensitivity(
             n_stations=n_stations,
             deadline=deadline,
             seed=seed,
+            backend=backend,
         )
         for n_stations in station_counts
     ]
@@ -104,6 +106,7 @@ def burstiness_sensitivity(
     resilience=None,
     metrics=None,
     batch: bool = True,
+    backend: Optional[str] = None,
 ) -> List[AblationArm]:
     """Loss under MMPP traffic of fixed mean rate, varying peak/mean.
 
@@ -138,6 +141,7 @@ def burstiness_sensitivity(
                 deadline=deadline,
                 seed=seed,
                 workload=workload,
+                backend=backend,
             )
         )
     with trace.span("sensitivity.burstiness", cells=len(specs)):

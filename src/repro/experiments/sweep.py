@@ -55,7 +55,7 @@ import numpy as np
 
 from ..core.policy import ControlPolicy
 from ..des.rng import RandomStreams
-from ..faults import FaultModel
+from ..faults import FaultModel, FeedbackFaultModel
 from ..mac.batch import batch_eligible, run_batch, run_batch_with_metrics
 from ..mac.simulator import MACSimResult, WindowMACSimulator
 from ..obs.metrics import MetricsRegistry
@@ -120,6 +120,7 @@ class MACRunSpec:
     fault_model: Optional[FaultModel] = None
     fast: bool = True
     backend: Optional[str] = None
+    feedback_faults: Optional[FeedbackFaultModel] = None
 
     def __post_init__(self):
         # Bad grid parameters must fail here, at spec construction, with
@@ -147,6 +148,12 @@ class MACRunSpec:
             )
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if self.fault_model is not None and self.feedback_faults is not None:
+            raise ValueError(
+                "fault_model and feedback_faults are mutually exclusive "
+                "on a spec (per-station replica faults vs common-mode "
+                "feedback-channel errors)"
+            )
 
 
 def spec_fingerprint(spec: MACRunSpec, instrumented: bool = False) -> str:
@@ -174,6 +181,7 @@ def _build_simulator(
         loss_definition=spec.loss_definition,
         workload=spec.workload,
         fault_model=spec.fault_model,
+        feedback_faults=spec.feedback_faults,
         fast=spec.fast,
         backend=spec.backend,
         metrics=metrics,

@@ -19,6 +19,7 @@ through the replica machinery; ``FaultModel.none()`` reproduces the
 shared-controller results bit-for-bit.  See ``docs/robustness.md``.
 """
 
+from .feedback import RECOVERY_POLICIES, FeedbackFaultModel, FeedbackFaultState
 from .injector import FaultEvent, FaultInjector, StationHealth
 from .model import FaultModel, FaultTelemetry
 from .replicas import ReplicaCohort, ReplicatedControllerBank
@@ -26,6 +27,9 @@ from .replicas import ReplicaCohort, ReplicatedControllerBank
 __all__ = [
     "FaultModel",
     "FaultTelemetry",
+    "FeedbackFaultModel",
+    "FeedbackFaultState",
+    "RECOVERY_POLICIES",
     "FaultInjector",
     "FaultEvent",
     "StationHealth",

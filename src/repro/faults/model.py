@@ -73,6 +73,13 @@ class FaultModel:
     resync_horizon: Optional[float] = None
     resync_listen_slots: float = 4.0
     resync_timeout_slots: Optional[float] = None
+    #: Divergence-recovery policy applied when a replica resyncs:
+    #: ``"gated-rejoin"`` (the historical behavior — listen without
+    #: transmitting for ``resync_listen_slots`` before rejoining),
+    #: ``"reset-to-epoch"`` (rejoin immediately with the conservatively
+    #: reset state), or ``"drop-out"`` (additionally destroy the
+    #: station's pending backlog before rejoining).
+    recovery: str = "gated-rejoin"
     #: Split depth beyond which a replica declares itself diverged.  A
     #: fault-free split needs >= 2 arrivals in the span, so depth d means
     #: two arrivals within (window / 2^d) of each other — at 40 that is
@@ -109,6 +116,11 @@ class FaultModel:
         if self.max_split_depth < 1:
             raise ValueError(
                 f"max split depth must be at least 1, got {self.max_split_depth}"
+            )
+        if self.recovery not in ("reset-to-epoch", "gated-rejoin", "drop-out"):
+            raise ValueError(
+                "recovery must be one of ('reset-to-epoch', 'gated-rejoin', "
+                f"'drop-out'), got {self.recovery!r}"
             )
 
     # -- factories -----------------------------------------------------------
@@ -210,6 +222,15 @@ class FaultTelemetry:
     resyncs: int = 0
     phantom_deliveries: int = 0
     peak_cohorts: int = 1
+    # Feedback-channel error families (repro.faults.feedback) and the
+    # divergence-recovery policies share this record.
+    jam_bursts: int = 0
+    jam_slots: int = 0
+    missed_feedback: int = 0
+    divergence_detections: int = 0
+    diverged_slots: float = 0.0
+    faded_frames: int = 0
+    dropped_messages: int = 0
 
     def summary(self) -> str:
         """One-line human-readable digest."""
@@ -217,5 +238,8 @@ class FaultTelemetry:
             f"corrupted={self.corrupted_observations} splits={self.cohort_splits} "
             f"merges={self.cohort_merges} resyncs={self.resyncs} "
             f"crashes={self.crashes} deaf={self.deaf_events} "
-            f"phantom={self.phantom_deliveries} peak_cohorts={self.peak_cohorts}"
+            f"phantom={self.phantom_deliveries} peak_cohorts={self.peak_cohorts} "
+            f"missed={self.missed_feedback} jams={self.jam_bursts} "
+            f"faded={self.faded_frames} dropped={self.dropped_messages} "
+            f"diverged_slots={self.diverged_slots:g}"
         )

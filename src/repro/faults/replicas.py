@@ -139,6 +139,10 @@ class ReplicatedControllerBank:
             s: root for s in range(n_stations)
         }
         self._next_uid = 1
+        #: Optional ``station -> dropped message count`` callback, set by
+        #: the simulator when ``fault_model.recovery == "drop-out"``: a
+        #: resyncing station destroys its pending backlog through it.
+        self.on_drop_out: Optional[Callable[[int], int]] = None
         # Divergence detection is pointless (and must stay inert for
         # bit-identical regression) when no fault can ever fire.
         self._detect = not fault_model.is_null
@@ -319,7 +323,8 @@ class ReplicatedControllerBank:
         controller.resynchronize(now, self._resync_horizon)
         cohort = ReplicaCohort(self._next_uid, {station}, controller)
         self._next_uid += 1
-        cohort.listen_until = now + self.model.resync_listen_slots
+        cohort.listen_until = now + self._recovery_listen()
+        self._apply_drop_out((station,))
         self.cohorts.append(cohort)
         self._station_cohort[station] = cohort
         self.telemetry.resyncs += 1
@@ -424,12 +429,35 @@ class ReplicatedControllerBank:
             self._resync(cohort, now)
 
     def _resync(self, cohort: ReplicaCohort, now: float) -> None:
-        """Run the bounded re-synchronization epoch on one cohort."""
+        """Run the bounded re-synchronization epoch on one cohort.
+
+        The divergence-recovery policy decides the rejoin gate:
+        ``gated-rejoin`` (historical default) listens for
+        ``resync_listen_slots`` first; ``reset-to-epoch`` rejoins at the
+        next decision boundary with the conservatively reset state;
+        ``drop-out`` additionally destroys the cohort's pending
+        backlogs through :attr:`on_drop_out`.
+        """
         cohort._clear_process()
         cohort.expects_idle = False
         cohort.controller.resynchronize(now, self._resync_horizon)
-        cohort.listen_until = now + self.model.resync_listen_slots
+        cohort.listen_until = now + self._recovery_listen()
+        self._apply_drop_out(sorted(cohort.stations))
+        self.telemetry.divergence_detections += 1
         self.telemetry.resyncs += 1
+
+    def _recovery_listen(self) -> float:
+        """Listen-only slots a resyncing replica waits before rejoining."""
+        if self.model.recovery == "gated-rejoin":
+            return self.model.resync_listen_slots
+        return 0.0
+
+    def _apply_drop_out(self, stations) -> None:
+        """Destroy the pending backlogs of resyncing stations (drop-out)."""
+        if self.model.recovery != "drop-out" or self.on_drop_out is None:
+            return
+        for station in stations:
+            self.telemetry.dropped_messages += self.on_drop_out(station)
 
     def _fingerprint(self, cohort: ReplicaCohort):
         controller = cohort.controller

@@ -92,6 +92,9 @@ def batch_eligible(spec: "MACRunSpec") -> bool:
     * ``fast=False`` / ``backend="reference"`` — the caller asked for
       the reference loop;
     * a fault model — needs the per-station replica machinery;
+    * a feedback fault model — faulted runs execute on the (per-run)
+      faulted fast kernel, not the lane walk; the executor's transparent
+      per-spec fallback keeps the rest of the batch on the lanes;
     * ``stream_seed`` — RandomStreams runs draw from named substreams,
       not the single-generator construction the lanes replicate;
     * invariant mode — chaos runs keep the reference kernel whose
@@ -103,6 +106,7 @@ def batch_eligible(spec: "MACRunSpec") -> bool:
         spec.fast
         and spec.backend != "reference"
         and spec.fault_model is None
+        and spec.feedback_faults is None
         and spec.stream_seed is None
         and spec.loss_definition in ("true", "paper")
         and (

@@ -103,11 +103,16 @@ def fast_path_available(sim: "WindowMACSimulator") -> bool:
     The kernel disables itself (falling back to the reference loop or
     the replica loop) when:
 
-    * a :class:`~repro.faults.FaultModel` drives the run — fault
-      injection needs the per-station replica machinery, and
+    * a :class:`~repro.faults.FaultModel` drives the run — *per-station*
+      fault injection needs the replica machinery, and
     * any station carries a §5 priority window scale below 1 — per-process
       eligibility restricts participation in ways the snapshot bins do
       not model.
+
+    A :class:`~repro.faults.FeedbackFaultModel` does **not** disable the
+    kernel: common-mode feedback errors keep one shared protocol state,
+    and :func:`run_fast` routes such runs to the faulted kernel
+    (:mod:`repro.mac.kernels.faults`) at full speed.
     """
     return sim.fault_model is None and not sim.registry.has_scaled_stations
 
@@ -116,6 +121,10 @@ def run_fast(
     sim: "WindowMACSimulator", total_time: float, warmup_slots: float
 ) -> "MACSimResult":
     """Run the fast kernel; same contract as ``_run_shared``."""
+    if sim.feedback_faults is not None:
+        from .kernels.faults import run_fast_faulted  # deferred: import cycle
+
+        return run_fast_faulted(sim, total_time, warmup_slots)
     from .simulator import MACSimResult, flush_result_metrics  # deferred: import cycle
 
     policy = sim.policy

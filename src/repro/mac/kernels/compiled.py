@@ -176,6 +176,9 @@ def compiled_eligible(sim: "WindowMACSimulator") -> bool:
     policy = sim.policy
     return (
         sim.fault_model is None
+        # Feedback-faulted runs are the faulted fast kernel's business
+        # (repro.mac.kernels.faults): the sprint walk has no fault hooks.
+        and sim.feedback_faults is None
         and not sim.registry.has_scaled_stations
         and sim.loss_definition in ("true", "paper")
         and (

@@ -39,6 +39,7 @@ __all__ = [
     "ON_TIME",
     "LATE",
     "DISCARDED",
+    "LOST",
     "FATE_OF_CODE",
     "KernelTraits",
     "kernel_traits",
@@ -56,12 +57,14 @@ PENDING = 0
 ON_TIME = 1
 LATE = 2
 DISCARDED = 3
+LOST = 4  # destroyed by an injected fault (repro.mac.kernels.faults)
 
 FATE_OF_CODE = {
     PENDING: MessageFate.PENDING,
     ON_TIME: MessageFate.DELIVERED_ON_TIME,
     LATE: MessageFate.DELIVERED_LATE,
     DISCARDED: MessageFate.DISCARDED_AT_SENDER,
+    LOST: MessageFate.LOST_TO_FAULT,
 }
 
 
@@ -189,6 +192,7 @@ def try_fast_forward(
     upcoming: float,
     total_time: float,
     check: bool,
+    scan=None,
 ) -> int:
     """Attempt the idle fast-forward at an empty-backlog epoch.
 
@@ -199,6 +203,13 @@ def try_fast_forward(
     slots jumped (≥ 1, with the controller left in the closed-form
     post-jump state) or 0 if the epoch must run for real.  The caller
     advances the clock and the idle-slot account by the return value.
+
+    ``scan`` (the faulted kernel's hook) is called with the candidate
+    slot count and returns how many of them may actually be jumped —
+    idle examinations that a corrupted feedback reading would turn into
+    a split descent cap the jump there, and the capped slot runs for
+    real.  The closed-form post-jump state is the same either way: the
+    reference state after exactly that many full-window idle epochs.
     """
     controller.advance_time(now)
     controller.apply_discard(now)
@@ -225,6 +236,10 @@ def try_fast_forward(
     # whole backlog and comes back idle.
     stop = min(upcoming, total_time)
     skipped = math.ceil(stop - now) if traits.steady_skippable else 1
+    if scan is not None:
+        skipped = scan(skipped)
+        if skipped == 0:
+            return 0
     controller.unresolved = IntervalSet()
     controller.frontier = now + skipped - 1.0
     return skipped

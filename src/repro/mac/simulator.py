@@ -28,7 +28,14 @@ from ..core.policy import ControlPolicy
 from ..core.window import ChannelFeedback
 from ..des.monitor import Tally
 from ..des.rng import RandomStreams
-from ..faults import FaultEvent, FaultModel, FaultTelemetry, ReplicatedControllerBank
+from ..faults import (
+    FaultEvent,
+    FaultModel,
+    FaultTelemetry,
+    FeedbackFaultModel,
+    FeedbackFaultState,
+    ReplicatedControllerBank,
+)
 from ..obs.metrics import MetricsRegistry
 from ..resilience.invariants import invariants_enabled, require
 from . import fastpath
@@ -36,7 +43,12 @@ from .channel import ChannelStats, SlottedChannel
 from .messages import Message, MessageFate
 from .station import StationRegistry
 
-__all__ = ["MACSimResult", "WindowMACSimulator", "flush_result_metrics"]
+__all__ = [
+    "MACSimResult",
+    "WindowMACSimulator",
+    "flush_fault_metrics",
+    "flush_result_metrics",
+]
 
 #: Sub-seed mixed into the fault stream when no RandomStreams family is
 #: given, keeping fault draws independent of the traffic sample path.
@@ -46,6 +58,12 @@ _FAULT_STREAM_KEY = 0xFA17
 _BACKENDS = ("auto", "reference", "fast", "compiled")
 
 logger = logging.getLogger(__name__)
+
+#: Backend downgrades already logged, keyed by (requested backend, gate,
+#: arm parameters).  Module-level so a sweep re-running the same arm
+#: hundreds of times produces one notice, not hundreds; the per-run
+#: ``kernel.fallbacks`` metric keeps the exact count.
+_FALLBACK_NOTICES: set = set()
 
 
 @dataclass(frozen=True)
@@ -156,6 +174,35 @@ def flush_result_metrics(metrics: MetricsRegistry, result: MACSimResult) -> None
     metrics.inc("mac.messages.lost_to_faults", result.lost_to_faults)
 
 
+def flush_fault_metrics(metrics: MetricsRegistry, telemetry: FaultTelemetry) -> None:
+    """Record one faulted run's fault-layer activity into ``metrics``.
+
+    Shared by every fault-driven path — the feedback-faulted reference
+    loop, the faulted fast kernel and the replica bank — so the
+    ``faults.*`` counters are backend-independent (part of the registry
+    parity contract).  The replicated path skips it for a null model,
+    keeping null-replica runs registry-identical to shared runs.
+    """
+    metrics.inc(
+        "faults.injected",
+        telemetry.corrupted_observations
+        + telemetry.jam_slots
+        + telemetry.missed_feedback
+        + telemetry.crashes
+        + telemetry.deaf_events,
+    )
+    metrics.inc(
+        "faults.detected",
+        telemetry.divergence_detections
+        + telemetry.missed_feedback
+        + telemetry.cohort_splits,
+    )
+    metrics.inc("faults.resynced", telemetry.resyncs)
+    metrics.counter("faults.diverged_slots", unit="slots").inc(
+        telemetry.diverged_slots
+    )
+
+
 class WindowMACSimulator:
     """Simulates the window protocol on a slotted broadcast channel.
 
@@ -212,6 +259,14 @@ class WindowMACSimulator:
         (:mod:`repro.faults.replicas`); the null model reproduces the
         shared path bit-for-bit, non-null models inject the configured
         channel and station faults.
+    feedback_faults:
+        A :class:`~repro.faults.FeedbackFaultModel` — the *common-mode*
+        feedback-error family (misdetection noise, missed feedback,
+        adversarial jamming) in which every station still observes the
+        same symbol.  Unlike ``fault_model`` this keeps one shared
+        protocol state, so faulted runs execute on the fast kernel
+        (:mod:`repro.mac.kernels.faults`) bit-identically to the faulted
+        reference loop.  Mutually exclusive with ``fault_model``.
     """
 
     def __init__(
@@ -229,9 +284,17 @@ class WindowMACSimulator:
         fast: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         backend: Optional[str] = None,
+        feedback_faults: Optional[FeedbackFaultModel] = None,
     ):
         if arrival_rate <= 0:
             raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
+        if fault_model is not None and feedback_faults is not None:
+            raise ValueError(
+                "fault_model and feedback_faults are mutually exclusive: "
+                "per-station replica faults (fault_model) and common-mode "
+                "feedback-channel errors (feedback_faults) model disjoint "
+                "failure domains"
+            )
         if loss_definition not in ("true", "paper"):
             raise ValueError(f"unknown loss definition: {loss_definition!r}")
         if deadline is not None and deadline <= 0:
@@ -254,6 +317,9 @@ class WindowMACSimulator:
             fault_rng = np.random.default_rng(
                 np.random.SeedSequence([abs(int(seed)), _FAULT_STREAM_KEY])
             )
+        # Retained for the feedback-fault paths (both loops draw fault
+        # randomness from this one generator, in identical order).
+        self._fault_rng = fault_rng
         self.workload = workload  # None = homogeneous Poisson at arrival_rate
         self.fast = fast
         # A disabled registry is normalised away so hot loops test one
@@ -270,6 +336,7 @@ class WindowMACSimulator:
         self.channel = SlottedChannel(self.registry, transmission_slots)
         self.controller = ProtocolController(policy, rng=self.rng)
         self.fault_model = fault_model
+        self.feedback_faults = feedback_faults
         self.bank: Optional[ReplicatedControllerBank] = None
         if fault_model is not None:
             # The root cohort drives *this* controller with *this* rng, so
@@ -316,25 +383,68 @@ class WindowMACSimulator:
         total_time = warmup_slots + horizon_slots
         if self.bank is not None:
             return self._run_replicated(total_time, warmup_slots)
+        if self.feedback_faults is not None and self.registry.has_scaled_stations:
+            raise ValueError(
+                "feedback_faults cannot drive a run with §5 priority "
+                "(window-scaled) stations; use fault_model for per-station "
+                "failure domains"
+            )
         backend = self.backend
         if backend == "reference":
-            return self._run_shared(total_time, warmup_slots)
+            return self._run_reference(total_time, warmup_slots)
         if backend == "compiled":
             from .kernels import compiled
 
             if compiled.compiled_eligible(self):
                 return compiled.run_compiled(self, total_time, warmup_slots)
-            logger.info(
-                "backend=compiled requested but the run is ineligible "
-                "(see compiled_eligible); falling back to the fast-kernel "
-                "chain"
-            )
-        if backend == "fast" or (
+            self._note_fallback("compiled", "compiled_eligible")
+        if backend in ("fast", "compiled") or (
             (backend is None or backend == "auto") and self.fast
         ):
             if fastpath.fast_path_available(self):
                 return fastpath.run_fast(self, total_time, warmup_slots)
+            if backend in ("fast", "compiled"):
+                self._note_fallback(backend, "fast_path_available")
+        return self._run_reference(total_time, warmup_slots)
+
+    def _run_reference(self, total_time: float, warmup_slots: float) -> MACSimResult:
+        """The bottom of the downgrade chain: the matching slow loop."""
+        if self.feedback_faults is not None:
+            return self._run_shared_faulted(total_time, warmup_slots)
         return self._run_shared(total_time, warmup_slots)
+
+    def _note_fallback(self, requested: str, gate: str) -> None:
+        """Account a kernel downgrade (requested backend unavailable).
+
+        Every downgraded run increments the ``kernel.fallbacks`` counter
+        (when instrumented); the log notice is emitted once per
+        (backend, gate, arm) fingerprint so sweeps re-running one arm
+        hundreds of times do not flood the log.
+        """
+        if self.metrics is not None:
+            self.metrics.inc("kernel.fallbacks")
+        key = (
+            requested,
+            gate,
+            repr(self.policy),
+            self.arrival_rate,
+            self.transmission_slots,
+            self.registry.n_stations,
+            self.deadline,
+            self.loss_definition,
+            self.feedback_faults,
+        )
+        if key in _FALLBACK_NOTICES:
+            return
+        _FALLBACK_NOTICES.add(key)
+        logger.info(
+            "backend=%s requested but the run is ineligible (gate: %s); "
+            "falling back down the compiled -> fast -> reference chain "
+            "(further identical downgrades logged only in the "
+            "kernel.fallbacks metric)",
+            requested,
+            gate,
+        )
 
     def _run_shared(self, total_time: float, warmup_slots: float) -> MACSimResult:
         """The classic path: one controller shared by every station (§2)."""
@@ -458,6 +568,223 @@ class WindowMACSimulator:
             flush_result_metrics(obs, result)
         return result
 
+    def _run_shared_faulted(
+        self, total_time: float, warmup_slots: float
+    ) -> MACSimResult:
+        """The shared-controller loop under a feedback fault model.
+
+        Structurally :meth:`_run_shared` with fault application at every
+        examination slot: jam bursts force a physical COLLISION, the
+        network-wide observation rule may corrupt the symbol every
+        station (and the windowing process) sees, and the divergence
+        guard aborts idle descents deeper than ``max_split_depth`` under
+        the configured recovery policy.  Faults stay common-mode — one
+        shared protocol state — which is what keeps this loop (unlike
+        :meth:`_run_replicated`) expressible in the fast kernel:
+        :func:`repro.mac.kernels.faults.run_fast_faulted` reproduces it
+        bit for bit, results, telemetry and metrics registry alike.
+
+        Two deliberate differences from the clean loop, mirrored by the
+        kernel: no idle fast-forward (fault events are anchored to
+        executed slots) and in-slot delivery scoring (under erasures a
+        single windowing process can deliver several messages, so
+        scoring cannot wait for process completion).
+        """
+        from .kernels.primitives import ObsBuffers
+
+        model = self.feedback_faults
+        state = FeedbackFaultState(model, self.registry.n_stations, self._fault_rng)
+        telemetry = state.telemetry
+        desynced = state.desynced
+        arrivals = self._generate_arrivals(total_time)
+        arrival_index = 0
+
+        channel = self.channel
+        controller = self.controller
+        registry = self.registry
+
+        measured = lambda msg: msg.arrival >= warmup_slots  # noqa: E731
+        counts = {fate: 0 for fate in MessageFate}
+        n_measured = 0
+        true_wait = Tally()
+        paper_wait = Tally()
+        check = invariants_enabled()
+        last_now = -math.inf
+        obs = self.metrics
+        ob = ObsBuffers() if obs is not None else None
+
+        def lose(message: Message) -> None:
+            """Fault-destroy a backlogged message."""
+            registry.remove(message)
+            message.tx_start = None
+            message.fate = MessageFate.LOST_TO_FAULT
+            if measured(message):
+                counts[MessageFate.LOST_TO_FAULT] += 1
+
+        def drop_station(station: int) -> None:
+            """A dropping-out station destroys its pending backlog."""
+            for message in registry.drop_station(station):
+                message.fate = MessageFate.LOST_TO_FAULT
+                telemetry.dropped_messages += 1
+                if measured(message):
+                    counts[MessageFate.LOST_TO_FAULT] += 1
+
+        while channel.now < total_time:
+            now = channel.now
+            if check:
+                require(now > last_now, f"clock stalled at slot {now}")
+                last_now = now
+            while (
+                arrival_index < len(arrivals)
+                and arrivals[arrival_index].arrival <= now
+            ):
+                message = arrivals[arrival_index]
+                registry.ingest(message)
+                if measured(message):
+                    n_measured += 1
+                arrival_index += 1
+
+            if ob is not None:
+                ob.epochs += 1
+                ob.backlog_sizes.append(len(registry))
+
+            # Fault events due by now, then rejoins (stations re-engage
+            # only at a decision boundary).
+            for station in state.poll(now):
+                drop_station(station)
+            state.rejoin(now)
+
+            process = controller.begin_process(now)
+            if self.policy.discard_deadline is not None:
+                horizon = now - self.policy.discard_deadline
+                for message in registry.drop_older_than(horizon):
+                    message.fate = MessageFate.DISCARDED_AT_SENDER
+                    if measured(message):
+                        counts[MessageFate.DISCARDED_AT_SENDER] += 1
+
+            if process is None:
+                channel.wait_slot()
+                continue
+
+            process_start = now
+            initial_span = process.current_span
+            if ob is not None:
+                ob.window_sizes.append(initial_span.measure)
+            while not process.done:
+                now = channel.now
+                # Mid-process fault events (jam starts, misses, drop-outs).
+                for station in state.poll(now):
+                    drop_station(station)
+                span = process.current_span
+                enabled = registry.enabled_stations(span)
+                if desynced:
+                    enabled = {
+                        s: m for s, m in enabled.items() if s not in desynced
+                    }
+                if now < state.jam_until:
+                    # Adversarial burst: the channel reads COLLISION
+                    # whatever happened; a frame sent into it is
+                    # destroyed (the sender aborts after one slot, as on
+                    # a real collision) so nothing is delivered.
+                    true_symbol = ChannelFeedback.COLLISION
+                    transmitted = None
+                    channel.now += 1.0
+                    channel.stats.collision_slots += 1.0
+                    telemetry.jam_slots += 1
+                else:
+                    true_symbol, transmitted = channel.resolve_slot(enabled)
+                observed = state.observe(true_symbol)
+
+                # Physical truth decides delivery; the observed symbol
+                # decides what the senders and the protocol state do.
+                if true_symbol is ChannelFeedback.SUCCESS:
+                    if observed is ChannelFeedback.SUCCESS:
+                        transmitted.process_start = process_start
+                        registry.remove(transmitted)
+                        self._score_delivery(
+                            transmitted, counts, true_wait, paper_wait, measured
+                        )
+                    elif observed is ChannelFeedback.IDLE:
+                        # Faded frame: transmitted but decoded nowhere,
+                        # and the span resolves idle — unrecoverable.
+                        lose(transmitted)
+                        telemetry.faded_frames += 1
+                    else:
+                        # Erasure: the sender reads COLLISION and keeps
+                        # the message pending; the split descent will
+                        # isolate and retransmit it.
+                        transmitted.tx_start = None
+                elif (
+                    true_symbol is ChannelFeedback.COLLISION
+                    and observed is ChannelFeedback.SUCCESS
+                ):
+                    # Capture: every participating station believes its
+                    # frame got through and dequeues it.
+                    for message in list(enabled.values()):
+                        lose(message)
+                        telemetry.phantom_deliveries += 1
+
+                process.on_feedback(observed)
+                if not process.done and process.depth > model.max_split_depth:
+                    # Divergence abort: a descent this deep cannot occur
+                    # under fault-free feedback (FeedbackFaultModel
+                    # notes); stop it before the split machinery's own
+                    # depth ceiling turns it into a crash.
+                    telemetry.divergence_detections += 1
+                    telemetry.diverged_slots += process.slots_spent
+                    telemetry.resyncs += 1
+                    if model.recovery == "drop-out":
+                        for message in registry.messages_in_span(initial_span):
+                            lose(message)
+                            telemetry.dropped_messages += 1
+                    elif model.recovery == "gated-rejoin":
+                        channel.now += model.rejoin_listen_slots
+                        channel.stats.wait_slots += model.rejoin_listen_slots
+                    # complete_process refuses unfinished processes;
+                    # fold back what did resolve, abandon the rest.
+                    for resolved in process.resolved_spans:
+                        controller.unresolved.subtract_span(resolved)
+                    break
+            else:
+                controller.complete_process(process)
+
+        unresolved = sum(
+            1 for message in registry.messages_in_span(_everything())
+            if measured(message)
+        )
+        if check:
+            accounted = (
+                counts[MessageFate.DELIVERED_ON_TIME]
+                + counts[MessageFate.DELIVERED_LATE]
+                + counts[MessageFate.DISCARDED_AT_SENDER]
+                + counts[MessageFate.LOST_TO_FAULT]
+                + unresolved
+            )
+            require(
+                accounted == n_measured,
+                f"message conservation violated (faulted path): "
+                f"{n_measured} measured arrivals but {accounted} accounted for",
+            )
+        self.scored_messages = [m for m in arrivals if measured(m)]
+        result = MACSimResult(
+            arrivals=n_measured,
+            delivered_on_time=counts[MessageFate.DELIVERED_ON_TIME],
+            delivered_late=counts[MessageFate.DELIVERED_LATE],
+            discarded=counts[MessageFate.DISCARDED_AT_SENDER],
+            unresolved=unresolved,
+            mean_true_wait=true_wait.mean,
+            mean_paper_wait=paper_wait.mean,
+            channel=channel.stats,
+            deadline=self.deadline,
+            lost_to_faults=counts[MessageFate.LOST_TO_FAULT],
+            faults=telemetry,
+        )
+        if obs is not None:
+            ob.flush(obs)
+            flush_result_metrics(obs, result)
+            flush_fault_metrics(obs, telemetry)
+        return result
+
     def _run_replicated(self, total_time: float, warmup_slots: float) -> MACSimResult:
         """The fault-injected path: per-station controller replicas.
 
@@ -498,6 +825,17 @@ class WindowMACSimulator:
             message.fate = MessageFate.LOST_TO_FAULT
             if measured(message):
                 counts[MessageFate.LOST_TO_FAULT] += 1
+
+        if fault_model.recovery == "drop-out":
+            # Resyncing stations abandon their backlog; the bank calls
+            # back here so the message bookkeeping stays in this loop.
+            def _drop_backlog(station: int) -> int:
+                dropped = registry.drop_station(station)
+                for message in dropped:
+                    lose_to_fault(message, in_registry=False)
+                return len(dropped)
+
+            bank.on_drop_out = _drop_backlog
 
         while channel.now < total_time:
             now = channel.now
@@ -602,9 +940,13 @@ class WindowMACSimulator:
         )
         # Replica runs flush the end-of-run accounting only: epoch-level
         # histograms describe the shared-controller decision structure,
-        # which diverged cohorts do not share.
+        # which diverged cohorts do not share.  Fault counters flush only
+        # for non-null models so null-replica registries stay identical
+        # to shared-path registries.
         if self.metrics is not None:
             flush_result_metrics(self.metrics, result)
+            if not fault_model.is_null:
+                flush_fault_metrics(self.metrics, bank.telemetry)
         return result
 
     def _score_delivery(self, message, counts, true_wait, paper_wait, measured) -> None:

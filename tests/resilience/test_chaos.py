@@ -26,6 +26,7 @@ from repro.experiments import (
     spec_fingerprint,
 )
 from repro.experiments import sweep as sweep_mod
+from repro.faults import FeedbackFaultModel
 from repro.resilience import SupervisedExecutor
 
 from . import _workers
@@ -39,7 +40,7 @@ M = 25
 LAM = 0.5 / M
 
 
-def _grid():
+def _grid(feedback_faults=None):
     return [
         MACRunSpec(
             policy=ControlPolicy.optimal(3.0 * M, LAM),
@@ -50,6 +51,7 @@ def _grid():
             n_stations=25,
             deadline=3.0 * M,
             seed=seed,
+            feedback_faults=feedback_faults,
         )
         for seed in derive_seeds(base_seed=99, n=4)
     ]
@@ -91,6 +93,38 @@ def test_killed_and_resumed_sweep_is_bit_identical(tmp_path):
         2, ResilienceOptions(checkpoint=str(journal), resume=True)
     )
     resumed = resumer.run_specs(_grid())
+    assert resumed == baseline
+    assert resumer.last_outcome.replayed == len(baseline)
+    assert resumer.last_outcome.executed == 0
+
+
+def test_killed_and_resumed_faulted_sweep_is_bit_identical(tmp_path):
+    """The kill-and-resume guarantee extends to feedback-faulted cells:
+    faulted runs ride the faulted fast kernel, and their journaled
+    results replay bit-identically too."""
+    faults = FeedbackFaultModel.noise(0.02, recovery="gated-rejoin")
+    baseline = SweepExecutor(None).run_specs(_grid(faults))
+    assert any(r.lost_to_faults > 0 or r.faults.resyncs > 0 for r in baseline)
+
+    journal = _journal_dir(tmp_path)
+    scratch = tmp_path / "scratch"
+    scratch.mkdir()
+    specs = _grid(faults)
+    chaos = SupervisedExecutor(
+        2, ResilienceOptions(checkpoint=str(journal), backoff_base=0.0)
+    ).run(
+        _workers.run_spec_after_kill,
+        [(spec, str(scratch)) for spec in specs],
+        [spec_fingerprint(spec) for spec in specs],
+    )
+    assert chaos.pool_restarts >= 1, "the kill must actually break a pool"
+    assert chaos.complete
+    assert chaos.results == baseline
+
+    resumer = SweepExecutor(
+        2, ResilienceOptions(checkpoint=str(journal), resume=True)
+    )
+    resumed = resumer.run_specs(_grid(faults))
     assert resumed == baseline
     assert resumer.last_outcome.replayed == len(baseline)
     assert resumer.last_outcome.executed == 0
