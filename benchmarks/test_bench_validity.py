@@ -1,0 +1,28 @@
+"""Validity bench: the model-validity divergence map on the full grid.
+
+Not a reproduction of a paper figure — the paper never evaluated its
+analysis off the Poisson assumption.  This regenerates the ISSUE 9
+dashboard (every scenario family x the Figure-7 grid) and asserts its
+headline: eq. 4.7 holds for the stationary control and breaks for every
+nonstationary family.  pytest-benchmark reports the sweep time
+EXPERIMENTS.md quotes.
+"""
+
+from repro.experiments import ValidityConfig, run_validity
+
+from .conftest import save_result
+
+
+def test_validity_map(benchmark):
+    report = benchmark.pedantic(
+        run_validity,
+        args=(ValidityConfig(),),
+        kwargs=dict(workers=4),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("validity_map", report.to_table())
+    summaries = {s.family: s for s in report.family_summaries()}
+    assert summaries["stationary"].holds
+    for family in ("heavy-tailed", "diurnal", "flash-crowd", "adversarial"):
+        assert not summaries[family].holds, family

@@ -11,6 +11,8 @@ Commands
 ``sensitivity``  assumption-sensitivity sweeps (stations/burstiness/
                  scheduling law)
 ``robustness``   fault-injection degradation experiments
+``validity``     map where the eq. 4.7 analysis breaks under
+                 nonstationary workloads (per-scenario-family drift)
 ``cache``        inspect or purge the on-disk memo cache
 ``report``       render or diff run reports written by ``--metrics``
 ``serve``        run the fault-tolerant sweep job daemon
@@ -25,7 +27,7 @@ exactly reproducible from that single number, and the deterministic
 analytic commands accept it as a no-op for interface uniformity.
 
 Sweep-backed commands (``figure7``, ``ablations``, ``sensitivity``,
-``robustness``) additionally accept the resilience flags
+``robustness``, ``validity``) additionally accept the resilience flags
 ``--checkpoint DIR`` / ``--resume`` / ``--task-timeout`` /
 ``--max-retries`` / ``--verify-replay`` (see ``docs/resilience.md``).
 Passing any of them turns on supervised execution: per-cell retry with
@@ -50,6 +52,7 @@ Examples
     python -m repro capacity
     python -m repro ablations --simulate --workers 4 --horizon 40000
     python -m repro sensitivity --scenario burstiness
+    python -m repro validity --families stationary adversarial --rho 0.5 --m 25
     python -m repro robustness --seeds 3
     python -m repro robustness --scenario failures
     python -m repro robustness --feedback-errors --recovery gated-rejoin
@@ -69,8 +72,11 @@ from .core import ControlPolicy
 from .crp.capacity import max_stable_throughput
 from .des.rng import RandomStreams
 from .experiments import (
+    DEFAULT_AGREEMENT_TOL,
     DEFAULT_ERROR_RATES,
+    SCENARIO_FAMILIES,
     PanelConfig,
+    ValidityConfig,
     ResilienceOptions,
     RobustnessConfig,
     Theorem1Config,
@@ -83,6 +89,7 @@ from .experiments import (
     generate_panel,
     protocol_degradation_sweep,
     run_theorem1_experiment,
+    run_validity,
     scheduling_model_sensitivity,
     split_rule_ablation,
     station_count_sensitivity,
@@ -585,6 +592,29 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validity(args: argparse.Namespace) -> int:
+    config = ValidityConfig(
+        rho_primes=tuple(args.rho),
+        message_lengths=tuple(args.m),
+        deadline_factors=tuple(args.deadline_factors),
+        families=tuple(args.families),
+        horizon=args.horizon,
+        warmup=args.horizon * 0.125,
+        seed=args.seed,
+        agreement_tol=args.tolerance,
+    )
+    report = run_validity(
+        config,
+        workers=args.workers,
+        resilience=_resilience_from(args),
+        metrics=getattr(args, "obs_registry", None),
+        batch=args.batch,
+        backend=args.backend,
+    )
+    print(report.to_csv() if args.csv else report.to_table())
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.action == "show":
         if len(args.files) != 1:
@@ -878,6 +908,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(p)
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_sensitivity)
+
+    p = sub.add_parser(
+        "validity",
+        help="map where the eq. 4.7 analysis breaks under "
+             "nonstationary workloads",
+    )
+    p.add_argument("--families", nargs="+", choices=SCENARIO_FAMILIES,
+                   default=list(SCENARIO_FAMILIES), metavar="FAMILY",
+                   help="scenario families to sweep (default: all of "
+                        f"{', '.join(SCENARIO_FAMILIES)})")
+    p.add_argument("--rho", type=float, nargs="+", default=[0.25, 0.50, 0.75],
+                   help="offered loads rho' (default: the Figure-7 grid)")
+    p.add_argument("--m", type=int, nargs="+", default=[25, 100],
+                   help="message lengths M (default: the Figure-7 grid)")
+    p.add_argument("--deadline-factors", type=float, nargs="+",
+                   default=[1.0, 3.0, 6.0], metavar="F",
+                   help="deadlines as multiples of M: K = F*M")
+    p.add_argument("--horizon", type=float, default=60_000.0,
+                   help="simulated slots per cell (warmup adds 12.5%%)")
+    p.add_argument("--tolerance", type=float, default=DEFAULT_AGREEMENT_TOL,
+                   help="|simulated - analytic| agreement tolerance "
+                        "(default %(default)g)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="seed shared by every cell (one seed, one sweep)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan sweep cells over N worker processes "
+                        "(results are identical for any N)")
+    p.add_argument("--backend", choices=("auto", "reference", "fast", "compiled"),
+                   default=None,
+                   help="simulation kernel (all backends are bit-identical)")
+    p.add_argument("--csv", action="store_true",
+                   help="emit the per-cell map as CSV instead of tables")
+    _add_batch_flag(p)
+    _add_resilience_flags(p)
+    _add_obs_flags(p)
+    p.set_defaults(func=_cmd_validity)
 
     p = sub.add_parser("robustness", help="fault-injection degradation runs")
     p.add_argument("--scenario", choices=("feedback", "failures"),

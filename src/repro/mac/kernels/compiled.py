@@ -196,10 +196,12 @@ def run_compiled(
     """Run the compiled backend; same contract as ``run_fast``.
 
     Draw order is identical to the reference loop: arrivals from
-    ``sim.rng`` first, then policy draws (random placement / random
-    split) from the same generator as epochs execute.  Unlike the
-    batched kernel this uses the simulator's own generator object, so
-    seeded *and* stream-based runs stay bit-identical.
+    ``sim._arrival_rng`` first (the workload substream under
+    ``RandomStreams``, ``sim.rng`` itself on plain seeds), then policy
+    draws (random placement / random split) from ``sim.rng`` as epochs
+    execute.  Unlike the batched kernel this uses the simulator's own
+    generator objects, so seeded *and* stream-based runs stay
+    bit-identical.
 
     ``scored_messages`` is not materialised on this backend (nothing in
     the tree consumes it after a compiled run; the fast kernel remains
@@ -209,14 +211,15 @@ def run_compiled(
     rng = sim.rng
 
     # -- arrival generation: identical draws to _generate_arrivals ----------
+    arrival_rng = sim._arrival_rng
     if sim.workload is not None:
         gen_times, gen_stations = sim.workload.generate(
-            total_time, sim.registry.n_stations, rng
+            total_time, sim.registry.n_stations, arrival_rng
         )
     else:
-        n = rng.poisson(sim.arrival_rate * total_time)
-        gen_times = np.sort(rng.uniform(0.0, total_time, size=n))
-        gen_stations = rng.integers(0, sim.registry.n_stations, size=n)
+        n = arrival_rng.poisson(sim.arrival_rate * total_time)
+        gen_times = np.sort(arrival_rng.uniform(0.0, total_time, size=n))
+        gen_stations = arrival_rng.integers(0, sim.registry.n_stations, size=n)
     arr_t: List[float] = [float(t) for t in gen_times]
     arr_s: List[int] = [int(s) for s in gen_stations]
 

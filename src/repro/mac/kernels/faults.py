@@ -613,14 +613,15 @@ def run_fast_faulted(
     can_scan = phantom_ok and traits.entry_discard_ok
 
     # -- arrival generation: identical draws to _generate_arrivals ----------
+    arrival_rng = sim._arrival_rng
     if sim.workload is not None:
         gen_times, gen_stations = sim.workload.generate(
-            total_time, sim.registry.n_stations, rng
+            total_time, sim.registry.n_stations, arrival_rng
         )
     else:
-        n = rng.poisson(sim.arrival_rate * total_time)
-        gen_times = np.sort(rng.uniform(0.0, total_time, size=n))
-        gen_stations = rng.integers(0, sim.registry.n_stations, size=n)
+        n = arrival_rng.poisson(sim.arrival_rate * total_time)
+        gen_times = np.sort(arrival_rng.uniform(0.0, total_time, size=n))
+        gen_stations = arrival_rng.integers(0, sim.registry.n_stations, size=n)
     arr_t: List[float] = [float(t) for t in gen_times]
     arr_s: List[int] = [int(s) for s in gen_stations]
     n_arrivals = len(arr_t)

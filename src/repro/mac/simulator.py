@@ -312,14 +312,26 @@ class WindowMACSimulator:
         if streams is not None:
             self.rng = streams.get("mac-simulator")
             fault_rng = streams.get("faults")
+            # Workload arrivals draw from their own named substream so
+            # swapping the traffic model never perturbs the protocol or
+            # fault streams (the seed-derivation contract).
+            arrival_rng = (
+                streams.get("workload") if workload is not None else self.rng
+            )
         else:
             self.rng = np.random.default_rng(seed)
             fault_rng = np.random.default_rng(
                 np.random.SeedSequence([abs(int(seed)), _FAULT_STREAM_KEY])
             )
+            # Plain-seed runs keep the historical shared generator so
+            # every pinned result stands.
+            arrival_rng = self.rng
         # Retained for the feedback-fault paths (both loops draw fault
         # randomness from this one generator, in identical order).
         self._fault_rng = fault_rng
+        # All arrival generation — reference loop and kernels alike —
+        # must draw from this generator, never self.rng directly.
+        self._arrival_rng = arrival_rng
         self.workload = workload  # None = homogeneous Poisson at arrival_rate
         self.fast = fast
         # A disabled registry is normalised away so hot loops test one
@@ -358,12 +370,13 @@ class WindowMACSimulator:
         station assignment)."""
         if self.workload is not None:
             times, stations = self.workload.generate(
-                horizon, self.registry.n_stations, self.rng
+                horizon, self.registry.n_stations, self._arrival_rng
             )
         else:
-            n = self.rng.poisson(self.arrival_rate * horizon)
-            times = np.sort(self.rng.uniform(0.0, horizon, size=n))
-            stations = self.rng.integers(0, self.registry.n_stations, size=n)
+            rng = self._arrival_rng
+            n = rng.poisson(self.arrival_rate * horizon)
+            times = np.sort(rng.uniform(0.0, horizon, size=n))
+            stations = rng.integers(0, self.registry.n_stations, size=n)
         return [
             Message(arrival=float(t), station=int(s), uid=i)
             for i, (t, s) in enumerate(zip(times, stations))

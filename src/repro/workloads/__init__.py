@@ -1,6 +1,15 @@
-"""Traffic-generation substrate: Poisson, MMPP, voice and sensor models."""
+"""Traffic-generation substrate: Poisson, MMPP, voice, sensor, trace and
+nonstationary (heavy-tailed / diurnal / flash-crowd / adversarial)
+models, all behind the :class:`Workload` interface."""
 
 from .arrivals import MMPPWorkload, PoissonWorkload, Workload
+from .nonstationary import (
+    AdversarialWorkload,
+    DiurnalWorkload,
+    FlashCrowdWorkload,
+    HeavyTailedWorkload,
+    thin_inhomogeneous,
+)
 from .sensor import SensorWorkload
 from .trace import TraceWorkload
 from .voice import VoiceWorkload
@@ -12,4 +21,9 @@ __all__ = [
     "VoiceWorkload",
     "SensorWorkload",
     "TraceWorkload",
+    "HeavyTailedWorkload",
+    "DiurnalWorkload",
+    "FlashCrowdWorkload",
+    "AdversarialWorkload",
+    "thin_inhomogeneous",
 ]

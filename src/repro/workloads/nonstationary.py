@@ -1,0 +1,300 @@
+"""Nonstationary arrival generators that stress the eq. 4.7 analysis.
+
+The paper's delay/loss model assumes stationary network-wide Poisson
+arrivals.  Its motivating applications do not behave that way: voice and
+sensor traffic is bursty, loads follow daily cycles, and contention
+resolution is known to degrade under adversarial injection (Hradovich et
+al., arXiv:1808.02216).  The generators here open that scenario axis —
+each keeps the :class:`~repro.workloads.arrivals.Workload` contract
+(sorted times in ``[0, horizon)``, uniform-ish station assignment, an
+honest :attr:`mean_rate`) so every kernel consumes them unchanged, and
+:mod:`repro.experiments.validity` can map where the 1983 analysis holds
+and where it breaks.
+
+Families
+--------
+* :class:`HeavyTailedWorkload` — renewal process with Pareto (Lomax) or
+  Weibull interarrival gaps: same mean rate as Poisson, far heavier
+  tail / burstier clumping.
+* :class:`DiurnalWorkload` — inhomogeneous Poisson with a sinusoidal
+  ρ'(t) day/night cycle.
+* :class:`FlashCrowdWorkload` — recurring trapezoidal ramp-up / hold /
+  ramp-down rate surges over a quiet baseline.
+* :class:`AdversarialWorkload` — synchronized batch injection at fixed
+  intervals (the worst case for a window protocol: simultaneous arrivals
+  guarantee collisions) over optional Poisson background.
+
+The time-varying families share :func:`thin_inhomogeneous`, a
+Lewis–Shedler thinning sampler with a fixed draw order (candidate count,
+candidate times, acceptance uniforms, station labels) so same-seed runs
+are reproducible bit for bit on every backend.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from .arrivals import Workload
+
+__all__ = [
+    "HeavyTailedWorkload",
+    "DiurnalWorkload",
+    "FlashCrowdWorkload",
+    "AdversarialWorkload",
+    "thin_inhomogeneous",
+]
+
+
+def thin_inhomogeneous(
+    rate_fn: Callable[[np.ndarray], np.ndarray],
+    peak_rate: float,
+    horizon: float,
+    n_stations: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample an inhomogeneous Poisson process by thinning.
+
+    ``rate_fn`` must be vectorised and satisfy ``rate_fn(t) <= peak_rate``
+    for all ``t`` in ``[0, horizon)``; candidates are drawn at the peak
+    rate and kept with probability ``rate_fn(t) / peak_rate``.
+    """
+    n = rng.poisson(peak_rate * horizon)
+    candidates = np.sort(rng.uniform(0.0, horizon, size=n))
+    accepted = rng.random(n) * peak_rate < rate_fn(candidates)
+    times = candidates[accepted]
+    stations = rng.integers(0, n_stations, size=times.size)
+    return times, stations
+
+
+@dataclass(frozen=True)
+class HeavyTailedWorkload(Workload):
+    """Renewal arrivals with heavy-tailed interarrival gaps.
+
+    ``family="pareto"`` uses Lomax gaps (``shape > 1`` so the mean
+    exists; ``shape < 2`` gives infinite variance — the regime where
+    long quiet stretches alternate with dense clumps).  ``family=
+    "weibull"`` with ``shape < 1`` gives a stretched-exponential tail;
+    ``shape = 1`` degenerates to Poisson.  The scale is solved so the
+    long-run rate equals ``rate`` exactly.
+    """
+
+    rate: float
+    shape: float = 1.5
+    family: str = "pareto"
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {self.rate}")
+        if self.family not in ("pareto", "weibull"):
+            raise ValueError(
+                f"unknown interarrival family: {self.family!r} "
+                "(expected 'pareto' or 'weibull')"
+            )
+        if self.family == "pareto" and self.shape <= 1.0:
+            raise ValueError(
+                f"pareto shape must exceed 1 for a finite mean, got {self.shape}"
+            )
+        if self.family == "weibull" and self.shape <= 0.0:
+            raise ValueError(f"weibull shape must be positive, got {self.shape}")
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate
+
+    @property
+    def _gap_scale(self) -> float:
+        # Mean gap 1/rate: Lomax mean = scale/(shape-1); Weibull mean =
+        # scale * Gamma(1 + 1/shape).
+        if self.family == "pareto":
+            return (self.shape - 1.0) / self.rate
+        return 1.0 / (self.rate * math.gamma(1.0 + 1.0 / self.shape))
+
+    def generate(self, horizon, n_stations, rng):
+        scale = self._gap_scale
+        expected = self.rate * horizon
+        chunk = max(64, int(expected + 4.0 * math.sqrt(expected + 1.0)))
+        pieces = []
+        clock = 0.0
+        while clock < horizon:
+            if self.family == "pareto":
+                gaps = rng.pareto(self.shape, size=chunk)
+            else:
+                gaps = rng.weibull(self.shape, size=chunk)
+            block = clock + np.cumsum(gaps * scale)
+            pieces.append(block)
+            clock = float(block[-1])
+        times = np.concatenate(pieces)
+        times = times[times < horizon]
+        stations = rng.integers(0, n_stations, size=times.size)
+        return times, stations
+
+
+@dataclass(frozen=True)
+class DiurnalWorkload(Workload):
+    """Inhomogeneous Poisson with a sinusoidal daily load cycle.
+
+    Instantaneous rate ``rate * (1 + amplitude * sin(2π t / period +
+    phase))``; ``amplitude`` in ``[0, 1]`` keeps it non-negative, and
+    the long-run mean over whole periods is exactly ``rate``.
+    """
+
+    rate: float
+    period: float
+    amplitude: float = 0.5
+    phase: float = 0.0
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {self.rate}")
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ValueError(
+                f"amplitude must lie in [0, 1], got {self.amplitude}"
+            )
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate
+
+    def rate_at(self, t):
+        """Instantaneous arrival rate at time(s) ``t`` (vectorised)."""
+        t = np.asarray(t, dtype=float)
+        return self.rate * (
+            1.0 + self.amplitude * np.sin(2.0 * np.pi * t / self.period + self.phase)
+        )
+
+    def generate(self, horizon, n_stations, rng):
+        peak = self.rate * (1.0 + self.amplitude)
+        return thin_inhomogeneous(self.rate_at, peak, horizon, n_stations, rng)
+
+
+@dataclass(frozen=True)
+class FlashCrowdWorkload(Workload):
+    """Recurring flash-crowd surges over a quiet baseline.
+
+    Every ``period`` slots (starting at ``onset``) the rate ramps
+    linearly from ``base_rate`` to ``base_rate * peak_ratio`` over
+    ``ramp`` slots, holds the peak for ``hold`` slots, then ramps back
+    down over another ``ramp`` slots.  Before ``onset`` the rate is the
+    baseline.
+    """
+
+    base_rate: float
+    peak_ratio: float
+    ramp: float
+    hold: float
+    period: float
+    onset: float = 0.0
+
+    def __post_init__(self):
+        if self.base_rate <= 0:
+            raise ValueError(
+                f"base rate must be positive, got {self.base_rate}"
+            )
+        if self.peak_ratio < 1.0:
+            raise ValueError(
+                f"peak ratio must be >= 1, got {self.peak_ratio}"
+            )
+        if self.ramp <= 0 or self.hold < 0:
+            raise ValueError("ramp must be positive and hold non-negative")
+        if self.period <= 2.0 * self.ramp + self.hold:
+            raise ValueError(
+                "period must exceed the surge footprint "
+                f"2*ramp + hold = {2.0 * self.ramp + self.hold:g}, "
+                f"got {self.period}"
+            )
+        if self.onset < 0:
+            raise ValueError(f"onset must be non-negative, got {self.onset}")
+
+    @property
+    def mean_rate(self) -> float:
+        # Trapezoid area per period: ramps average half the lift.
+        surge = (self.ramp + self.hold) / self.period
+        return self.base_rate * (1.0 + (self.peak_ratio - 1.0) * surge)
+
+    def rate_at(self, t):
+        """Instantaneous arrival rate at time(s) ``t`` (vectorised)."""
+        t = np.asarray(t, dtype=float)
+        s = np.mod(t - self.onset, self.period)
+        lift = np.clip(
+            np.minimum(s / self.ramp, (2.0 * self.ramp + self.hold - s) / self.ramp),
+            0.0,
+            1.0,
+        )
+        lift = np.where(t < self.onset, 0.0, lift)
+        return self.base_rate * (1.0 + (self.peak_ratio - 1.0) * lift)
+
+    def generate(self, horizon, n_stations, rng):
+        peak = self.base_rate * self.peak_ratio
+        return thin_inhomogeneous(self.rate_at, peak, horizon, n_stations, rng)
+
+
+@dataclass(frozen=True)
+class AdversarialWorkload(Workload):
+    """Synchronized batch injection: the window protocol's worst case.
+
+    ``burst_size`` messages arrive near-simultaneously every
+    ``interval`` slots, spread over ``spread`` slots, over an optional
+    Poisson background.  A burst lands inside one window and must be
+    resolved by repeated splitting, so each burst forces a collision
+    cascade the Poisson analysis never prices in.
+
+    ``spread`` must be positive: the protocol resolves contention by
+    splitting windows on arrival *instants*, so exactly coincident
+    arrivals at distinct stations are indistinguishable at any split
+    depth (the reference loop raises once splitting hits double
+    precision).  The default one-slot spread is the resolvable worst
+    case.
+    """
+
+    burst_size: int
+    interval: float
+    background_rate: float = 0.0
+    offset: float = 0.0
+    spread: float = 1.0
+
+    def __post_init__(self):
+        if self.burst_size < 1:
+            raise ValueError(f"burst size must be >= 1, got {self.burst_size}")
+        if self.interval <= 0:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+        if self.background_rate < 0:
+            raise ValueError(
+                f"background rate must be non-negative, got {self.background_rate}"
+            )
+        if self.offset < 0:
+            raise ValueError(f"offset must be non-negative, got {self.offset}")
+        if not 0.0 < self.spread < self.interval:
+            raise ValueError(
+                f"spread must lie in (0, interval), got {self.spread} "
+                "(coincident arrivals are unresolvable: windows split "
+                "on arrival instants)"
+            )
+
+    @property
+    def mean_rate(self) -> float:
+        return self.burst_size / self.interval + self.background_rate
+
+    def generate(self, horizon, n_stations, rng):
+        instants = np.arange(self.offset, horizon, self.interval)
+        times = np.repeat(instants, self.burst_size)
+        times = times + rng.uniform(0.0, self.spread, size=times.size)
+        stations = rng.integers(0, n_stations, size=times.size)
+        if self.background_rate > 0.0:
+            n = rng.poisson(self.background_rate * horizon)
+            times = np.concatenate(
+                [times, rng.uniform(0.0, horizon, size=n)]
+            )
+            stations = np.concatenate(
+                [stations, rng.integers(0, n_stations, size=n)]
+            )
+        keep = times < horizon
+        times, stations = times[keep], stations[keep]
+        # Stable so coincident burst arrivals keep their injection order.
+        order = np.argsort(times, kind="stable")
+        return times[order], stations[order]

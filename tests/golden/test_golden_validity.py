@@ -1,0 +1,104 @@
+"""Golden regression: one validity scenario per family at (ρ′=0.5, M=25, K=75).
+
+``validity_families.json`` pins, for every scenario family, the eq. 4.7
+analytic prediction, the simulated fraction-late and their divergence on
+a fixed 40k-slot seed-7 run.  The whole pipeline is deterministic —
+closed-form analysis plus a seeded simulation — so the tolerance is
+tight (1e-9 relative): any drift means either the analysis or a kernel
+changed numerically, or a workload generator's draw sequence moved, and
+should be reviewed before re-pinning.
+
+On top of the raw pins, the ISSUE 9 acceptance property is asserted
+against them: the stationary control sits inside the agreement
+tolerance while every nonstationary family exceeds it.
+"""
+
+import pytest
+
+from repro.experiments import ValidityConfig, run_validity
+
+from .checks import assert_matches_golden, load_golden
+
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+GOLDEN = load_golden("validity_families.json")
+FAMILIES = tuple(GOLDEN["families"])
+
+
+@pytest.fixture(scope="module")
+def report():
+    pinned = GOLDEN["config"]
+    return run_validity(
+        ValidityConfig(
+            rho_primes=(pinned["rho_prime"],),
+            message_lengths=(pinned["message_length"],),
+            deadline_factors=(pinned["deadline"] / pinned["message_length"],),
+            families=FAMILIES,
+            horizon=pinned["horizon"],
+            warmup=pinned["warmup"],
+            seed=pinned["seed"],
+            n_stations=pinned["n_stations"],
+            agreement_tol=GOLDEN["agreement_tol"],
+        )
+    )
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_family_divergence_matches_golden(report, family):
+    pinned = GOLDEN["families"][family]
+    cell = report.cell(
+        family,
+        GOLDEN["config"]["rho_prime"],
+        GOLDEN["config"]["message_length"],
+        GOLDEN["config"]["deadline"],
+    )
+    assert_matches_golden(
+        [cell.analytic, cell.simulated, cell.delta],
+        [pinned["analytic"], pinned["simulated"], pinned["delta"]],
+        rel_tol=REL_TOL,
+        abs_tol=ABS_TOL,
+        label=f"validity.{family}",
+    )
+
+
+def test_stationary_control_agrees_and_nonstationary_families_break(report):
+    # The acceptance property, asserted on the pinned scenario: the
+    # analysis's own assumption validates the harness, everything else
+    # demonstrates the blind spot.
+    tol = GOLDEN["agreement_tol"]
+    cells = {cell.family: cell for cell in report.cells}
+    assert cells["stationary"].agrees(tol)
+    for family in FAMILIES:
+        if family == "stationary":
+            continue
+        assert not cells[family].agrees(tol), family
+        assert cells[family].delta > 0, family  # eq. 4.7 is optimistic
+
+
+def test_comparison_rejects_perturbed_values():
+    """The golden check must fail on a deliberate perturbation."""
+    pinned = GOLDEN["families"]["adversarial"]
+    values = [pinned["analytic"], pinned["simulated"], pinned["delta"]]
+    perturbed = list(values)
+    perturbed[1] *= 1 + 1e-6  # far beyond the 1e-9 relative tolerance
+    with pytest.raises(AssertionError, match="validity.adversarial\\[1\\]"):
+        assert_matches_golden(
+            perturbed,
+            values,
+            rel_tol=REL_TOL,
+            abs_tol=ABS_TOL,
+            label="validity.adversarial",
+        )
+
+
+def test_comparison_rejects_missing_family():
+    """Length drift (a family silently dropped) must fail, not pass."""
+    with pytest.raises(AssertionError, match="length"):
+        assert_matches_golden(
+            [0.0, 0.0],
+            [0.0, 0.0, 0.0],
+            rel_tol=REL_TOL,
+            abs_tol=ABS_TOL,
+            label="validity.families",
+        )
