@@ -35,10 +35,18 @@ from typing import Optional
 
 from repro.core import ControlPolicy
 from repro.experiments import PanelConfig, generate_panel
-from repro.experiments.sweep import MACRunSpec, derive_seeds, run_spec
+from repro.experiments.sweep import (
+    MACRunSpec,
+    SequentialOptions,
+    SweepExecutor,
+    derive_seeds,
+    run_sequential,
+    run_spec,
+)
 from repro.mac import WindowMACSimulator
 from repro.mac.batch import run_batch
 from repro.obs.metrics import MetricsRegistry
+from repro.stats import t_interval
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 BENCH_JSON = RESULTS_DIR / "BENCH_mac.json"
@@ -428,6 +436,145 @@ def measure_stations(
     }
 
 
+#: Half-width the sequential Figure-7 measurement certifies.  Half a
+#: loss-percentage point is comfortably below what Figure 7's published
+#: curves resolve visually, so it is the quality bar a production sweep
+#: actually needs.
+SEQUENTIAL_CI_TARGET = 0.005
+
+#: Fixed-replication lane budget per arm the sequential run is measured
+#: against.  A fixed design must commit its count before seeing any
+#: variance, so it is sized for the grid's *hardest* arm: the saturating
+#: uncontrolled cells run at p ≈ 0.4 with ~1.5e3 resolved messages per
+#: lane, where a t interval needs ≈ (2·0.0127/0.005)² ≈ 26 lanes to
+#: certify the target — 32 is the enclosing power of two.  Every easier
+#: arm then overshoots; the sequential engine's payoff is stopping those
+#: arms at their own convergence instead.
+SEQUENTIAL_FIXED_LANES = 32
+
+
+def measure_sequential_figure7(config: PerfConfig) -> dict:
+    """Sequential replication versus the fixed lane budget (ISSUE 10).
+
+    Two protocol arms (controlled and FCFS) at the Figure-7 acceptance
+    cell, both certifying the same CI half-width target:
+
+    * **fixed** — ``SEQUENTIAL_FIXED_LANES`` batched lanes per arm (the
+      pre-committed budget a fixed design needs for the grid's hardest
+      arm), half-width reported from the per-lane t interval;
+    * **sequential** — :func:`repro.experiments.sweep.run_sequential`
+      with Wilson pooled counts, OBF alpha spending and CRN, stopping
+      each arm at its own convergence.
+
+    Both deliveries must sit at or under the target; the acceptance
+    ratio is fixed-over-sequential lanes on the controlled (acceptance)
+    arm.  The same fixed lanes also yield the CRN check: the variance of
+    per-seed (fcfs − controlled) deltas under shared seeds against the
+    independent-seeding variance ``var(fcfs) + var(controlled)`` — the
+    paired design must come in measurably below.
+    """
+    policy_controlled = ControlPolicy.optimal(
+        config.deadline, config.arrival_rate
+    )
+    policy_fcfs = ControlPolicy.uncontrolled_fcfs(config.arrival_rate)
+
+    def spec(policy, seed):
+        return MACRunSpec(
+            policy=policy,
+            arrival_rate=config.arrival_rate,
+            transmission_slots=config.message_length,
+            horizon=config.horizon,
+            warmup=config.warmup,
+            deadline=config.deadline,
+            seed=seed,
+        )
+
+    # -- fixed budget: the same CRN seed list across both arms ---------
+    seeds = derive_seeds(config.seed, SEQUENTIAL_FIXED_LANES)
+    fixed_specs = [
+        spec(policy, s)
+        for policy in (policy_controlled, policy_fcfs)
+        for s in seeds
+    ]
+    fixed_s, fixed_results = _timed(lambda: run_batch(fixed_specs))
+    controlled = [
+        r.loss_fraction for r in fixed_results[:SEQUENTIAL_FIXED_LANES]
+    ]
+    fcfs = [r.loss_fraction for r in fixed_results[SEQUENTIAL_FIXED_LANES:]]
+    fixed_ci = t_interval(controlled)
+
+    def _var(xs):
+        mean = sum(xs) / len(xs)
+        return sum((x - mean) ** 2 for x in xs) / (len(xs) - 1)
+
+    deltas = [f - c for c, f in zip(controlled, fcfs)]
+    paired_var = _var(deltas)
+    independent_var = _var(controlled) + _var(fcfs)
+
+    # -- sequential: stop each arm at its own convergence --------------
+    options = SequentialOptions(
+        ci_target=SEQUENTIAL_CI_TARGET,
+        max_replications=2 * SEQUENTIAL_FIXED_LANES,
+        method="wilson",
+        spending="obf",
+        crn=True,
+    )
+    executor = SweepExecutor(None, None, batch=True)
+    sequential_s, estimates = _timed(
+        lambda: run_sequential(
+            [
+                ("controlled", spec(policy_controlled, config.seed)),
+                ("fcfs", spec(policy_fcfs, config.seed)),
+            ],
+            options,
+            executor,
+            base_seed=config.seed,
+        )
+    )
+    acceptance = estimates[0]
+    if fixed_ci.half_width > SEQUENTIAL_CI_TARGET:
+        raise AssertionError(
+            "fixed baseline failed to certify the CI target "
+            f"({fixed_ci.half_width:g} > {SEQUENTIAL_CI_TARGET:g})"
+        )
+    if acceptance.half_width > SEQUENTIAL_CI_TARGET:
+        raise AssertionError(
+            "sequential run failed to certify the CI target "
+            f"({acceptance.half_width:g} > {SEQUENTIAL_CI_TARGET:g})"
+        )
+    return {
+        "ci_target": SEQUENTIAL_CI_TARGET,
+        "method": options.method,
+        "spending": options.spending,
+        "fixed_lanes_per_arm": SEQUENTIAL_FIXED_LANES,
+        "fixed_s": fixed_s,
+        "fixed_half_width": fixed_ci.half_width,
+        "sequential_s": sequential_s,
+        "arms": [
+            {
+                "label": est.label,
+                "lanes": est.lanes,
+                "waves": est.waves,
+                "reason": est.reason,
+                "mean": est.mean,
+                "half_width": est.half_width,
+            }
+            for est in estimates
+        ],
+        "acceptance_lanes": acceptance.lanes,
+        "lane_reduction": SEQUENTIAL_FIXED_LANES / acceptance.lanes,
+        "total_lane_reduction": (
+            2 * SEQUENTIAL_FIXED_LANES
+            / sum(est.lanes for est in estimates)
+        ),
+        "crn": {
+            "paired_delta_var": paired_var,
+            "independent_var": independent_var,
+            "variance_ratio": paired_var / independent_var,
+        },
+    }
+
+
 def _time_sweep(
     config: PerfConfig, fast: bool, workers: Optional[int], batch: bool = True
 ):
@@ -512,6 +659,9 @@ def run_benchmarks(config: PerfConfig, mode: str, end_to_end: bool = True) -> di
         # Full-size as well: the faulted-kernel ratio is the ISSUE 8
         # acceptance gate for the robustness sweeps.
         "robustness_faulted": measure_robustness_faulted(PerfConfig()),
+        # Full-size: the lane-reduction ratio is the ISSUE 10 acceptance
+        # gate for the sequential replication engine.
+        "sequential_figure7": measure_sequential_figure7(PerfConfig()),
     }
     if end_to_end:
         # Warm the analytic memo so neither timed arm pays for eq. 4.7.
@@ -612,6 +762,22 @@ def render_table(payload: dict) -> str:
             f"{rob['fast_s']:>9.2f}s "
             f"{rob['fast_slots_per_s']:>12,.0f}",
             f"{'faulted kernel speedup':<34} {rob['speedup']:>9.1f}x",
+        ]
+    if "sequential_figure7" in payload:
+        seq = payload["sequential_figure7"]
+        fixed_label = (
+            f"fixed {seq['fixed_lanes_per_arm']} lanes/arm "
+            f"(ci<={seq['ci_target']:g})"
+        )
+        lines += [
+            "",
+            f"{fixed_label:<34} {seq['fixed_s']:>9.2f}s",
+            f"{'sequential (' + seq['method'] + '+crn)':<34} "
+            f"{seq['sequential_s']:>9.2f}s",
+            f"{'acceptance-arm lane reduction':<34} "
+            f"{seq['lane_reduction']:>9.1f}x",
+            f"{'crn delta-variance ratio':<34} "
+            f"{seq['crn']['variance_ratio']:>10.2f}",
         ]
     if "stations_1e5" in payload:
         st = payload["stations_1e5"]

@@ -19,6 +19,10 @@ Asserts, on a tiny grid:
   bit for bit — result and fault telemetry, per timed round — on the
   full-size Figure-7 arm under 2% feedback noise, and holds the ≥5x
   acceptance floor over the reference-loop fallback it replaced;
+* the sequential replication engine (ISSUE 10) certifies the Figure-7
+  CI target with ≥2.5x fewer lanes than the fixed budget on the
+  acceptance arm, and CRN keeps paired arm-delta variance measurably
+  below independent seeding;
 * the observability contracts hold: a disabled registry is free (≤3%,
   pure noise allowance) and an enabled one stays under the ISSUE 5
   budget (≤8%).
@@ -55,6 +59,15 @@ ROBUSTNESS_FAULTED_SPEEDUP_FLOOR = 5.0
 #: itself is arrival-bound, not station-bound.
 STATIONS_1E5_CONSTRUCT_BUDGET_S = 0.1
 STATIONS_1E5_RUN_BUDGET_S = 2.0
+#: ISSUE 10 acceptance: the sequential engine stops the acceptance arm
+#: at 8 lanes against the 32-lane fixed budget (4.0x); 2.5x is the
+#: smoke floor (lane counts are deterministic given the seed, but the
+#: floor leaves room for retuning wave sizes without breaking CI).
+SEQUENTIAL_LANE_REDUCTION_FLOOR = 2.5
+#: CRN gate: paired (fcfs − controlled) deltas on shared seeds measure
+#: a ~0.17 variance ratio against independent seeding; 0.9 just asserts
+#: "measurably below independent" with wide noise margin.
+CRN_VARIANCE_RATIO_CEILING = 0.9
 
 
 def test_fast_kernel_and_batch_gates():
@@ -108,6 +121,23 @@ def test_fast_kernel_and_batch_gates():
     assert st["compiled_s"] <= STATIONS_1E5_RUN_BUDGET_S, (
         f"the {st['n_stations']:,}-station compiled run took "
         f"{st['compiled_s']:.2f}s (budget {STATIONS_1E5_RUN_BUDGET_S:g}s)"
+    )
+
+    # Sequential replication (ISSUE 10): both deliveries certified the
+    # CI target inside measure_sequential_figure7; these are the
+    # lane-economy and variance-reduction gates on top.
+    seq = payload["sequential_figure7"]
+    assert seq["lane_reduction"] >= SEQUENTIAL_LANE_REDUCTION_FLOOR, (
+        f"sequential lane reduction regressed: {seq['lane_reduction']:.1f}x "
+        f"on the acceptance arm against the "
+        f"{seq['fixed_lanes_per_arm']}-lane fixed budget "
+        f"(floor {SEQUENTIAL_LANE_REDUCTION_FLOOR:g}x)"
+    )
+    assert seq["crn"]["variance_ratio"] <= CRN_VARIANCE_RATIO_CEILING, (
+        f"CRN paired-delta variance ratio is "
+        f"{seq['crn']['variance_ratio']:.2f} of independent seeding "
+        f"(ceiling {CRN_VARIANCE_RATIO_CEILING:g}) — the arms no longer "
+        f"share sample paths"
     )
 
     # Observability contracts: disabled is free; enabled stays within

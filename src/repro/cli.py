@@ -97,7 +97,13 @@ from .experiments import (
     twopoint_fit_errors,
     window_length_ablation,
 )
-from .experiments.sweep import MACRunSpec, derive_seeds, run_spec, run_spec_with_metrics
+from .experiments.sweep import (
+    MACRunSpec,
+    SequentialOptions,
+    derive_seeds,
+    run_spec,
+    run_spec_with_metrics,
+)
 from .faults import RECOVERY_POLICIES, FaultModel
 from .mac import WindowMACSimulator
 from .mac.batch import run_batch, run_batch_with_metrics
@@ -195,6 +201,64 @@ def _add_batch_flag(p: argparse.ArgumentParser) -> None:
                         "--no-batch restores one-task-per-run dispatch)")
 
 
+def _add_sequential_flags(p: argparse.ArgumentParser) -> None:
+    """Attach the adaptive-replication flags shared by sweep commands."""
+    g = p.add_argument_group(
+        "sequential replication",
+        "adaptive per-arm replication: lane waves until the loss CI "
+        "half-width meets --ci-target, with group-sequential alpha "
+        "spending so repeated looks stay honest (docs/statistics.md)",
+    )
+    g.add_argument("--sequential", action="store_true",
+                   help="replace fixed replication with CI-targeted "
+                        "lane waves per arm")
+    g.add_argument("--ci-target", type=float, default=0.01,
+                   metavar="HALF_WIDTH",
+                   help="stop an arm once its fraction-late CI half-width "
+                        "is at most this (default %(default)g)")
+    g.add_argument("--max-replications", type=int, default=64, metavar="N",
+                   help="hard per-arm lane budget; an arm that has not "
+                        "converged stops here and reports its realized "
+                        "half-width (default %(default)s)")
+    g.add_argument("--crn", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="common random numbers: share the unit seed list "
+                        "across arms so arm deltas are paired contrasts "
+                        "(default on)")
+    g.add_argument("--antithetic", action="store_true",
+                   help="antithetic lane pairs: each unit runs a plain "
+                        "lane and its mirrored twin on 1-U uniforms")
+    g.add_argument("--ci-method", choices=("wilson", "jeffreys", "t"),
+                   default="wilson",
+                   help="interval backend for the stopping rule "
+                        "(default %(default)s; wilson/jeffreys pool "
+                        "lost/resolved counts, t uses per-lane fractions)")
+    g.add_argument("--spending", choices=("obf", "pocock"), default="obf",
+                   help="alpha-spending shape across looks "
+                        "(default %(default)s)")
+
+
+def _sequential_from(args: argparse.Namespace):
+    """Build :class:`SequentialOptions` from the flags, or ``None``.
+
+    ``None`` (no ``--sequential``) keeps the historical fixed-replication
+    sweeps bit for bit.
+    """
+    if not getattr(args, "sequential", False):
+        return None
+    return SequentialOptions(
+        ci_target=args.ci_target,
+        # A tight --max-replications (smoke grids) lowers the opening
+        # ramp with it instead of tripping the min<=max validation.
+        min_replications=min(8, max(2, args.max_replications)),
+        max_replications=args.max_replications,
+        crn=args.crn,
+        antithetic=args.antithetic,
+        method=args.ci_method,
+        spending=args.spending,
+    )
+
+
 def _resilience_from(args: argparse.Namespace):
     """Build :class:`ResilienceOptions` from the flags, or ``None``.
 
@@ -237,6 +301,7 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
         batch=args.batch,
         resilience=_resilience_from(args),
         metrics=getattr(args, "obs_registry", None),
+        sequential=_sequential_from(args),
     )
     print(panel.to_csv() if args.csv else panel.to_table())
     return 0
@@ -438,11 +503,12 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     )
     resilience = _resilience_from(args)
     metrics = getattr(args, "obs_registry", None)
+    sequential = _sequential_from(args)
     if args.feedback_errors:
         report = protocol_degradation_sweep(
             config, error_rates=tuple(args.errors), recovery=args.recovery,
             workers=args.workers, resilience=resilience, metrics=metrics,
-            batch=args.batch, backend=args.backend,
+            batch=args.batch, backend=args.backend, sequential=sequential,
         )
         print(report.to_table())
         return 0
@@ -450,10 +516,15 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         report = feedback_error_sweep(
             config, error_rates=tuple(args.errors), workers=args.workers,
             resilience=resilience, metrics=metrics, batch=args.batch,
-            backend=args.backend,
+            backend=args.backend, sequential=sequential,
         )
         print(report.to_table())
         return 0
+    if sequential is not None:
+        raise ValueError(
+            "--sequential applies to the feedback sweeps, not the "
+            "station-failure soak (a liveness scenario, not an estimator)"
+        )
     results = station_failure_scenario(
         config, workers=args.workers, resilience=resilience, metrics=metrics,
         batch=args.batch, backend=args.backend,
@@ -530,6 +601,7 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
         return 0
     resilience = _resilience_from(args)
     metrics = getattr(args, "obs_registry", None)
+    sequential = _sequential_from(args)
     horizon = args.horizon
     warmup = horizon * 0.125
     sections = [
@@ -537,22 +609,22 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
          element4_ablation(
              horizon=horizon, warmup=warmup, seed=args.seed,
              workers=args.workers, resilience=resilience, metrics=metrics,
-             batch=args.batch, backend=args.backend)),
+             batch=args.batch, backend=args.backend, sequential=sequential)),
         ("Element 2: loss vs window occupancy (simulated)",
          window_length_ablation(
              simulate=True, horizon=horizon, warmup=warmup, seed=args.seed + 1,
              workers=args.workers, resilience=resilience, metrics=metrics,
-             batch=args.batch, backend=args.backend)),
+             batch=args.batch, backend=args.backend, sequential=sequential)),
         ("Element 3: split order (simulated)",
          split_rule_ablation(
              horizon=horizon, warmup=warmup, seed=args.seed + 2,
              workers=args.workers, resilience=resilience, metrics=metrics,
-             batch=args.batch, backend=args.backend)),
+             batch=args.batch, backend=args.backend, sequential=sequential)),
         ("Section 5: split arity (simulated)",
          arity_ablation(
              horizon=horizon, warmup=warmup, seed=args.seed + 3,
              workers=args.workers, resilience=resilience, metrics=metrics,
-             batch=args.batch, backend=args.backend)),
+             batch=args.batch, backend=args.backend, sequential=sequential)),
     ]
     print("\n\n".join(ablation_table(arms, title) for title, arms in sections))
     return 0
@@ -562,6 +634,11 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     if args.scenario == "scheduling":
         # Analytic comparison: exact scheduling-time law vs the paper's
         # geometric approximation — no simulation, no workers.
+        if getattr(args, "sequential", False):
+            raise ValueError(
+                "--sequential does not apply to the analytic "
+                "scheduling-law comparison"
+            )
         rows = scheduling_model_sensitivity()
         print(ascii_table(
             ["deadline K", "exact loss", "geometric loss", "gap"], rows,
@@ -570,6 +647,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
         return 0
     resilience = _resilience_from(args)
     metrics = getattr(args, "obs_registry", None)
+    sequential = _sequential_from(args)
     overrides = {}
     if args.horizon is not None:
         overrides["horizon"] = args.horizon
@@ -578,14 +656,14 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
         arms = station_count_sensitivity(
             seed=args.seed, workers=args.workers, resilience=resilience,
             metrics=metrics, batch=args.batch, backend=args.backend,
-            **overrides,
+            sequential=sequential, **overrides,
         )
         title = "Loss vs station population (controlled protocol)"
     else:
         arms = burstiness_sensitivity(
             seed=args.seed, workers=args.workers, resilience=resilience,
             metrics=metrics, batch=args.batch, backend=args.backend,
-            **overrides,
+            sequential=sequential, **overrides,
         )
         title = "Loss vs traffic burstiness (MMPP, fixed mean rate)"
     print(ablation_table(arms, title))
@@ -610,6 +688,7 @@ def _cmd_validity(args: argparse.Namespace) -> int:
         metrics=getattr(args, "obs_registry", None),
         batch=args.batch,
         backend=args.backend,
+        sequential=_sequential_from(args),
     )
     print(report.to_csv() if args.csv else report.to_table())
     return 0
@@ -808,6 +887,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "numba is installed; all are bit-identical)")
     _add_batch_flag(p)
     _add_resilience_flags(p)
+    _add_sequential_flags(p)
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_figure7)
 
@@ -879,6 +959,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "bit-identical)")
     _add_batch_flag(p)
     _add_resilience_flags(p)
+    _add_sequential_flags(p)
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_ablations)
 
@@ -906,6 +987,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "bit-identical)")
     _add_batch_flag(p)
     _add_resilience_flags(p)
+    _add_sequential_flags(p)
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_sensitivity)
 
@@ -942,6 +1024,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the per-cell map as CSV instead of tables")
     _add_batch_flag(p)
     _add_resilience_flags(p)
+    _add_sequential_flags(p)
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_validity)
 
@@ -984,6 +1067,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "compiled to the fast kernel)")
     _add_batch_flag(p)
     _add_resilience_flags(p)
+    _add_sequential_flags(p)
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_robustness)
 

@@ -11,7 +11,7 @@ from .engine import Simulator, StopSimulation
 from .events import AllOf, AnyOf, Event, Interrupt, ProcessEvent, Timeout
 from .monitor import Counter, Tally, TimeSeries
 from .resources import PriorityResource, Resource, Store
-from .rng import RandomStreams
+from .rng import AntitheticGenerator, RandomStreams
 
 __all__ = [
     "Simulator",
@@ -26,6 +26,7 @@ __all__ = [
     "PriorityResource",
     "Store",
     "RandomStreams",
+    "AntitheticGenerator",
     "Counter",
     "TimeSeries",
     "Tally",

@@ -28,7 +28,7 @@ from ..mac.simulator import MACSimResult
 from ..obs import tracing as trace
 from ..queueing.impatient import ImpatientMG1
 from .records import ascii_table
-from .sweep import MACRunSpec, SweepExecutor
+from .sweep import MACRunSpec, SequentialOptions, SweepExecutor, run_sequential
 
 __all__ = [
     "AblationArm",
@@ -67,18 +67,40 @@ def _spec(
 
 
 def _arms_from(
-    labels, specs, workers, resilience=None, metrics=None, batch=True
+    labels, specs, workers, resilience=None, metrics=None, batch=True,
+    sequential: Optional[SequentialOptions] = None,
 ) -> "List[AblationArm]":
     """Run the arm specs through the sweep executor and wrap the losses.
 
     A quarantined arm (resilience options with a poison spec) comes back
     as an explicit ``NaN`` arm labelled ``[quarantined]`` — the table
     keeps its shape and the hole is visible, never silently dropped.
+
+    With ``sequential`` options, each spec becomes an adaptive-
+    replication arm (the spec's own seed roots the unit seed
+    derivation; CRN pairs the arms unit-for-unit) and the arm's stderr
+    renders the realized CI half-width.
     """
+    executor = SweepExecutor(workers, resilience, metrics=metrics, batch=batch)
+    if sequential is not None:
+        base_seed = specs[0].seed if specs else 1
+        with trace.span("ablation.sequential", cells=len(specs)):
+            estimates = run_sequential(
+                list(zip(labels, specs)), sequential, executor,
+                base_seed=base_seed,
+            )
+        return [
+            AblationArm(
+                label=(
+                    f"{est.label} [quarantined]" if est.units == 0 else est.label
+                ),
+                loss=est.mean if est.units else math.nan,
+                stderr=est.stderr() if est.units else None,
+            )
+            for est in estimates
+        ]
     with trace.span("ablation.sweep", cells=len(specs)):
-        results: List[Optional[MACSimResult]] = SweepExecutor(
-            workers, resilience, metrics=metrics, batch=batch
-        ).run_specs(specs)
+        results: List[Optional[MACSimResult]] = executor.run_specs(specs)
     arms = []
     for label, r in zip(labels, results):
         if r is None:
@@ -102,6 +124,7 @@ def element4_ablation(
     metrics=None,
     batch: bool = True,
     backend: Optional[str] = None,
+    sequential: Optional[SequentialOptions] = None,
 ) -> List[AblationArm]:
     """Controlled protocol with and without the sender discard (A-EL4)."""
     lam = rho_prime / message_length
@@ -119,6 +142,7 @@ def element4_ablation(
         resilience,
         metrics,
         batch,
+        sequential,
     )
 
 
@@ -136,6 +160,7 @@ def window_length_ablation(
     metrics=None,
     batch: bool = True,
     backend: Optional[str] = None,
+    sequential: Optional[SequentialOptions] = None,
 ) -> List[AblationArm]:
     """Loss versus window occupancy around the heuristic optimum (A-WIN).
 
@@ -163,7 +188,8 @@ def window_length_ablation(
             )
             for occupancy in occupancies
         ]
-        return _arms_from(labels, specs, workers, resilience, metrics, batch)
+        return _arms_from(labels, specs, workers, resilience, metrics, batch,
+                          sequential)
     arms = []
     for label, occupancy in zip(labels, occupancies):
         service = ExactSchedulingModel(message_length, occupancy).service_pmf()
@@ -184,6 +210,7 @@ def split_rule_ablation(
     metrics=None,
     batch: bool = True,
     backend: Optional[str] = None,
+    sequential: Optional[SequentialOptions] = None,
 ) -> List[AblationArm]:
     """Split-order comparison under the controlled protocol (A-SPLIT)."""
     lam = rho_prime / message_length
@@ -203,6 +230,7 @@ def split_rule_ablation(
         resilience,
         metrics,
         batch,
+        sequential,
     )
 
 
@@ -219,6 +247,7 @@ def arity_ablation(
     metrics=None,
     batch: bool = True,
     backend: Optional[str] = None,
+    sequential: Optional[SequentialOptions] = None,
 ) -> List[AblationArm]:
     """Binary versus k-ary window splitting (§5 extension, A-ARITY)."""
     lam = rho_prime / message_length
@@ -237,6 +266,7 @@ def arity_ablation(
         resilience,
         metrics,
         batch,
+        sequential,
     )
 
 

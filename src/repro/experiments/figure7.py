@@ -30,7 +30,7 @@ from ..queueing.impatient import loss_curve
 from ..queueing.lcfs import LCFSQueue
 from ..queueing.mg1 import MG1
 from .records import PanelResult, Series
-from .sweep import MACRunSpec, SweepExecutor
+from .sweep import MACRunSpec, SequentialOptions, SweepExecutor, run_sequential
 
 __all__ = ["PanelConfig", "PAPER_PANELS", "default_deadlines", "generate_panel"]
 
@@ -134,6 +134,7 @@ def generate_panel(
     batch: bool = True,
     resilience=None,
     metrics=None,
+    sequential: Optional[SequentialOptions] = None,
 ) -> PanelResult:
     """Produce every curve of one Figure 7 panel.
 
@@ -172,6 +173,14 @@ def generate_panel(
         An enabled :class:`~repro.obs.metrics.MetricsRegistry` collects
         per-run simulator metrics and sweep telemetry (see
         ``docs/observability.md``); ``None`` costs nothing.
+    sequential:
+        A :class:`~repro.experiments.sweep.SequentialOptions` switches
+        the simulation arms to adaptive replication: each (protocol,
+        deadline) cell runs lane waves until its loss CI half-width
+        meets the target (``sim_seed`` roots the unit seed derivation,
+        with CRN pairing protocol arms when enabled), and each point's
+        stderr renders the realized half-width (±2·stderr band = the
+        interval).  See ``docs/statistics.md``.
     """
     if deadlines is None:
         deadlines = default_deadlines(config)
@@ -257,6 +266,47 @@ def generate_panel(
             for deadline in sim_points
         ]
         executor = SweepExecutor(workers, resilience, metrics=metrics, batch=batch)
+        if sequential is not None:
+            # Adaptive replication: every (arm, deadline) cell becomes a
+            # sequential arm; the flat template list keeps CRN unit
+            # seeds shared across protocol arms at every deadline.
+            cells = [
+                (f"{name}.k{deadline:g}", specs[arm_index * len(sim_points) + point_index])
+                for arm_index, (name, _) in enumerate(arms)
+                for point_index, deadline in enumerate(sim_points)
+            ]
+            with trace.span(
+                "figure7.sequential",
+                rho=config.rho_prime,
+                m=config.message_length,
+                cells=len(cells),
+            ):
+                estimates = run_sequential(
+                    cells, sequential, executor, base_seed=sim_seed
+                )
+            lanes_total = 0
+            for arm_index, (name, _) in enumerate(arms):
+                series = Series(name)
+                for point_index, deadline in enumerate(sim_points):
+                    est = estimates[arm_index * len(sim_points) + point_index]
+                    lanes_total += est.lanes
+                    if est.units == 0:
+                        result.notes.append(
+                            f"{name} @ K={deadline:g}: every lane quarantined "
+                            "(no estimate)"
+                        )
+                        continue
+                    series.add(deadline, est.mean, stderr=est.stderr())
+                result.add_series(series)
+            result.notes.append(
+                f"sequential replication: {lanes_total} lanes across "
+                f"{len(cells)} cells (ci_target={sequential.ci_target:g}, "
+                f"{sequential.method}/{sequential.spending}"
+                + (", crn" if sequential.crn else "")
+                + (", antithetic" if sequential.antithetic else "")
+                + ")"
+            )
+            return result
         with trace.span(
             "figure7.sweep",
             rho=config.rho_prime,

@@ -31,7 +31,13 @@ from ..faults import RECOVERY_POLICIES, FaultModel, FeedbackFaultModel
 from ..mac import MACSimResult
 from ..obs import tracing as trace
 from .records import ascii_table
-from .sweep import MACRunSpec, SweepExecutor
+from .sweep import (
+    MACRunSpec,
+    SequentialEstimate,
+    SequentialOptions,
+    SweepExecutor,
+    run_sequential,
+)
 
 __all__ = [
     "RobustnessConfig",
@@ -231,6 +237,22 @@ def _aggregate(
     )
 
 
+def _sequential_note(
+    notes: List[str], estimates: Sequence[SequentialEstimate],
+    options: SequentialOptions,
+) -> None:
+    """Append the sweep-wide sequential-replication summary note."""
+    lanes_total = sum(est.lanes for est in estimates)
+    notes.append(
+        f"sequential replication: {lanes_total} lanes across "
+        f"{len(estimates)} cells (ci_target={options.ci_target:g}, "
+        f"{options.method}/{options.spending}"
+        + (", crn" if options.crn else "")
+        + (", antithetic" if options.antithetic else "")
+        + "); fault telemetry columns not tracked in this mode"
+    )
+
+
 def feedback_error_sweep(
     config: Optional[RobustnessConfig] = None,
     error_rates: Sequence[float] = DEFAULT_ERROR_RATES,
@@ -239,6 +261,7 @@ def feedback_error_sweep(
     metrics=None,
     batch: bool = True,
     backend: Optional[str] = None,
+    sequential: Optional[SequentialOptions] = None,
 ) -> RobustnessReport:
     """Loss versus symmetric feedback-error rate (the degradation curve).
 
@@ -252,6 +275,56 @@ def feedback_error_sweep(
         if error_rate < 0:
             raise ValueError(f"error rate must be non-negative, got {error_rate}")
     report = RobustnessReport(config)
+    if sequential is not None:
+        # Adaptive replication: one sequential arm per error rate; the
+        # unit seed derivation roots at base_seed so CRN replays the
+        # same traffic paths at every fault setting.  The pooled loss
+        # estimator does not carry per-run fault telemetry, so those
+        # columns render as NaN and the summary note says why.
+        cells = [
+            (
+                f"err-{error_rate:g}",
+                point_spec(
+                    config,
+                    (
+                        FaultModel.feedback_noise(error_rate)
+                        if error_rate > 0
+                        else FaultModel.none()
+                    ),
+                    config.base_seed,
+                    backend=backend,
+                ),
+            )
+            for error_rate in error_rates
+        ]
+        executor = SweepExecutor(
+            workers, resilience, metrics=metrics, batch=batch
+        )
+        with trace.span(
+            "robustness.feedback_errors.sequential", cells=len(cells)
+        ):
+            estimates = run_sequential(
+                cells, sequential, executor, base_seed=config.base_seed
+            )
+        nan = float("nan")
+        for error_rate, est in zip(error_rates, estimates):
+            if est.units == 0:
+                report.notes.append(
+                    f"error rate {error_rate:g}: every lane quarantined "
+                    "(no estimate)"
+                )
+            report.points.append(
+                RobustnessPoint(
+                    error_rate=error_rate,
+                    loss_fraction=est.mean if est.units else nan,
+                    loss_stderr=est.stderr() if est.units else nan,
+                    lost_to_faults=nan, unresolved=nan, utilization=nan,
+                    resyncs=nan, cohort_splits=nan, peak_cohorts=nan,
+                    saturated=False,
+                )
+            )
+        _sequential_note(report.notes, estimates, sequential)
+        return report
     # Flat (error rate × replication) grid: one executor pass covers the
     # whole sweep, and the seeds stay pinned per replication index.
     specs = [
@@ -417,6 +490,7 @@ def protocol_degradation_sweep(
     metrics=None,
     batch: bool = True,
     backend: Optional[str] = None,
+    sequential: Optional[SequentialOptions] = None,
 ) -> DegradationReport:
     """Fraction-late vs feedback error rate, per Figure-7 protocol.
 
@@ -447,6 +521,66 @@ def protocol_degradation_sweep(
     report = DegradationReport(
         config, recovery, error_rates=tuple(error_rates)
     )
+    if sequential is not None:
+        # Adaptive replication: one sequential arm per (protocol, error
+        # rate) cell.  CRN shares unit seeds across every cell, so the
+        # protocol gap at each rate — the quantity the figure exists to
+        # show — is a paired contrast on common sample paths.
+        cells = [
+            (
+                f"{name}.err{error_rate:g}",
+                point_spec(
+                    config,
+                    None,
+                    config.base_seed,
+                    policy=policy,
+                    backend=backend,
+                    feedback_faults=(
+                        FeedbackFaultModel.noise(error_rate, recovery=recovery)
+                        if error_rate > 0
+                        else None
+                    ),
+                ),
+            )
+            for name, policy in arms
+            for error_rate in error_rates
+        ]
+        executor = SweepExecutor(
+            workers, resilience, metrics=metrics, batch=batch
+        )
+        with trace.span(
+            "robustness.protocol_degradation.sequential",
+            cells=len(cells),
+            recovery=recovery,
+        ):
+            estimates = run_sequential(
+                cells, sequential, executor, base_seed=config.base_seed
+            )
+        nan = float("nan")
+        cursor = 0
+        for name, _ in arms:
+            for error_rate in error_rates:
+                est = estimates[cursor]
+                cursor += 1
+                if est.units == 0:
+                    report.notes.append(
+                        f"{name} at error rate {error_rate:g}: every lane "
+                        "quarantined (no estimate)"
+                    )
+                report.points.append(
+                    DegradationPoint(
+                        protocol=name,
+                        error_rate=error_rate,
+                        loss_fraction=est.mean if est.units else nan,
+                        loss_stderr=est.stderr() if est.units else nan,
+                        lost_to_faults=nan,
+                        resyncs=nan,
+                        diverged_slots=nan,
+                        saturated=False,
+                    )
+                )
+        _sequential_note(report.notes, estimates, sequential)
+        return report
     # Flat (protocol × error rate × replication) grid, one executor pass.
     specs = [
         point_spec(

@@ -28,7 +28,12 @@ from ..queueing.impatient import ImpatientMG1
 from ..workloads.arrivals import MMPPWorkload
 from ..obs import tracing as trace
 from .ablations import AblationArm
-from .sweep import MACRunSpec, SweepExecutor
+from .sweep import (
+    MACRunSpec,
+    SequentialOptions,
+    SweepExecutor,
+    run_sequential,
+)
 
 __all__ = [
     "station_count_sensitivity",
@@ -56,6 +61,27 @@ def _arms(label_format, parameters, results) -> List[AblationArm]:
     return arms
 
 
+def _sequential_arms(
+    label_format, parameters, specs, workers, resilience, metrics, batch,
+    sequential,
+) -> List[AblationArm]:
+    """Adaptive-replication variant of the sweep-then-wrap pattern."""
+    labels = [label_format.format(parameter) for parameter in parameters]
+    executor = SweepExecutor(workers, resilience, metrics=metrics, batch=batch)
+    base_seed = specs[0].seed if specs else 1
+    estimates = run_sequential(
+        list(zip(labels, specs)), sequential, executor, base_seed=base_seed
+    )
+    return [
+        AblationArm(
+            label=f"{est.label} [quarantined]" if est.units == 0 else est.label,
+            loss=est.mean if est.units else math.nan,
+            stderr=est.stderr() if est.units else None,
+        )
+        for est in estimates
+    ]
+
+
 def station_count_sensitivity(
     station_counts: Sequence[int] = (4, 16, 64, 256),
     rho_prime: float = 0.75,
@@ -69,6 +95,7 @@ def station_count_sensitivity(
     metrics=None,
     batch: bool = True,
     backend: Optional[str] = None,
+    sequential: Optional[SequentialOptions] = None,
 ) -> List[AblationArm]:
     """Loss of the controlled protocol across population sizes."""
     lam = rho_prime / message_length
@@ -86,6 +113,12 @@ def station_count_sensitivity(
         )
         for n_stations in station_counts
     ]
+    if sequential is not None:
+        with trace.span("sensitivity.stations", cells=len(specs)):
+            return _sequential_arms(
+                "{0} stations", station_counts, specs, workers, resilience,
+                metrics, batch, sequential,
+            )
     with trace.span("sensitivity.stations", cells=len(specs)):
         results = SweepExecutor(
             workers, resilience, metrics=metrics, batch=batch
@@ -107,6 +140,7 @@ def burstiness_sensitivity(
     metrics=None,
     batch: bool = True,
     backend: Optional[str] = None,
+    sequential: Optional[SequentialOptions] = None,
 ) -> List[AblationArm]:
     """Loss under MMPP traffic of fixed mean rate, varying peak/mean.
 
@@ -144,6 +178,12 @@ def burstiness_sensitivity(
                 backend=backend,
             )
         )
+    if sequential is not None:
+        with trace.span("sensitivity.burstiness", cells=len(specs)):
+            return _sequential_arms(
+                "peak/mean {0:g}", burst_ratios, specs, workers, resilience,
+                metrics, batch, sequential,
+            )
     with trace.span("sensitivity.burstiness", cells=len(specs)):
         results = SweepExecutor(
             workers, resilience, metrics=metrics, batch=batch

@@ -60,13 +60,16 @@ from ..mac.batch import batch_eligible, run_batch, run_batch_with_metrics
 from ..mac.simulator import MACSimResult, WindowMACSimulator
 from ..obs.metrics import MetricsRegistry
 from ..resilience import (
+    JournalMismatchError,
     QuarantineRecord,
     ResilienceOptions,
     RunJournal,
     SupervisedExecutor,
     SweepOutcome,
     fingerprint,
+    value_digest,
 )
+from ..stats.sequential import SequentialConfig, WaveDecision, decide_wave
 
 __all__ = [
     "MACRunSpec",
@@ -81,6 +84,10 @@ __all__ = [
     "DEFAULT_BATCH_CHUNK",
     "arm_key",
     "plan_shards",
+    "SequentialOptions",
+    "SequentialEstimate",
+    "run_sequential",
+    "sequential_decision_fingerprint",
 ]
 
 #: Upper bound on lanes per batched task.  Wide enough to amortise the
@@ -121,6 +128,7 @@ class MACRunSpec:
     fast: bool = True
     backend: Optional[str] = None
     feedback_faults: Optional[FeedbackFaultModel] = None
+    antithetic: bool = False
 
     def __post_init__(self):
         # Bad grid parameters must fail here, at spec construction, with
@@ -185,6 +193,7 @@ def _build_simulator(
         fast=spec.fast,
         backend=spec.backend,
         metrics=metrics,
+        antithetic=spec.antithetic,
     )
     if spec.stream_seed is not None:
         kwargs["streams"] = RandomStreams(spec.stream_seed)
@@ -616,3 +625,335 @@ class SweepExecutor:
         outcome.results = list(entries)
         self.last_outcome = outcome
         return self._fold_results(entries, instrumented)
+
+
+# -- sequential replication scheduling ----------------------------------------
+
+
+@dataclass(frozen=True)
+class SequentialOptions:
+    """Configuration for :func:`run_sequential`.
+
+    The stopping-rule fields mirror
+    :class:`~repro.stats.sequential.SequentialConfig` (and are validated
+    by constructing one); the remaining fields steer seed derivation:
+
+    Attributes
+    ----------
+    crn:
+        Common random numbers — every arm reuses the *same*
+        SeedSequence-derived seed for the same unit index, so arm deltas
+        at equal index are paired and their variance drops by the
+        (positive) covariance the shared draws induce.  ``False``
+        derives one long seed list and slices it per arm (independent
+        seeding).
+    antithetic:
+        Each observation unit becomes a *pair* of lanes at the same
+        seed — one plain, one with the uniform stream mirrored
+        (:class:`~repro.des.rng.AntitheticGenerator`) — and the unit's
+        observation is the pair mean.  Halves the variance the t
+        backend sees per unit when loss is monotone in the mirrored
+        uniforms; the pooled-count backends see the extra lanes as
+        extra trials.
+    """
+
+    ci_target: float
+    level: float = 0.95
+    wave_size: int = 4
+    min_replications: int = 8
+    max_replications: int = 64
+    spending: str = "obf"
+    method: str = "wilson"
+    crn: bool = True
+    antithetic: bool = False
+
+    def __post_init__(self) -> None:
+        self.config()  # delegate range validation to SequentialConfig
+
+    def config(self) -> SequentialConfig:
+        """The pure stopping rule this options bundle implies."""
+        return SequentialConfig(
+            ci_target=self.ci_target,
+            level=self.level,
+            wave_size=self.wave_size,
+            min_replications=self.min_replications,
+            max_replications=self.max_replications,
+            spending=self.spending,
+            method=self.method,
+        )
+
+
+@dataclass(frozen=True)
+class SequentialEstimate:
+    """Final per-arm estimate of a sequential sweep.
+
+    ``half_width`` is the last look's half-width at its spending-
+    corrected level; drivers that historically rendered ``loss ±
+    2·stderr`` should pass ``stderr()`` so the rendered band *is* the
+    realized interval.
+    """
+
+    label: str
+    mean: float
+    half_width: float
+    level: float
+    units: int
+    lanes: int
+    waves: int
+    reason: str
+    quarantined: int = 0
+    decisions: Tuple[WaveDecision, ...] = ()
+
+    def stderr(self) -> float:
+        """Half-width rescaled to the ±2σ convention of the tables."""
+        return self.half_width / 2.0
+
+
+def sequential_decision_fingerprint(
+    template: MACRunSpec, options: SequentialOptions, wave: int
+) -> str:
+    """Journal key of one arm's wave decision.
+
+    Content-addressed over the arm (seed-independent), the full stopping
+    configuration, and the wave index: resuming with a different
+    ``--ci-target`` or spending shape misses cleanly instead of replaying
+    a decision taken under another rule.
+    """
+    return fingerprint(
+        ("sequential-decision", arm_key(template), options, wave)
+    )
+
+
+def _unit_seeds(
+    options: SequentialOptions, n_arms: int, base_seed: int
+) -> List[List[int]]:
+    """Per-arm unit seed lists (CRN: shared; independent: sliced)."""
+    n = options.max_replications
+    if options.crn:
+        shared = derive_seeds(base_seed, n)
+        return [list(shared) for _ in range(n_arms)]
+    flat = derive_seeds(base_seed, n_arms * n)
+    return [flat[i * n : (i + 1) * n] for i in range(n_arms)]
+
+
+def _unit_specs(
+    template: MACRunSpec, seed: int, antithetic: bool
+) -> List[MACRunSpec]:
+    """The lane specs of one observation unit.
+
+    Templates carrying ``stream_seed`` (the robustness construction) get
+    the unit seed there; plain templates get it as ``seed``.  With
+    antithetic pairing the unit is two lanes at the same seed, mirrored
+    and unmirrored.
+    """
+    if template.stream_seed is not None:
+        plain = replace(template, stream_seed=seed, antithetic=False)
+    else:
+        plain = replace(template, seed=seed, antithetic=False)
+    if not antithetic:
+        return [plain]
+    return [plain, replace(plain, antithetic=True)]
+
+
+class _SequentialArm:
+    """Mutable per-arm accumulation state for :func:`run_sequential`."""
+
+    def __init__(self, index: int, label: str, template: MACRunSpec, seeds: List[int]):
+        self.index = index
+        self.label = label
+        self.template = template
+        self.seeds = seeds
+        self.fractions: List[float] = []
+        self.lost = 0
+        self.resolved = 0
+        self.units = 0          # units consumed (incl. quarantined)
+        self.lanes = 0
+        self.quarantined = 0
+        self.previous_n = 0     # units at the previous look
+        self.decisions: List[WaveDecision] = []
+        self.stopped = False
+
+    def absorb(self, unit_results: List[Optional[MACSimResult]]) -> None:
+        """Fold one unit's lane results into the accumulated observations."""
+        self.units += 1
+        self.lanes += len(unit_results)
+        usable = [r for r in unit_results if r is not None and r.resolved > 0]
+        if len(usable) < len(unit_results):
+            # A quarantined (or fully unresolved) lane poisons its whole
+            # unit: an antithetic pair with one member missing is no
+            # longer a pair, and a half-counted unit would bias the CRN
+            # pairing across arms.  The lanes still count as spent.
+            self.quarantined += 1
+            return
+        self.fractions.append(
+            sum(r.loss_fraction for r in usable) / len(usable)
+        )
+        for r in usable:
+            self.lost += r.delivered_late + r.discarded + r.lost_to_faults
+            self.resolved += r.resolved
+
+
+def _metric_label(label: str) -> str:
+    """A metric-name-safe rendering of an arm label."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch in "._-" else "-" for ch in label.lower()
+    )
+    while "--" in cleaned:
+        cleaned = cleaned.replace("--", "-")
+    return cleaned.strip("-")
+
+
+def _record_decision(
+    journal: Optional[RunJournal],
+    template: MACRunSpec,
+    options: SequentialOptions,
+    decision: WaveDecision,
+    verify: bool,
+) -> None:
+    """Journal one wave decision; verify against an existing record.
+
+    A decision is a pure function of the journaled lane results and the
+    options, so a resumed run recomputes it bit-identically — a mismatch
+    means the stopping rule (or the code behind it) changed under the
+    journal, which must fail loudly rather than mix stopping regimes.
+    """
+    if journal is None:
+        return
+    fp = sequential_decision_fingerprint(template, options, decision.wave)
+    hit, recorded = journal.get(fp)
+    payload = decision.to_dict()
+    if hit:
+        if recorded != payload and verify:
+            raise JournalMismatchError(
+                f"sequential wave decision diverged on replay at "
+                f"{journal.record_path(fp)}: journaled "
+                f"{value_digest(recorded)} != recomputed "
+                f"{value_digest(payload)}"
+            )
+        return
+    journal.record(fp, payload)
+
+
+def run_sequential(
+    arms: Sequence[Tuple[str, MACRunSpec]],
+    options: SequentialOptions,
+    executor: SweepExecutor,
+    base_seed: int = 1,
+) -> List[SequentialEstimate]:
+    """Run labelled arms in waves until each meets the CI target.
+
+    Each wave flattens every *unstopped* arm's next batch of observation
+    units into one :meth:`SweepExecutor.run_specs` call, so the batched
+    lane kernel amortises the wave across arms and same-arm cohorts
+    exactly as fixed grids do — and journal/resume interop is inherited
+    per lane.  After the wave, each arm takes a group-sequential look
+    (:func:`repro.stats.sequential.decide_wave`); the decision is
+    journaled under a content-addressed key so a resumed run provably
+    stops at the identical wave.
+
+    Returns one :class:`SequentialEstimate` per arm, in input order.
+    """
+    arms = list(arms)
+    if not arms:
+        return []
+    config = options.config()
+    seed_lists = _unit_seeds(options, len(arms), base_seed)
+    states = [
+        _SequentialArm(i, label, template, seed_lists[i])
+        for i, (label, template) in enumerate(arms)
+    ]
+
+    journal: Optional[RunJournal] = None
+    verify = False
+    resilience = executor.resilience
+    if resilience is not None and resilience.checkpoint is not None:
+        journal = RunJournal(resilience.checkpoint)
+        verify = resilience.verify_replay
+
+    wave = 0
+    while any(not s.stopped for s in states):
+        wave += 1
+        live = [s for s in states if not s.stopped]
+        # Wave 1 ramps straight to the first permissible look.
+        pending: List[Tuple[_SequentialArm, int]] = []
+        for state in live:
+            target = (
+                config.min_replications
+                if wave == 1
+                else min(state.units + config.wave_size, config.max_replications)
+            )
+            for unit in range(state.units, target):
+                pending.append((state, unit))
+        if not pending:
+            break
+
+        specs: List[MACRunSpec] = []
+        owners: List[Tuple[_SequentialArm, int, int]] = []  # (arm, unit, lanes)
+        for state, unit in pending:
+            unit_specs = _unit_specs(
+                state.template, state.seeds[unit], options.antithetic
+            )
+            owners.append((state, unit, len(unit_specs)))
+            specs.extend(unit_specs)
+
+        results = executor.run_specs(specs)
+
+        cursor = 0
+        for state, _unit, n_lanes in owners:
+            state.absorb(results[cursor : cursor + n_lanes])
+            cursor += n_lanes
+
+        for state in live:
+            decision = decide_wave(
+                config,
+                wave=len(state.decisions) + 1,
+                fractions=state.fractions,
+                counts=(state.lost, state.resolved),
+                previous_n=state.previous_n,
+            )
+            state.previous_n = decision.n
+            state.decisions.append(decision)
+            _record_decision(journal, state.template, options, decision, verify)
+            if decision.stop:
+                state.stopped = True
+            elif state.units - state.quarantined >= config.max_replications:
+                state.stopped = True
+            elif state.units >= config.max_replications and state.quarantined:
+                # Every seed consumed but quarantine holes kept the arm
+                # below max: stop rather than loop forever.
+                state.stopped = True
+
+    estimates: List[SequentialEstimate] = []
+    metrics = executor.metrics
+    total_lanes = 0
+    for state in states:
+        last = state.decisions[-1] if state.decisions else None
+        estimate = SequentialEstimate(
+            label=state.label,
+            mean=last.mean if last else float("nan"),
+            half_width=last.half_width if last else float("inf"),
+            level=config.level,
+            units=state.units - state.quarantined,
+            lanes=state.lanes,
+            waves=len(state.decisions),
+            reason=last.reason if last else "no-data",
+            quarantined=state.quarantined,
+            decisions=tuple(state.decisions),
+        )
+        estimates.append(estimate)
+        total_lanes += state.lanes
+        if metrics is not None:
+            prefix = f"stats.arm.{_metric_label(state.label)}"
+            metrics.counter(f"{prefix}.lanes_spent", volatile=True).inc(
+                state.lanes
+            )
+            metrics.gauge(f"{prefix}.stopping_wave", volatile=True).set(
+                float(estimate.waves)
+            )
+            metrics.gauge(f"{prefix}.half_width", volatile=True).set(
+                estimate.half_width
+            )
+    if metrics is not None:
+        metrics.counter("stats.lanes_spent", volatile=True).inc(total_lanes)
+        metrics.counter("stats.sequential_arms", volatile=True).inc(len(states))
+    return estimates

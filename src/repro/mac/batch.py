@@ -73,6 +73,7 @@ from typing import TYPE_CHECKING, List, Sequence, Tuple
 
 import numpy as np
 
+from ..des.rng import AntitheticGenerator
 from ..resilience.invariants import invariants_enabled
 from .kernels.lane import LaneState, drive
 from .simulator import MACSimResult
@@ -132,6 +133,11 @@ class _Lane(LaneState):
     def __init__(self, spec_index: int, spec, instrumented: bool):
         self.spec_index = spec_index
         rng = np.random.default_rng(spec.seed)
+        if spec.antithetic:
+            # Same wrap point as the simulator constructor: mirror the
+            # one shared generator before any draw, so lane draw order
+            # matches the per-run path's antithetic twin exactly.
+            rng = AntitheticGenerator(rng)
 
         # run() semantics: simulate warmup + horizon slots, score the
         # horizon part (MACRunSpec.horizon is the scored extent).

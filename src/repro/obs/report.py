@@ -34,6 +34,7 @@ from .metrics import MetricsRegistry
 
 __all__ = [
     "REPORT_SCHEMA",
+    "VOLATILE_PREFIXES",
     "build_report",
     "write_report",
     "load_report",
@@ -43,6 +44,15 @@ __all__ = [
 
 #: Bump when the report layout changes incompatibly.
 REPORT_SCHEMA = 1
+
+#: Metric-name prefixes that are volatile *by name*, regardless of the
+#: entry's own ``volatile`` flag.  ``stats.`` covers the sequential-
+#: replication counters (lanes spent, stopping wave, realized half-
+#: width): their values depend on when each arm's CI target was hit, so
+#: two legitimate runs at different --ci-target / --max-replications
+#: settings — or a report written by an older build that predates the
+#: per-entry flag — must not read as drift.
+VOLATILE_PREFIXES = ("stats.",)
 
 
 def _environment() -> Dict[str, str]:
@@ -160,11 +170,15 @@ def diff_reports(
     metrics_a = a.get("metrics", {})
     metrics_b = b.get("metrics", {})
 
-    def keep(entry: Dict[str, Any]) -> bool:
-        return include_volatile or not entry.get("volatile")
+    def keep(name: str, entry: Dict[str, Any]) -> bool:
+        if include_volatile:
+            return True
+        if entry.get("volatile"):
+            return False
+        return not name.startswith(VOLATILE_PREFIXES)
 
-    names_a = {n for n, e in metrics_a.items() if keep(e)}
-    names_b = {n for n, e in metrics_b.items() if keep(e)}
+    names_a = {n for n, e in metrics_a.items() if keep(n, e)}
+    names_b = {n for n, e in metrics_b.items() if keep(n, e)}
     for name in sorted(names_a - names_b):
         lines.append(f"only in A: {name}")
     for name in sorted(names_b - names_a):

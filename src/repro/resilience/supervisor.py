@@ -203,6 +203,25 @@ class SweepOutcome:
         return ", ".join(parts)
 
 
+def _backoff_key(task: "_Task") -> str:
+    """Content-derived seed key for a task's retry-backoff jitter.
+
+    Batched composite tasks carry ``fingerprint=None`` (their members own
+    the journal keys), and their ``index`` depends on how the chunker
+    packed the grid for the current worker count — seeding jitter from it
+    would make retry timing (and thus journal write order under races)
+    vary with ``--workers``.  Keying on the first member fingerprint
+    keeps the draw content-addressed wherever a fingerprint exists; the
+    index fallback only remains for unjournaled singleton sweeps, where
+    no content key exists at all.
+    """
+    if task.fingerprint is not None:
+        return task.fingerprint
+    if task.subkeys:
+        return task.subkeys[0]
+    return f"task-{task.index}"
+
+
 @dataclass
 class _Task:
     index: int
@@ -436,9 +455,8 @@ class SupervisedExecutor:
             )
             return
         outcome.retries += 1
-        key = task.fingerprint or f"task-{task.index}"
         task.not_before = time.monotonic() + backoff_delay(
-            self.options, key, task.attempts
+            self.options, _backoff_key(task), task.attempts
         )
         pending.append(task)
 

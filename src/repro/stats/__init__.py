@@ -1,6 +1,23 @@
 """Output-analysis substrate: confidence intervals and summaries."""
 
-from .intervals import ConfidenceInterval, batch_means, proportion_interval, t_interval
+from .intervals import (
+    BINOMIAL_METHODS,
+    ConfidenceInterval,
+    batch_means,
+    binomial_interval,
+    jeffreys_interval,
+    proportion_interval,
+    t_interval,
+    wilson_interval,
+)
+from .sequential import (
+    SPENDING_FUNCTIONS,
+    SequentialConfig,
+    WaveDecision,
+    cumulative_alpha,
+    decide_wave,
+    look_level,
+)
 from .summaries import Summary, describe, monotone_fraction, relative_error
 
 __all__ = [
@@ -8,6 +25,16 @@ __all__ = [
     "t_interval",
     "batch_means",
     "proportion_interval",
+    "wilson_interval",
+    "jeffreys_interval",
+    "binomial_interval",
+    "BINOMIAL_METHODS",
+    "SequentialConfig",
+    "WaveDecision",
+    "SPENDING_FUNCTIONS",
+    "cumulative_alpha",
+    "look_level",
+    "decide_wave",
     "Summary",
     "describe",
     "relative_error",

@@ -1,0 +1,282 @@
+"""Group-sequential stopping rules for replicated simulation arms.
+
+Fixed replication counts waste most of a production sweep: arms whose
+loss-rate CI converged after a handful of lanes keep burning lanes so
+the slowest arm can catch up.  The sequential engine instead runs each
+arm in *waves* and stops as soon as the confidence-interval half-width
+on fraction-late reaches a target.
+
+Peeking at a confidence interval after every wave inflates the error
+rate — an interval that covers at 95% on one look does not cover at 95%
+over ten looks.  The classical fix is **alpha spending** (Lan & DeMets):
+a monotone function :math:`\\alpha(t)` allocates the total error budget
+over information fractions :math:`t_k = n_k / n_{\\max}`, and look *k*
+is only allowed to spend :math:`\\alpha(t_k) - \\alpha(t_{k-1})`.  Each
+look's interval is therefore computed at level
+:math:`1 - (\\alpha(t_k) - \\alpha(t_{k-1}))`, which keeps simultaneous
+coverage at :math:`\\ge 1 - \\alpha` by the union bound no matter how
+many waves actually run.  Two standard spending shapes are provided:
+
+* ``"obf"`` — O'Brien–Fleming-shaped, :math:`2(1 - \\Phi(z_{\\alpha/2}
+  / \\sqrt{t}))`: spends almost nothing early, so early stops require
+  overwhelmingly tight intervals and the final look runs near the
+  nominal level.
+* ``"pocock"`` — Pocock-shaped, :math:`\\alpha \\ln(1 + (e-1)t)`:
+  spends more evenly, stopping earlier at the price of a wider final
+  look.
+
+Every decision here is a **pure function** of the accumulated
+observations and the configuration — no clocks, no hidden state — so a
+resumed sweep replays the identical wave-by-wave stopping sequence from
+its journal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from scipy import stats as sps
+
+from .intervals import BINOMIAL_METHODS, ConfidenceInterval, binomial_interval, t_interval
+
+__all__ = [
+    "SPENDING_FUNCTIONS",
+    "SequentialConfig",
+    "WaveDecision",
+    "cumulative_alpha",
+    "look_level",
+    "decide_wave",
+]
+
+
+def _obf_spending(alpha: float, t: float) -> float:
+    """O'Brien–Fleming-shaped cumulative spend at information fraction t."""
+    z = float(sps.norm.ppf(1.0 - alpha / 2.0))
+    return 2.0 * (1.0 - float(sps.norm.cdf(z / math.sqrt(t))))
+
+
+def _pocock_spending(alpha: float, t: float) -> float:
+    """Pocock-shaped cumulative spend at information fraction t."""
+    return alpha * math.log(1.0 + (math.e - 1.0) * t)
+
+
+SPENDING_FUNCTIONS = {
+    "obf": _obf_spending,
+    "pocock": _pocock_spending,
+}
+
+
+def cumulative_alpha(spending: str, alpha: float, t: float) -> float:
+    """Cumulative error budget spent by information fraction ``t``.
+
+    ``t`` is clamped into (0, 1]; ``alpha`` is the total two-sided
+    budget (e.g. 0.05 for 95% simultaneous coverage).
+    """
+    if not 0 < alpha < 1:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    try:
+        shape = SPENDING_FUNCTIONS[spending]
+    except KeyError:
+        raise ValueError(
+            f"unknown spending function {spending!r}; "
+            f"expected one of {sorted(SPENDING_FUNCTIONS)}"
+        ) from None
+    t = min(1.0, max(1e-12, t))
+    return shape(alpha, t)
+
+
+@dataclass(frozen=True)
+class SequentialConfig:
+    """Stopping rule for one sequential sweep.
+
+    Attributes
+    ----------
+    ci_target:
+        Stop an arm once its half-width on fraction-late is ≤ this.
+    level:
+        Simultaneous confidence level across all looks (default 0.95).
+    wave_size:
+        Observation units added per wave (antithetic pairs count as one
+        unit each — two lanes).
+    min_replications:
+        Units required before the first look; no stopping decision is
+        taken on fewer.
+    max_replications:
+        Hard cap per arm; the information-fraction denominator of the
+        spending function.
+    spending:
+        ``"obf"`` or ``"pocock"`` (see module docstring).
+    method:
+        Interval backend: ``"wilson"`` / ``"jeffreys"`` pool per-run
+        loss counts (robust at 0/1); ``"t"`` forms a Student-t interval
+        over per-unit loss fractions.
+    """
+
+    ci_target: float
+    level: float = 0.95
+    wave_size: int = 4
+    min_replications: int = 8
+    max_replications: int = 64
+    spending: str = "obf"
+    method: str = "wilson"
+
+    def __post_init__(self) -> None:
+        if not self.ci_target > 0:
+            raise ValueError(f"ci_target must be positive, got {self.ci_target}")
+        if not 0 < self.level < 1:
+            raise ValueError(f"level must be in (0, 1), got {self.level}")
+        if self.wave_size < 1:
+            raise ValueError(f"wave_size must be >= 1, got {self.wave_size}")
+        if self.min_replications < 2:
+            raise ValueError(
+                f"min_replications must be >= 2, got {self.min_replications}"
+            )
+        if self.max_replications < self.min_replications:
+            raise ValueError(
+                f"max_replications {self.max_replications} below "
+                f"min_replications {self.min_replications}"
+            )
+        if self.spending not in SPENDING_FUNCTIONS:
+            raise ValueError(
+                f"unknown spending function {self.spending!r}; "
+                f"expected one of {sorted(SPENDING_FUNCTIONS)}"
+            )
+        if self.method not in ("t",) + tuple(sorted(BINOMIAL_METHODS)):
+            raise ValueError(
+                f"unknown interval method {self.method!r}; expected 't', "
+                + " or ".join(repr(m) for m in sorted(BINOMIAL_METHODS))
+            )
+
+
+@dataclass(frozen=True)
+class WaveDecision:
+    """One look of the group-sequential rule — journaled verbatim.
+
+    A decision is a deterministic function of ``(config, wave,
+    accumulated observations)``; resumed runs recompute it and must land
+    on a bit-identical record.
+    """
+
+    wave: int
+    n: int
+    mean: float
+    half_width: float
+    look_level: float
+    stop: bool
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "wave": self.wave,
+            "n": self.n,
+            "mean": self.mean,
+            "half_width": self.half_width,
+            "look_level": self.look_level,
+            "stop": self.stop,
+            "reason": self.reason,
+        }
+
+
+def look_level(config: SequentialConfig, n: int, previous_n: int) -> float:
+    """Per-look confidence level after accumulating ``n`` of ``max`` units.
+
+    The look spends only the *increment* of the cumulative spending
+    function between the previous look's information fraction and this
+    one's, so the sum over all looks never exceeds ``1 - level``.
+    """
+    alpha = 1.0 - config.level
+    t_now = n / config.max_replications
+    spent_now = cumulative_alpha(config.spending, alpha, t_now)
+    if previous_n > 0:
+        t_prev = previous_n / config.max_replications
+        spent_prev = cumulative_alpha(config.spending, alpha, t_prev)
+    else:
+        spent_prev = 0.0
+    increment = max(spent_now - spent_prev, alpha * 1e-6)
+    return 1.0 - min(increment, alpha)
+
+
+def _interval(
+    config: SequentialConfig,
+    fractions: Sequence[float],
+    counts: Tuple[int, int],
+    level: float,
+) -> ConfidenceInterval:
+    if config.method == "t":
+        return t_interval(fractions, level=level)
+    lost, resolved = counts
+    if resolved <= 0:
+        raise ValueError("binomial interval backends need at least one resolved message")
+    return binomial_interval(lost, resolved, level=level, method=config.method)
+
+
+def decide_wave(
+    config: SequentialConfig,
+    wave: int,
+    fractions: Sequence[float],
+    counts: Tuple[int, int],
+    previous_n: int = 0,
+) -> WaveDecision:
+    """The stopping decision after ``wave`` with the data seen so far.
+
+    Parameters
+    ----------
+    config:
+        The stopping rule.
+    wave:
+        1-based wave index (for the journal record only).
+    fractions:
+        Per-observation-unit loss fractions accumulated so far.
+    counts:
+        Pooled ``(lost, resolved)`` message counts across the same
+        units — the binomial backends consume these.
+    previous_n:
+        Units held at the previous *look* (0 before the first look);
+        sets the spending increment.
+    """
+    n = len(fractions)
+    if n < config.min_replications:
+        level = look_level(config, n, previous_n)
+        ci = _interval(config, fractions, counts, level) if n >= 2 else None
+        return WaveDecision(
+            wave=wave,
+            n=n,
+            mean=ci.mean if ci else (fractions[0] if fractions else math.nan),
+            half_width=ci.half_width if ci else math.inf,
+            look_level=level,
+            stop=False,
+            reason="below-min-replications",
+        )
+    level = look_level(config, n, previous_n)
+    ci = _interval(config, fractions, counts, level)
+    if ci.half_width <= config.ci_target:
+        return WaveDecision(
+            wave=wave,
+            n=n,
+            mean=ci.mean,
+            half_width=ci.half_width,
+            look_level=level,
+            stop=True,
+            reason="ci-target",
+        )
+    if n >= config.max_replications:
+        return WaveDecision(
+            wave=wave,
+            n=n,
+            mean=ci.mean,
+            half_width=ci.half_width,
+            look_level=level,
+            stop=True,
+            reason="max-replications",
+        )
+    return WaveDecision(
+        wave=wave,
+        n=n,
+        mean=ci.mean,
+        half_width=ci.half_width,
+        look_level=level,
+        stop=False,
+        reason="continue",
+    )

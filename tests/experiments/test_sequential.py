@@ -1,0 +1,246 @@
+"""Determinism and contracts of the sequential replication engine.
+
+:func:`run_sequential` is a scheduling layer over the executor: lanes
+run in batched waves until the group-sequential look says stop.  The
+properties pinned here are exact — worker-count invariance, CRN seed
+sharing, journaled stopping decisions, quarantine unit-poisoning —
+because the stopping decision is a pure function of the journaled lane
+results and must replay bit-identically.
+"""
+
+import math
+
+import pytest
+
+from repro.core import ControlPolicy
+from repro.experiments import (
+    MACRunSpec,
+    ResilienceOptions,
+    SequentialEstimate,
+    SequentialOptions,
+    SweepExecutor,
+    run_sequential,
+    sequential_decision_fingerprint,
+)
+from repro.obs import MetricsRegistry
+from repro.resilience import RunJournal
+
+M = 25
+LAM = 0.5 / M
+
+
+def _template(name="optimal", **overrides) -> MACRunSpec:
+    if name == "optimal":
+        policy = ControlPolicy.optimal(3.0 * M, LAM)
+    else:
+        policy = getattr(ControlPolicy, name)(LAM)
+    kwargs = dict(
+        policy=policy,
+        arrival_rate=LAM,
+        transmission_slots=M,
+        horizon=2_500.0,
+        warmup=300.0,
+        n_stations=25,
+        deadline=3.0 * M,
+        seed=0,
+    )
+    kwargs.update(overrides)
+    return MACRunSpec(**kwargs)
+
+
+def _options(**overrides) -> SequentialOptions:
+    kwargs = dict(
+        ci_target=0.02,
+        wave_size=2,
+        min_replications=4,
+        max_replications=12,
+    )
+    kwargs.update(overrides)
+    return SequentialOptions(**kwargs)
+
+
+def _arms():
+    return [
+        ("controlled", _template("optimal")),
+        ("fcfs", _template("uncontrolled_fcfs")),
+    ]
+
+
+class TestDeterminism:
+    def test_worker_count_invariant(self):
+        inline = run_sequential(_arms(), _options(), SweepExecutor(None))
+        fanned = run_sequential(_arms(), _options(), SweepExecutor(2))
+        assert inline == fanned
+
+    def test_batch_flag_invariant(self):
+        batched = run_sequential(
+            _arms(), _options(), SweepExecutor(None, batch=True)
+        )
+        unbatched = run_sequential(
+            _arms(), _options(), SweepExecutor(None, batch=False)
+        )
+        assert batched == unbatched
+
+    def test_rerun_is_bit_identical(self):
+        a = run_sequential(_arms(), _options(), SweepExecutor(None))
+        b = run_sequential(_arms(), _options(), SweepExecutor(None))
+        assert a == b
+
+    def test_arms_stop_independently(self):
+        # A loose target lets the easy arm stop early; a tiny target
+        # drives every arm to the seed budget.  Estimates stay in input
+        # order regardless of stopping order.
+        loose = run_sequential(
+            _arms(), _options(ci_target=0.5), SweepExecutor(None)
+        )
+        assert [e.label for e in loose] == ["controlled", "fcfs"]
+        assert all(e.reason == "ci-target" for e in loose)
+        tight = run_sequential(
+            _arms(), _options(ci_target=1e-9), SweepExecutor(None)
+        )
+        assert all(e.reason == "max-replications" for e in tight)
+        assert all(e.units == 12 for e in tight)
+
+
+class TestSeeding:
+    def test_crn_shares_unit_seeds_across_arms(self):
+        # Two arms with the *same* template under CRN see the same
+        # sample paths: their per-unit observations are identical, so
+        # the paired arm delta is exactly zero.
+        arms = [("a", _template()), ("b", _template())]
+        a, b = run_sequential(arms, _options(crn=True), SweepExecutor(None))
+        assert a.mean == b.mean
+        assert a.half_width == b.half_width
+
+    def test_independent_seeding_differs(self):
+        arms = [("a", _template()), ("b", _template())]
+        a, b = run_sequential(arms, _options(crn=False), SweepExecutor(None))
+        assert a.mean != b.mean
+
+    def test_antithetic_pairs_double_the_lanes(self):
+        plain, = run_sequential(
+            [("arm", _template())], _options(), SweepExecutor(None)
+        )
+        paired, = run_sequential(
+            [("arm", _template())],
+            _options(antithetic=True),
+            SweepExecutor(None),
+        )
+        assert plain.lanes == plain.units
+        assert paired.lanes == 2 * paired.units
+
+    def test_antithetic_is_reproducible(self):
+        run = lambda: run_sequential(
+            [("arm", _template())],
+            _options(antithetic=True),
+            SweepExecutor(None),
+        )
+        assert run() == run()
+
+
+class TestJournalReplay:
+    def test_resume_replays_identical_decisions(self, tmp_path):
+        opts = _options()
+        first = run_sequential(
+            _arms(),
+            opts,
+            SweepExecutor(
+                None, ResilienceOptions(checkpoint=str(tmp_path / "j"))
+            ),
+        )
+        resumed = run_sequential(
+            _arms(),
+            opts,
+            SweepExecutor(
+                None,
+                ResilienceOptions(
+                    checkpoint=str(tmp_path / "j"),
+                    resume=True,
+                    verify_replay=True,
+                ),
+                batch=False,  # verify-replay audits recompute per cell
+            ),
+        )
+        assert first == resumed
+        assert all(e.decisions for e in resumed)
+
+    def test_decisions_are_journaled_per_wave(self, tmp_path):
+        opts = _options()
+        estimates = run_sequential(
+            _arms(),
+            opts,
+            SweepExecutor(
+                None, ResilienceOptions(checkpoint=str(tmp_path / "j"))
+            ),
+        )
+        journal = RunJournal(str(tmp_path / "j"))
+        for (label, template), estimate in zip(_arms(), estimates):
+            for decision in estimate.decisions:
+                fp = sequential_decision_fingerprint(
+                    template, opts, decision.wave
+                )
+                hit, recorded = journal.get(fp)
+                assert hit, f"wave {decision.wave} of {label} not journaled"
+                assert recorded == decision.to_dict()
+
+    def test_fingerprint_is_config_sensitive(self):
+        template = _template()
+        assert sequential_decision_fingerprint(
+            template, _options(), 1
+        ) != sequential_decision_fingerprint(
+            template, _options(ci_target=0.05), 1
+        )
+        assert sequential_decision_fingerprint(
+            template, _options(), 1
+        ) != sequential_decision_fingerprint(template, _options(), 2)
+
+
+class TestQuarantineAndEdges:
+    def test_unresolved_lanes_poison_their_units(self):
+        # A horizon short enough that nothing resolves: every unit is
+        # quarantined, no observation lands, and the arm stops at the
+        # seed budget instead of looping forever.
+        dead = _template(
+            arrival_rate=1e-9, horizon=50.0, warmup=0.0
+        )
+        estimate, = run_sequential(
+            [("dead", dead)], _options(), SweepExecutor(None)
+        )
+        assert estimate.units == 0
+        assert estimate.quarantined == 12
+        assert estimate.lanes == 12
+        assert math.isnan(estimate.mean)
+
+    def test_empty_arm_list(self):
+        assert run_sequential([], _options(), SweepExecutor(None)) == []
+
+    def test_stderr_is_half_the_half_width(self):
+        estimate = SequentialEstimate(
+            label="x",
+            mean=0.1,
+            half_width=0.04,
+            level=0.95,
+            units=8,
+            lanes=8,
+            waves=2,
+            reason="ci-target",
+        )
+        assert estimate.stderr() == pytest.approx(0.02)
+
+
+class TestMetrics:
+    def test_per_arm_stats_metrics_are_volatile(self):
+        registry = MetricsRegistry(enabled=True)
+        run_sequential(
+            _arms(),
+            _options(),
+            SweepExecutor(None, metrics=registry),
+        )
+        names = registry.names()
+        assert "stats.lanes_spent" in names
+        assert "stats.arm.controlled.lanes_spent" in names
+        assert "stats.arm.fcfs.stopping_wave" in names
+        assert registry.value("stats.sequential_arms") == 2
+        for name in names:
+            if name.startswith("stats."):
+                assert registry.get(name).volatile, f"{name} must be volatile"

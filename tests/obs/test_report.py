@@ -80,6 +80,32 @@ def test_diff_reports_value_drift():
     assert drift == ["mac.runs: 3 != 4"]
 
 
+def test_diff_treats_stats_names_as_volatile_by_default():
+    # Sequential lane-economy counters (stats.*) legitimately differ
+    # between a fresh run and a journal resume (replayed lanes are not
+    # re-spent), so the differ must ignore them by name even when a
+    # producer forgets the per-entry volatile flag.
+    a, b = _report(), _report()
+    noisy = MetricsRegistry.from_dict(b["metrics"])
+    noisy.counter("stats.lanes_spent").inc(24)  # note: NOT flagged volatile
+    noisy.gauge("stats.arm.controlled.stopping_wave").set(3.0)
+    b["metrics"] = noisy.to_dict()
+    assert diff_reports(a, b) == []
+    drift = diff_reports(a, b, include_volatile=True)
+    assert any("stats.lanes_spent" in line for line in drift)
+    assert any("stats.arm.controlled.stopping_wave" in line for line in drift)
+
+
+def test_diff_volatile_prefix_does_not_swallow_lookalikes():
+    # Only the reserved "stats." namespace is name-volatile; an
+    # unrelated metric that merely contains the substring still diffs.
+    a, b = _report(), _report()
+    noisy = MetricsRegistry.from_dict(b["metrics"])
+    noisy.counter("mac.stats.checks").inc(7)
+    b["metrics"] = noisy.to_dict()
+    assert diff_reports(a, b) == ["only in B: mac.stats.checks"]
+
+
 def test_diff_reports_histogram_drift():
     a, b = _report(), _report()
     extra = MetricsRegistry.from_dict(b["metrics"])

@@ -1,0 +1,142 @@
+"""Tests for the group-sequential stopping machinery."""
+
+import pytest
+
+from repro.stats import (
+    SPENDING_FUNCTIONS,
+    SequentialConfig,
+    WaveDecision,
+    cumulative_alpha,
+    decide_wave,
+    look_level,
+)
+
+
+def _config(**overrides):
+    defaults = dict(
+        ci_target=0.01,
+        wave_size=4,
+        min_replications=8,
+        max_replications=64,
+    )
+    defaults.update(overrides)
+    return SequentialConfig(**defaults)
+
+
+class TestSpendingFunctions:
+    @pytest.mark.parametrize("spending", sorted(SPENDING_FUNCTIONS))
+    def test_monotone_in_information(self, spending):
+        alpha = 0.05
+        previous = 0.0
+        for t in (0.1, 0.25, 0.5, 0.75, 1.0):
+            spent = cumulative_alpha(spending, alpha, t)
+            assert spent >= previous
+            previous = spent
+
+    @pytest.mark.parametrize("spending", sorted(SPENDING_FUNCTIONS))
+    def test_spends_exactly_alpha_at_full_information(self, spending):
+        assert cumulative_alpha(spending, 0.05, 1.0) == pytest.approx(
+            0.05, abs=1e-9
+        )
+
+    def test_obf_back_loads_the_spend(self):
+        """O'Brien–Fleming keeps early looks strict: at half the
+        information, far less than half the alpha is spent."""
+        assert cumulative_alpha("obf", 0.05, 0.5) < 0.5 * 0.05
+        assert cumulative_alpha("obf", 0.05, 0.1) < cumulative_alpha(
+            "pocock", 0.05, 0.1
+        )
+
+    def test_unknown_spending(self):
+        with pytest.raises(ValueError):
+            cumulative_alpha("haybittle", 0.05, 0.5)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            cumulative_alpha("obf", 0.0, 0.5)
+
+
+class TestLookLevels:
+    def test_increments_sum_to_at_most_alpha(self):
+        """The per-look spends across any look schedule stay within the
+        total alpha budget — the union bound that keeps simultaneous
+        coverage at the nominal level."""
+        config = _config()
+        alpha = 1.0 - config.level
+        spent = 0.0
+        previous_n = 0
+        for n in range(config.min_replications,
+                       config.max_replications + 1,
+                       config.wave_size):
+            spent += 1.0 - look_level(config, n, previous_n)
+            previous_n = n
+        # The epsilon floor on each look's spend (alpha·1e-6, so a level
+        # is never exactly 1.0) can push the sum a hair past alpha.
+        assert spent <= alpha + len(range(8, 65, 4)) * alpha * 1e-6
+
+    def test_levels_are_stricter_than_nominal(self):
+        config = _config()
+        assert look_level(config, 8, 0) > config.level
+
+
+class TestDecideWave:
+    def test_below_min_never_stops(self):
+        config = _config()
+        decision = decide_wave(
+            config, 1, [0.1, 0.2], (3, 20), previous_n=0
+        )
+        assert not decision.stop
+        assert decision.reason == "below-min-replications"
+
+    def test_stops_at_ci_target(self):
+        config = _config(ci_target=0.2, method="wilson")
+        fractions = [0.1] * 8
+        decision = decide_wave(config, 1, fractions, (8, 80), previous_n=0)
+        assert decision.stop
+        assert decision.reason == "ci-target"
+        assert decision.half_width <= 0.2
+
+    def test_stops_at_max_replications(self):
+        config = _config(ci_target=1e-9)
+        fractions = [0.1] * 64
+        decision = decide_wave(
+            config, 15, fractions, (640, 6400), previous_n=60
+        )
+        assert decision.stop
+        assert decision.reason == "max-replications"
+
+    def test_pure_function_of_inputs(self):
+        """The decision is replayable: identical inputs, identical
+        decision object — this is what lets the journal pin stopping."""
+        config = _config()
+        args = (config, 3, [0.05] * 16, (40, 800))
+        a = decide_wave(*args, previous_n=12)
+        b = decide_wave(*args, previous_n=12)
+        assert a == b
+        assert a.to_dict() == b.to_dict()
+
+    def test_later_looks_easier_under_obf(self):
+        """OBF spends almost nothing early, so the first look runs at a
+        much stricter per-look level than the final one."""
+        config = _config()
+        first = look_level(config, 8, 0)
+        final = look_level(config, 64, 60)
+        assert first > final > config.level
+
+    def test_t_method_on_fractions(self):
+        config = _config(method="t", ci_target=0.5)
+        decision = decide_wave(
+            config, 1, [0.1, 0.12, 0.09, 0.11] * 2, (8, 80), previous_n=0
+        )
+        assert decision.stop
+        assert isinstance(decision, WaveDecision)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            _config(ci_target=0.0)
+        with pytest.raises(ValueError):
+            _config(max_replications=4)  # < min_replications
+        with pytest.raises(ValueError):
+            _config(method="wald")
+        with pytest.raises(ValueError):
+            _config(spending="none")
