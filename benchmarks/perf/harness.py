@@ -558,6 +558,11 @@ def measure_sequential_figure7(config: PerfConfig) -> dict:
                 "reason": est.reason,
                 "mean": est.mean,
                 "half_width": est.half_width,
+                # Cluster variance inflation the pooled Wilson look
+                # applied at the stopping wave (1.0 = messages behaved
+                # as independent trials) — the certification is honest
+                # only because the half-width already carries this.
+                "design_effect": est.decisions[-1].design_effect,
             }
             for est in estimates
         ],

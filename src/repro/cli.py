@@ -246,6 +246,17 @@ def _sequential_from(args: argparse.Namespace):
     """
     if not getattr(args, "sequential", False):
         return None
+    if args.antithetic and args.ci_method != "t":
+        # Mirrored twin lanes are negatively correlated with their
+        # partners; a pooled-count interval sees them only as more
+        # trials, so the pairing doubles lane cost for no width benefit.
+        print(
+            f"warning: --antithetic pairs only help --ci-method t; the "
+            f"pooled {args.ci_method!r} backend counts mirrored lanes as "
+            "plain extra trials, doubling lane cost for no variance "
+            "benefit — use --ci-method t (see docs/statistics.md)",
+            file=sys.stderr,
+        )
     return SequentialOptions(
         ci_target=args.ci_target,
         # A tight --max-replications (smoke grids) lowers the opening

@@ -710,17 +710,23 @@ class SequentialEstimate:
 
 
 def sequential_decision_fingerprint(
-    template: MACRunSpec, options: SequentialOptions, wave: int
+    template: MACRunSpec,
+    options: SequentialOptions,
+    wave: int,
+    base_seed: int = 1,
 ) -> str:
     """Journal key of one arm's wave decision.
 
     Content-addressed over the arm (seed-independent), the full stopping
-    configuration, and the wave index: resuming with a different
-    ``--ci-target`` or spending shape misses cleanly instead of replaying
-    a decision taken under another rule.
+    configuration (which carries the ``crn``/``antithetic`` derivation
+    regime), the seed-derivation root, and the wave index: resuming with
+    a different ``--ci-target``, spending shape, or ``--seed`` misses
+    cleanly and re-decides instead of colliding with decisions taken
+    under another rule or seeding regime.  ``base_seed`` defaults to 1,
+    matching :func:`run_sequential`.
     """
     return fingerprint(
-        ("sequential-decision", arm_key(template), options, wave)
+        ("sequential-decision", arm_key(template), options, base_seed, wave)
     )
 
 
@@ -809,6 +815,7 @@ def _record_decision(
     options: SequentialOptions,
     decision: WaveDecision,
     verify: bool,
+    base_seed: int,
 ) -> None:
     """Journal one wave decision; verify against an existing record.
 
@@ -819,7 +826,7 @@ def _record_decision(
     """
     if journal is None:
         return
-    fp = sequential_decision_fingerprint(template, options, decision.wave)
+    fp = sequential_decision_fingerprint(template, options, decision.wave, base_seed)
     hit, recorded = journal.get(fp)
     payload = decision.to_dict()
     if hit:
@@ -911,16 +918,20 @@ def run_sequential(
                 counts=(state.lost, state.resolved),
                 previous_n=state.previous_n,
             )
+            if not decision.stop and state.units >= config.max_replications:
+                # Every seed consumed but quarantine holes kept the
+                # usable count below max_replications: the arm stops
+                # here, and the journaled decision must carry the real
+                # cause instead of a dangling "continue".
+                decision = replace(
+                    decision, stop=True, reason="seed-budget-exhausted"
+                )
             state.previous_n = decision.n
             state.decisions.append(decision)
-            _record_decision(journal, state.template, options, decision, verify)
+            _record_decision(
+                journal, state.template, options, decision, verify, base_seed
+            )
             if decision.stop:
-                state.stopped = True
-            elif state.units - state.quarantined >= config.max_replications:
-                state.stopped = True
-            elif state.units >= config.max_replications and state.quarantined:
-                # Every seed consumed but quarantine holes kept the arm
-                # below max: stop rather than loop forever.
                 state.stopped = True
 
     estimates: List[SequentialEstimate] = []

@@ -16,6 +16,7 @@ from .sequential import (
     WaveDecision,
     cumulative_alpha,
     decide_wave,
+    design_effect,
     look_level,
 )
 from .summaries import Summary, describe, monotone_fraction, relative_error
@@ -33,6 +34,7 @@ __all__ = [
     "WaveDecision",
     "SPENDING_FUNCTIONS",
     "cumulative_alpha",
+    "design_effect",
     "look_level",
     "decide_wave",
     "Summary",

@@ -101,7 +101,7 @@ def batch_means(
     return t_interval(means, level=level)
 
 
-def _check_counts(successes: int, trials: int, level: float) -> None:
+def _check_counts(successes: float, trials: float, level: float) -> None:
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
     if not 0 <= successes <= trials:
@@ -111,7 +111,7 @@ def _check_counts(successes: int, trials: int, level: float) -> None:
 
 
 def wilson_interval(
-    successes: int, trials: int, level: float = 0.95
+    successes: float, trials: float, level: float = 0.95
 ) -> ConfidenceInterval:
     """Wilson score interval for a binomial proportion (robust near 0/1).
 
@@ -121,6 +121,10 @@ def wilson_interval(
     half-width stays strictly positive, so a sequential stopping rule
     keyed on the half-width cannot terminate spuriously on an all-zero
     first wave.  Bounds are clamped to [0, 1].
+
+    Counts may be fractional: the sequential engine passes *effective*
+    counts — pooled counts deflated by a cluster design effect — and
+    the score formula is continuous in them.
     """
     _check_counts(successes, trials, level)
     z = float(sps.norm.ppf(0.5 + level / 2.0))
@@ -134,7 +138,7 @@ def wilson_interval(
 
 
 def jeffreys_interval(
-    successes: int, trials: int, level: float = 0.95
+    successes: float, trials: float, level: float = 0.95
 ) -> ConfidenceInterval:
     """Jeffreys (Beta(s+½, n−s+½) equal-tailed) binomial interval.
 
@@ -143,7 +147,9 @@ def jeffreys_interval(
     conventional boundary adjustment applies: at ``successes == 0`` the
     lower bound is exactly 0, at ``successes == trials`` the upper bound
     is exactly 1.  Returned as the (midpoint, half-width) form of the
-    equal-tailed credible interval, clamped to [0, 1].
+    equal-tailed credible interval, clamped to [0, 1].  Fractional
+    (design-effect-deflated) counts are accepted, as for
+    :func:`wilson_interval`.
     """
     _check_counts(successes, trials, level)
     alpha = 1.0 - level
@@ -156,7 +162,7 @@ def jeffreys_interval(
 
 
 def _clamped_unit_interval(
-    center: float, half: float, level: float, n: int
+    center: float, half: float, level: float, n: float
 ) -> ConfidenceInterval:
     """Clamp a symmetric interval on a proportion into [0, 1]."""
     low = max(0.0, center - half)
@@ -165,7 +171,7 @@ def _clamped_unit_interval(
         mean=(low + high) / 2.0,
         half_width=(high - low) / 2.0,
         level=level,
-        n=n,
+        n=int(n),
     )
 
 
@@ -179,7 +185,7 @@ BINOMIAL_METHODS = {
 
 
 def binomial_interval(
-    successes: int, trials: int, level: float = 0.95, method: str = "wilson"
+    successes: float, trials: float, level: float = 0.95, method: str = "wilson"
 ) -> ConfidenceInterval:
     """Dispatch to a named binomial interval backend."""
     try:

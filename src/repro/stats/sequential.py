@@ -25,6 +25,19 @@ many waves actually run.  Two standard spending shapes are provided:
   spends more evenly, stopping earlier at the price of a wider final
   look.
 
+The pooled binomial backends carry one further correction.  Messages
+inside one simulation run are **not** independent Bernoulli trials —
+losses cluster under contention, so the between-replication variance of
+the loss fraction can sit far above what pooled counts suggest.  Every
+pooled-count look therefore estimates a cluster **design effect**
+(:func:`design_effect`: the ratio of the measured between-unit variance
+of the mean to the binomial variance the pooled interval assumes) and
+deflates the pooled counts to Kish's effective sample size
+``n_eff = n / deff`` before forming the interval.  The factor is
+clamped at 1, which keeps the plain Wilson/Jeffreys width as the
+*floor* — exactly the boundary guard those backends exist for at
+p̂ ∈ {0, 1}, where the between-unit variance degenerates to zero.
+
 Every decision here is a **pure function** of the accumulated
 observations and the configuration — no clocks, no hidden state — so a
 resumed sweep replays the identical wave-by-wave stopping sequence from
@@ -46,6 +59,7 @@ __all__ = [
     "SequentialConfig",
     "WaveDecision",
     "cumulative_alpha",
+    "design_effect",
     "look_level",
     "decide_wave",
 ]
@@ -110,8 +124,10 @@ class SequentialConfig:
         ``"obf"`` or ``"pocock"`` (see module docstring).
     method:
         Interval backend: ``"wilson"`` / ``"jeffreys"`` pool per-run
-        loss counts (robust at 0/1); ``"t"`` forms a Student-t interval
-        over per-unit loss fractions.
+        loss counts, deflated by the cluster :func:`design_effect`
+        (robust at 0/1, honest under within-run loss clustering);
+        ``"t"`` forms a Student-t interval over per-unit loss
+        fractions, which captures the clustering directly.
     """
 
     ci_target: float
@@ -156,7 +172,9 @@ class WaveDecision:
 
     A decision is a deterministic function of ``(config, wave,
     accumulated observations)``; resumed runs recompute it and must land
-    on a bit-identical record.
+    on a bit-identical record.  ``design_effect`` is the cluster
+    variance-inflation factor the pooled-count backends applied at this
+    look (1.0 for the t backend, which needs no correction).
     """
 
     wave: int
@@ -166,6 +184,7 @@ class WaveDecision:
     look_level: float
     stop: bool
     reason: str
+    design_effect: float = 1.0
 
     def to_dict(self) -> dict:
         return {
@@ -176,6 +195,7 @@ class WaveDecision:
             "look_level": self.look_level,
             "stop": self.stop,
             "reason": self.reason,
+            "design_effect": self.design_effect,
         }
 
 
@@ -198,18 +218,56 @@ def look_level(config: SequentialConfig, n: int, previous_n: int) -> float:
     return 1.0 - min(increment, alpha)
 
 
+def design_effect(fractions: Sequence[float], counts: Tuple[int, int]) -> float:
+    """Cluster design effect of pooled per-message loss counts.
+
+    Messages within one replication share a sample path, so their
+    losses are correlated — under contention, heavily so — and treating
+    the pooled ``(lost, resolved)`` counts as that many independent
+    Bernoulli trials understates the sampling variance of the arm mean.
+    The survey-sampling correction is the **design effect**: the ratio
+    of the measured between-replication variance of the estimator
+    (``s²/k`` over the per-unit loss fractions) to the binomial
+    variance the pooled interval assumes (``p̂(1−p̂)/N`` over the ``N``
+    pooled messages).  Dividing the pooled counts by this factor yields
+    Kish's effective sample size — the number of genuinely independent
+    trials the data carries.
+
+    Clamped to ≥ 1: with fewer than two units, or at a degenerate
+    p̂ ∈ {0, 1} where the between-unit variance collapses, the pooled
+    interval is used as-is — the boundary regime Wilson/Jeffreys exist
+    to guard.
+    """
+    lost, resolved = counts
+    k = len(fractions)
+    if k < 2 or resolved <= 0:
+        return 1.0
+    p = lost / resolved
+    binomial_var = p * (1.0 - p) / resolved
+    if binomial_var <= 0.0:
+        return 1.0
+    mean = sum(fractions) / k
+    s2 = sum((f - mean) ** 2 for f in fractions) / (k - 1)
+    return max(1.0, (s2 / k) / binomial_var)
+
+
 def _interval(
     config: SequentialConfig,
     fractions: Sequence[float],
     counts: Tuple[int, int],
     level: float,
+    deff: float = 1.0,
 ) -> ConfidenceInterval:
     if config.method == "t":
         return t_interval(fractions, level=level)
     lost, resolved = counts
     if resolved <= 0:
         raise ValueError("binomial interval backends need at least one resolved message")
-    return binomial_interval(lost, resolved, level=level, method=config.method)
+    # Deflate pooled counts to the effective independent-trial count;
+    # p-hat is unchanged, the width widens by ~sqrt(deff).
+    return binomial_interval(
+        lost / deff, resolved / deff, level=level, method=config.method
+    )
 
 
 def decide_wave(
@@ -237,9 +295,10 @@ def decide_wave(
         sets the spending increment.
     """
     n = len(fractions)
+    deff = 1.0 if config.method == "t" else design_effect(fractions, counts)
     if n < config.min_replications:
         level = look_level(config, n, previous_n)
-        ci = _interval(config, fractions, counts, level) if n >= 2 else None
+        ci = _interval(config, fractions, counts, level, deff) if n >= 2 else None
         return WaveDecision(
             wave=wave,
             n=n,
@@ -248,9 +307,10 @@ def decide_wave(
             look_level=level,
             stop=False,
             reason="below-min-replications",
+            design_effect=deff,
         )
     level = look_level(config, n, previous_n)
-    ci = _interval(config, fractions, counts, level)
+    ci = _interval(config, fractions, counts, level, deff)
     if ci.half_width <= config.ci_target:
         return WaveDecision(
             wave=wave,
@@ -260,6 +320,7 @@ def decide_wave(
             look_level=level,
             stop=True,
             reason="ci-target",
+            design_effect=deff,
         )
     if n >= config.max_replications:
         return WaveDecision(
@@ -270,6 +331,7 @@ def decide_wave(
             look_level=level,
             stop=True,
             reason="max-replications",
+            design_effect=deff,
         )
     return WaveDecision(
         wave=wave,
@@ -279,4 +341,5 @@ def decide_wave(
         look_level=level,
         stop=False,
         reason="continue",
+        design_effect=deff,
     )

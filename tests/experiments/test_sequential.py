@@ -194,6 +194,56 @@ class TestJournalReplay:
             template, _options(), 1
         ) != sequential_decision_fingerprint(template, _options(), 2)
 
+    def test_fingerprint_is_seed_sensitive(self):
+        # A different --seed derives a different unit seed list, so its
+        # decisions must land on different journal keys — colliding
+        # would silently retain stale stopping records.
+        template = _template()
+        assert sequential_decision_fingerprint(
+            template, _options(), 1, base_seed=1
+        ) != sequential_decision_fingerprint(
+            template, _options(), 1, base_seed=2
+        )
+        assert sequential_decision_fingerprint(
+            template, _options(crn=True), 1
+        ) != sequential_decision_fingerprint(
+            template, _options(crn=False), 1
+        )
+
+    def test_resume_with_different_seed_re_decides_cleanly(self, tmp_path):
+        """A journal written under one --seed must not collide with a
+        resume under another: lanes and decisions both miss, the replay
+        audit stays silent, and the run equals a fresh one at the new
+        seed (the contract docs/statistics.md promises for config
+        changes)."""
+        opts = _options()
+        run_sequential(
+            _arms(),
+            opts,
+            SweepExecutor(
+                None, ResilienceOptions(checkpoint=str(tmp_path / "j"))
+            ),
+            base_seed=1,
+        )
+        resumed = run_sequential(
+            _arms(),
+            opts,
+            SweepExecutor(
+                None,
+                ResilienceOptions(
+                    checkpoint=str(tmp_path / "j"),
+                    resume=True,
+                    verify_replay=True,
+                ),
+                batch=False,
+            ),
+            base_seed=2,
+        )
+        fresh = run_sequential(
+            _arms(), opts, SweepExecutor(None), base_seed=2
+        )
+        assert resumed == fresh
+
 
 class TestQuarantineAndEdges:
     def test_unresolved_lanes_poison_their_units(self):
@@ -210,6 +260,10 @@ class TestQuarantineAndEdges:
         assert estimate.quarantined == 12
         assert estimate.lanes == 12
         assert math.isnan(estimate.mean)
+        # The journaled cause must be the real one — the arm *stopped*,
+        # it did not decide to continue.
+        assert estimate.reason == "seed-budget-exhausted"
+        assert estimate.decisions[-1].stop
 
     def test_empty_arm_list(self):
         assert run_sequential([], _options(), SweepExecutor(None)) == []

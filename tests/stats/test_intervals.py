@@ -183,3 +183,14 @@ class TestBinomialDispatch:
             if wilson_interval(s, 500).contains(p):
                 covered += 1
         assert covered / trials == pytest.approx(0.95, abs=0.05)
+
+    @pytest.mark.parametrize("method", sorted(BINOMIAL_METHODS))
+    def test_fractional_effective_counts(self, method):
+        """The sequential engine deflates pooled counts by a cluster
+        design effect, so the backends must accept fractional counts:
+        same p-hat, fewer effective trials, wider interval."""
+        full = binomial_interval(160, 800, method=method)
+        deflated = binomial_interval(160 / 28.5, 800 / 28.5, method=method)
+        assert deflated.mean == pytest.approx(full.mean, abs=0.08)
+        assert deflated.half_width > 2.0 * full.half_width
+        assert 0.0 <= deflated.low <= deflated.high <= 1.0

@@ -6,8 +6,10 @@ from repro.stats import (
     SPENDING_FUNCTIONS,
     SequentialConfig,
     WaveDecision,
+    binomial_interval,
     cumulative_alpha,
     decide_wave,
+    design_effect,
     look_level,
 )
 
@@ -140,3 +142,88 @@ class TestDecideWave:
             _config(method="wald")
         with pytest.raises(ValueError):
             _config(spending="none")
+
+
+class TestDesignEffect:
+    """Cluster correction of the pooled-count backends.
+
+    Messages within one replication are correlated (losses cluster
+    under contention), so the pooled Wilson/Jeffreys interval must be
+    widened by the measured between-replication variance — otherwise
+    arms stop early and report bands ~sqrt(deff) too narrow on exactly
+    the high-loss arms the figures compare.
+    """
+
+    # Eight units of 100 messages each; pooled p-hat is 0.2 either way,
+    # but the clustered arm concentrates its losses in half the units.
+    CLUSTERED = [0.0] * 4 + [0.4] * 4
+    HOMOGENEOUS = [0.2] * 8
+    COUNTS = (160, 800)
+
+    def test_clustered_fractions_inflate_the_effect(self):
+        assert design_effect(self.HOMOGENEOUS, self.COUNTS) == 1.0
+        assert design_effect(self.CLUSTERED, self.COUNTS) > 10.0
+
+    def test_clamped_to_one_at_boundaries_and_single_unit(self):
+        # Degenerate p-hat (zero binomial variance) and k < 2 keep the
+        # plain pooled interval — the Wilson boundary guard.
+        assert design_effect([0.0] * 8, (0, 800)) == 1.0
+        assert design_effect([1.0] * 8, (800, 800)) == 1.0
+        assert design_effect([0.3], (30, 100)) == 1.0
+        assert design_effect([], (0, 0)) == 1.0
+
+    @pytest.mark.parametrize("method", ["wilson", "jeffreys"])
+    def test_clustering_widens_the_pooled_interval(self, method):
+        config = _config(ci_target=1e-9, method=method)
+        clustered = decide_wave(
+            config, 1, self.CLUSTERED, self.COUNTS, previous_n=0
+        )
+        homogeneous = decide_wave(
+            config, 1, self.HOMOGENEOUS, self.COUNTS, previous_n=0
+        )
+        assert homogeneous.design_effect == 1.0
+        assert clustered.design_effect > 1.0
+        assert clustered.half_width > homogeneous.half_width
+
+    def test_clustered_arm_does_not_stop_on_naive_width(self):
+        """The regression the correction exists for: the pooled counts
+        alone would certify the target, but the between-replication
+        variance says otherwise — the arm must keep running."""
+        config = _config(ci_target=0.08, method="wilson")
+        decision = decide_wave(
+            config, 1, self.CLUSTERED, self.COUNTS, previous_n=0
+        )
+        naive = binomial_interval(*self.COUNTS, level=decision.look_level)
+        assert naive.half_width <= config.ci_target
+        assert not decision.stop
+        assert decision.reason == "continue"
+
+    def test_homogeneous_arm_still_stops(self):
+        config = _config(ci_target=0.08, method="wilson")
+        decision = decide_wave(
+            config, 1, self.HOMOGENEOUS, self.COUNTS, previous_n=0
+        )
+        assert decision.stop
+        assert decision.reason == "ci-target"
+
+    def test_design_effect_is_journaled(self):
+        config = _config()
+        decision = decide_wave(
+            config, 1, self.CLUSTERED, self.COUNTS, previous_n=0
+        )
+        payload = decision.to_dict()
+        assert payload["design_effect"] == pytest.approx(
+            decision.design_effect
+        )
+        assert payload["design_effect"] == pytest.approx(
+            design_effect(self.CLUSTERED, self.COUNTS)
+        )
+
+    def test_t_backend_needs_no_correction(self):
+        # The t interval is formed over the per-unit fractions, so the
+        # between-replication variance is already what it measures.
+        config = _config(method="t")
+        decision = decide_wave(
+            config, 1, self.CLUSTERED, self.COUNTS, previous_n=0
+        )
+        assert decision.design_effect == 1.0

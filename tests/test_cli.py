@@ -166,6 +166,23 @@ class TestResilienceFlags:
         assert code == 2
         assert "no journal at" in capsys.readouterr().err
 
+    def test_antithetic_with_pooled_backend_warns(self, capsys):
+        # Mirrored twins only pay off under the t backend; pooled-count
+        # backends see them as plain extra trials (docs/statistics.md),
+        # so the combination must be called out rather than silently
+        # doubling lane cost.
+        assert main(["figure7", "--rho", "0.5", "--m", "25",
+                     "--sequential", "--antithetic"]) == 0
+        err = capsys.readouterr().err
+        assert "--antithetic" in err
+        assert "--ci-method t" in err
+
+    def test_antithetic_with_t_backend_is_silent(self, capsys):
+        assert main(["figure7", "--rho", "0.5", "--m", "25",
+                     "--sequential", "--antithetic",
+                     "--ci-method", "t"]) == 0
+        assert "antithetic" not in capsys.readouterr().err
+
     def test_checkpointed_sweep_resumes_with_a_note(self, tmp_path, capsys):
         argv = [
             "robustness", "--seeds", "1", "--horizon", "4000",
